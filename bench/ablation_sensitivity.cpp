@@ -1,0 +1,76 @@
+// Ablations over the design parameters of light-weight NLFT: how much of
+// the reliability gain survives when the TEM masking probability degrades,
+// when repairs slow down, and when the permanent/transient mix shifts.
+// These are the design-choice sensitivities DESIGN.md calls out; the paper
+// itself only varies coverage and fault rate (Fig. 14).
+#include <cstdio>
+
+#include "bbw/markov_models.hpp"
+#include "util/time.hpp"
+
+using namespace nlft::bbw;
+
+namespace {
+
+double degradedReliability(const ReliabilityParameters& params, NodeType type) {
+  return BbwStudy{params}.systemReliability(type, FunctionalityMode::Degraded,
+                                            nlft::util::kHoursPerYear);
+}
+
+double degradedMttfYears(const ReliabilityParameters& params, NodeType type) {
+  return BbwStudy{params}.systemMttfHours(type, FunctionalityMode::Degraded) /
+         nlft::util::kHoursPerYear;
+}
+
+}  // namespace
+
+int main() {
+  const ReliabilityParameters base = ReliabilityParameters::paperDefaults();
+
+  std::printf("Ablation 1 — TEM masking probability P_T (omissions absorb the rest)\n");
+  std::printf("%8s %12s %12s %14s\n", "P_T", "R_NLFT(1y)", "MTTF (y)", "gain vs FS");
+  const double fsReliability = degradedReliability(base, NodeType::FailSilent);
+  for (double pMask : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    ReliabilityParameters params = base;
+    params.pMask = pMask;
+    params.pOmission = (1.0 - pMask) * 0.5;
+    params.pFailSilent = (1.0 - pMask) * 0.5;
+    const double r = degradedReliability(params, NodeType::Nlft);
+    std::printf("%8.2f %12.4f %12.3f %+13.1f%%\n", pMask, r,
+                degradedMttfYears(params, NodeType::Nlft), (r - fsReliability) / fsReliability * 100.0);
+  }
+
+  std::printf("\nAblation 2 — restart repair time (mu_R), fail-silent nodes\n");
+  std::printf("%14s %12s %12s\n", "repair time", "R_FS(1y)", "R_NLFT(1y)");
+  for (double seconds : {0.5, 3.0, 30.0, 300.0, 3600.0}) {
+    ReliabilityParameters params = base;
+    params.muRestart = 3600.0 / seconds;
+    params.muOmissionRepair = 3600.0 / (seconds / 2.0);
+    std::printf("%12.1f s %12.4f %12.4f\n", seconds,
+                degradedReliability(params, NodeType::FailSilent),
+                degradedReliability(params, NodeType::Nlft));
+  }
+
+  std::printf("\nAblation 3 — transient:permanent fault ratio (lambda_P fixed)\n");
+  std::printf("%8s %12s %12s %12s\n", "ratio", "R_FS(1y)", "R_NLFT(1y)", "NLFT gain");
+  for (double ratio : {1.0, 3.0, 10.0, 30.0, 100.0}) {
+    ReliabilityParameters params = base;
+    params.lambdaTransient = params.lambdaPermanent * ratio;
+    const double fs = degradedReliability(params, NodeType::FailSilent);
+    const double nlft = degradedReliability(params, NodeType::Nlft);
+    std::printf("%8.0f %12.4f %12.4f %+11.1f%%\n", ratio, fs, nlft, (nlft - fs) / fs * 100.0);
+  }
+
+  std::printf("\nAblation 4 — what if omission repair were as slow as a full restart?\n");
+  {
+    ReliabilityParameters params = base;
+    params.muOmissionRepair = params.muRestart;
+    std::printf("  mu_OM = mu_R:      R_NLFT(1y) = %.4f (baseline %.4f)\n",
+                degradedReliability(params, NodeType::Nlft),
+                degradedReliability(base, NodeType::Nlft));
+  }
+  std::printf("  (fast omission recovery contributes little at these fault rates;\n"
+              "   the dominant effect is masking itself — consistent with Fig. 14's\n"
+              "   observation that rates far below repair rates barely matter)\n");
+  return 0;
+}

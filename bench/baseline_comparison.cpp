@@ -1,0 +1,49 @@
+// Architecture-baseline comparison (supporting the paper's introduction):
+// fail-silent duplex (f+1), 2-of-3 voting triplex (2f+1) and light-weight
+// NLFT duplex, for the central-unit subsystem — reliability, MTTF and
+// steady-state availability per node invested.
+#include <cstdio>
+
+#include "bbw/markov_models.hpp"
+#include "util/time.hpp"
+
+using namespace nlft::bbw;
+
+int main() {
+  const auto params = ReliabilityParameters::paperDefaults();
+  constexpr double kYear = nlft::util::kHoursPerYear;
+
+  struct Row {
+    const char* name;
+    int nodes;
+    nlft::rel::CtmcModel chain;
+    nlft::rel::CtmcModel availabilityChain;
+  };
+  const double muWorkshop = 1.0 / 24.0;  // permanent repair within a day
+  Row rows[] = {
+      {"fail-silent duplex", 2, centralUnitChain(NodeType::FailSilent, params),
+       centralUnitChain(NodeType::FailSilent, params, muWorkshop)},
+      {"NLFT duplex", 2, centralUnitChain(NodeType::Nlft, params),
+       centralUnitChain(NodeType::Nlft, params, muWorkshop)},
+      {"2-of-3 voting triplex", 3, votingTriplexChain(params),
+       votingTriplexChain(params, muWorkshop)},
+  };
+
+  std::printf("Central-unit architectures (paper Section 1: f+1 vs 2f+1 redundancy)\n\n");
+  std::printf("%-24s %6s %10s %10s %12s %14s\n", "architecture", "nodes", "R(6 mo)", "R(1 y)",
+              "MTTF (y)", "availability");
+  for (const Row& row : rows) {
+    std::printf("%-24s %6d %10.4f %10.4f %12.2f %14.8f\n", row.name, row.nodes,
+                row.chain.reliability(kYear / 2), row.chain.reliability(kYear),
+                row.chain.meanTimeToFailure() / kYear,
+                row.availabilityChain.steadyStateAvailability());
+  }
+
+  std::printf("\nreading: at automotive mission times the NLFT duplex BEATS the voting\n");
+  std::printf("triplex with one node fewer (the triplex's third node adds exposure and\n");
+  std::printf("its degraded pair dies at 2*lambda); the triplex only wins very short\n");
+  std::printf("missions, where its voter masks even non-covered errors. This is the\n");
+  std::printf("cost argument of the paper's introduction, quantified.\n");
+  std::printf("(availability assumes permanently-failed nodes are repaired in ~24 h)\n");
+  return 0;
+}

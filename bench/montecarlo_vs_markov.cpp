@@ -1,0 +1,60 @@
+// Validation bench: Monte-Carlo system simulation vs analytic Markov
+// solution, for every configuration of the paper's study. The two encode
+// identical stochastic assumptions, so the analytic value must fall inside
+// the Monte-Carlo confidence interval — our substitute for validating
+// against the closed-source SHARPE tool the paper used.
+#include <cstdio>
+
+#include "bbw/markov_models.hpp"
+#include "sysmodel/montecarlo.hpp"
+#include "util/time.hpp"
+
+using namespace nlft;
+
+int main() {
+  constexpr double kYear = util::kHoursPerYear;
+  const bbw::BbwStudy study;
+
+  std::printf("Monte-Carlo (60k trials) vs analytic Markov, R(1 year)\n");
+  std::printf("%-26s %10s %22s %8s\n", "configuration", "analytic", "monte-carlo [95% CI]",
+              "inside?");
+
+  int failures = 0;
+  for (const auto& [behavior, type, typeName] :
+       {std::tuple{sys::NodeBehavior::FailSilent, bbw::NodeType::FailSilent, "fail-silent"},
+        std::tuple{sys::NodeBehavior::Nlft, bbw::NodeType::Nlft, "NLFT"}}) {
+    for (const auto& [required, mode, modeName] :
+         {std::tuple{4, bbw::FunctionalityMode::Full, "full"},
+          std::tuple{3, bbw::FunctionalityMode::Degraded, "degraded"}}) {
+      sys::SystemSpec spec;
+      spec.behavior = behavior;
+      spec.groups = {{"cu", 2, 1}, {"wns", 4, required}};
+
+      sys::MonteCarloConfig config;
+      config.trials = 60000;
+      config.seed = 99;
+      config.checkpointHours = {kYear};
+      const sys::MonteCarloResult result = sys::estimateReliability(spec, config);
+      const auto& estimate = result.checkpoints[0].reliability;
+      const double analytic = study.systemReliability(type, mode, kYear);
+      const bool inside = analytic >= estimate.low && analytic <= estimate.high;
+      if (!inside) ++failures;
+      std::printf("%-11s %-14s %10.4f   %.4f [%.4f, %.4f] %8s\n", typeName, modeName, analytic,
+                  estimate.proportion, estimate.low, estimate.high, inside ? "yes" : "NO");
+    }
+  }
+
+  // MTTF cross-check for the headline configuration.
+  sys::SystemSpec spec;
+  spec.behavior = sys::NodeBehavior::Nlft;
+  spec.groups = {{"cu", 2, 1}, {"wns", 4, 3}};
+  const util::RunningStats mttf = sys::estimateMttf(spec, 20000, 5);
+  const double analyticMttf =
+      study.systemMttfHours(bbw::NodeType::Nlft, bbw::FunctionalityMode::Degraded);
+  std::printf("\nMTTF (NLFT degraded): analytic %.0f h, MC %.0f +/- %.0f h\n", analyticMttf,
+              mttf.mean(), mttf.confidenceHalfWidth(0.95));
+
+  std::printf("\n%s\n", failures == 0 ? "VALIDATION PASSED: all analytic values inside MC CIs"
+                                      : "VALIDATION FAILED");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Schedulability cost of temporal error masking (Section 2.8): how much
+// utilisation TEM's duplicated execution and a-priori recovery slack consume.
+//
+// For task sets of increasing base utilisation, reports whether the set is
+// schedulable (fixed-priority RTA) in four regimes: single-copy execution,
+// single-copy with one recovery per 100 ms (fail-silent re-execution), TEM
+// (two copies), and TEM with one recovery per 100 ms (the full light-weight
+// NLFT guarantee).
+#include <cstdio>
+
+#include "rtkernel/rta.hpp"
+#include "util/time.hpp"
+
+using namespace nlft::rt;
+using nlft::util::Duration;
+
+namespace {
+
+// A synthetic BBW-like task set: periods 5/10/20/50 ms, rate-monotonic
+// priorities, per-copy execution time scaled to hit the target base
+// utilisation (single-copy utilisation).
+std::vector<RtaTask> makeSet(double baseUtilisation, bool temProtected) {
+  const std::int64_t periodsUs[] = {5000, 10000, 20000, 50000};
+  constexpr double share[] = {0.4, 0.3, 0.2, 0.1};  // utilisation split
+  std::vector<RtaTask> tasks;
+  int priority = 4;
+  for (int i = 0; i < 4; ++i) {
+    const double singleCopyUs = baseUtilisation * share[i] * static_cast<double>(periodsUs[i]);
+    const Duration singleCopy = Duration::microseconds(static_cast<std::int64_t>(singleCopyUs));
+    const Duration period = Duration::microseconds(periodsUs[i]);
+    if (temProtected) {
+      tasks.push_back(temTask(singleCopy, Duration::microseconds(50), period, period, priority));
+    } else {
+      RtaTask task;
+      task.wcet = singleCopy;
+      task.recovery = singleCopy;  // re-execution of the whole task
+      task.period = period;
+      task.deadline = period;
+      task.priority = priority;
+      tasks.push_back(task);
+    }
+    --priority;
+  }
+  return tasks;
+}
+
+const char* yesNo(bool value) { return value ? "yes" : " - "; }
+
+}  // namespace
+
+int main() {
+  const Duration faultInterval = Duration::milliseconds(100);
+
+  std::printf("Schedulability vs base (single-copy) utilisation\n");
+  std::printf("%8s %12s %14s %10s %12s %14s\n", "U_base", "single-copy", "single+fault",
+              "TEM", "TEM+fault", "U_tem");
+  double breakdownSingle = 0.0;
+  double breakdownTem = 0.0;
+  for (double u = 0.05; u <= 1.0001; u += 0.05) {
+    const auto plain = makeSet(u, false);
+    const auto temSet = makeSet(u, true);
+    const bool single = analyze(plain).schedulable;
+    const bool singleFault = analyze(plain, faultInterval).schedulable;
+    const bool temOk = analyze(temSet).schedulable;
+    const bool temFault = analyze(temSet, faultInterval).schedulable;
+    if (single) breakdownSingle = u;
+    if (temFault) breakdownTem = u;
+    std::printf("%8.2f %12s %14s %10s %12s %14.3f\n", u, yesNo(single), yesNo(singleFault),
+                yesNo(temOk), yesNo(temFault), utilization(temSet));
+  }
+  std::printf("\nbreakdown utilisation: single-copy %.2f; TEM with fault slack %.2f\n",
+              breakdownSingle, breakdownTem);
+  std::printf("TEM roughly halves the schedulable base utilisation — the price of\n"
+              "time redundancy that falling processor costs make acceptable (Section 1).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// System-level Monte Carlo over the DETAILED closed-loop simulation:
+// distribution of stopping distances from 100 km/h when exactly one
+// transient fault strikes a random node at a random instant of the stop.
+// This is the braking-scenario counterpart of the analytic reliability
+// study: NLFT nodes keep the distribution tight; fail-silent nodes grow a
+// heavy tail of degraded three-wheel stops.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bbw/system_sim.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+using namespace nlft;
+using namespace nlft::bbw;
+using util::SimTime;
+
+namespace {
+
+struct Episode {
+  net::NodeId node;
+  int faultKind;  // 0 = silent data, 1 = EDM-detected, 2 = kernel error
+  std::int64_t atUs;
+};
+
+double runEpisode(NodeType type, const Episode& episode) {
+  BbwSimConfig config;
+  config.nodeType = type;
+  BbwSystemSim sim{config};
+  switch (episode.faultKind) {
+    case 0: sim.injectComputationFault(episode.node, SimTime::fromUs(episode.atUs)); break;
+    case 1: sim.injectDetectedError(episode.node, SimTime::fromUs(episode.atUs)); break;
+    default: sim.injectKernelError(episode.node, SimTime::fromUs(episode.atUs)); break;
+  }
+  const BbwSimResult result = sim.run();
+  return result.stopped ? result.stoppingDistanceM : 999.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kEpisodes = 150;
+  util::Rng rng{2025};
+  std::vector<Episode> episodes;
+  for (int i = 0; i < kEpisodes; ++i) {
+    Episode episode;
+    episode.node = 1 + static_cast<net::NodeId>(rng.uniformInt(6));
+    episode.faultKind = static_cast<int>(rng.uniformInt(3));
+    episode.atUs = 100'000 + static_cast<std::int64_t>(rng.uniformInt(2'400'000));
+    episodes.push_back(episode);
+  }
+
+  const double baseline = [] {
+    BbwSimConfig config;
+    return BbwSystemSim{config}.run().stoppingDistanceM;
+  }();
+  std::printf("Stopping distance under one random transient fault per stop\n");
+  std::printf("(%d episodes; fault-free baseline %.2f m)\n\n", kEpisodes, baseline);
+
+  for (const NodeType type : {NodeType::Nlft, NodeType::FailSilent}) {
+    util::RunningStats stats;
+    util::Histogram histogram{35.0, 55.0, 10};
+    int degraded = 0;
+    for (const Episode& episode : episodes) {
+      const double distance = runEpisode(type, episode);
+      stats.add(distance);
+      histogram.add(distance);
+      if (distance > baseline + 1.0) ++degraded;
+    }
+    std::printf("%s nodes:\n", type == NodeType::Nlft ? "NLFT" : "fail-silent");
+    std::printf("  mean %.2f m   worst %.2f m   degraded stops %d/%d (%.0f%%)\n",
+                stats.mean(), stats.max(), degraded, kEpisodes,
+                100.0 * degraded / kEpisodes);
+    std::printf("  distribution (35..55 m, 2 m bins): ");
+    for (std::size_t bin = 0; bin < histogram.bins(); ++bin) {
+      std::printf("%3zu", histogram.binCount(bin));
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("reading: NLFT confines the damage of maskable faults entirely; only\n");
+  std::printf("kernel errors (which NLFT does not claim to mask) still cost distance.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks: the runtime cost of the framework's
+// moving parts — TEM job execution on the simulated kernel, CTMC transient
+// solves, Monte-Carlo trials, interpreted task copies and fault-injection
+// experiments. These quantify the "time redundancy is cheap" premise of the
+// paper at simulator scale and keep the analysis engine's performance under
+// regression watch.
+#include <benchmark/benchmark.h>
+
+#include "bbw/markov_models.hpp"
+#include "bbw/wheel_task.hpp"
+#include "core/tem.hpp"
+#include "sysmodel/montecarlo.hpp"
+
+using namespace nlft;
+using util::Duration;
+using util::SimTime;
+
+namespace {
+
+tem::CopyPlan cleanCopy(const tem::CopyContext&) {
+  tem::CopyPlan plan;
+  plan.executionTime = Duration::microseconds(500);
+  plan.result = {42};
+  return plan;
+}
+
+tem::CopyPlan faultySecondCopy(const tem::CopyContext& context) {
+  tem::CopyPlan plan = cleanCopy(context);
+  if (context.copyIndex == 2) plan.result[0] ^= 1;
+  return plan;
+}
+
+void runTemJobs(benchmark::State& state, tem::CopyBehavior behavior) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    rt::Cpu cpu{simulator};
+    rt::RtKernel kernel{simulator, cpu};
+    tem::TemExecutor temExecutor{kernel};
+    rt::TaskConfig config;
+    config.name = "bench";
+    config.priority = 1;
+    config.period = Duration::milliseconds(5);
+    config.wcet = Duration::microseconds(500);
+    temExecutor.addCriticalTask(config, behavior);
+    kernel.start();
+    simulator.runUntil(SimTime::fromUs(100'000));  // 20 jobs
+    benchmark::DoNotOptimize(simulator.processedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+
+void BM_TemJobsFaultFree(benchmark::State& state) { runTemJobs(state, cleanCopy); }
+BENCHMARK(BM_TemJobsFaultFree);
+
+void BM_TemJobsWithVoteRecovery(benchmark::State& state) {
+  runTemJobs(state, faultySecondCopy);
+}
+BENCHMARK(BM_TemJobsWithVoteRecovery);
+
+void BM_CtmcReliabilitySolve(benchmark::State& state) {
+  const auto chain = bbw::centralUnitChain(bbw::NodeType::Nlft,
+                                           bbw::ReliabilityParameters::paperDefaults());
+  double t = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.reliability(t));
+    t += 100.0;  // vary the horizon so nothing can be cached
+  }
+}
+BENCHMARK(BM_CtmcReliabilitySolve);
+
+void BM_SystemMttfKronecker(benchmark::State& state) {
+  const bbw::BbwStudy study;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study.systemMttfHours(bbw::NodeType::Nlft, bbw::FunctionalityMode::Degraded));
+  }
+}
+BENCHMARK(BM_SystemMttfKronecker);
+
+void BM_MonteCarloTrial(benchmark::State& state) {
+  sys::SystemSpec spec;
+  spec.behavior = sys::NodeBehavior::Nlft;
+  spec.groups = {{"cu", 2, 1}, {"wns", 4, 3}};
+  util::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys::simulateLifetime(spec, 8760.0, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloTrial);
+
+void BM_InterpretedWheelTaskCopy(benchmark::State& state) {
+  const fi::TaskImage image = bbw::makeWheelTaskImage(800 * 256, 50, 600 * 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::goldenRun(image).output[0]);
+  }
+}
+BENCHMARK(BM_InterpretedWheelTaskCopy);
+
+void BM_FaultInjectionExperiment(benchmark::State& state) {
+  const fi::TaskImage image = bbw::makeWheelTaskImage(800 * 256, 50, 600 * 256);
+  fi::FaultSpec fault;
+  fault.location = fi::RegisterBitFlip{6, 4};
+  fault.afterInstructions = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::runTemExperiment(image, fault));
+  }
+}
+BENCHMARK(BM_FaultInjectionExperiment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

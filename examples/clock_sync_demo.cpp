@@ -1,0 +1,59 @@
+// Distributed clock synchronisation demo: the foundation under every
+// time-triggered platform (TTA/TTP/FlexRay) the paper builds on. Five nodes
+// with drifting oscillators converge to microsecond agreement, keep it with
+// one Byzantine clock in the mix, and fall apart without the fault-tolerant
+// average.
+//
+//   $ ./clock_sync_demo
+#include <cstdio>
+
+#include "net/clock_sync.hpp"
+#include "util/rng.hpp"
+
+using namespace nlft;
+using util::Duration;
+using util::SimTime;
+
+namespace {
+
+void runScenario(const char* title, int faultyTolerated, bool withTraitor) {
+  sim::Simulator simulator;
+  net::ClockSyncService sync{simulator, Duration::milliseconds(100), faultyTolerated};
+  util::Rng rng{11};
+  for (int i = 0; i < 5; ++i) {
+    sync.addClock({rng.uniform(-100.0, 100.0), rng.uniform(-500.0, 500.0)});
+  }
+  if (withTraitor) {
+    const std::size_t traitor = sync.addClock({0.0, 0.0});
+    int phase = 0;
+    sync.setByzantine(traitor, [phase](double honest) mutable {
+      return honest + ((phase++ % 2) ? 4e7 : -4e7);
+    });
+  }
+  sync.start();
+
+  std::printf("%s\n", title);
+  std::printf("  %10s %16s\n", "time", "max honest skew");
+  for (int second = 0; second <= 3; ++second) {
+    simulator.runUntil(SimTime::fromUs(second * 1'000'000 + 50'000));
+    std::printf("  %8d s %13.1f us\n", second, sync.maxSkewUs());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Welch-Lynch fault-tolerant clock synchronisation, resync every 100 ms\n");
+  std::printf("(5 honest clocks, drifts up to 100 ppm, offsets up to 500 us)\n\n");
+
+  runScenario("all clocks honest, k = 0:", 0, false);
+  runScenario("one Byzantine clock (+/-40 s lies!), k = 1 (FTA):", 1, true);
+  runScenario("one Byzantine clock, k = 0 (no FTA) -- honest skew still looks\n"
+              "fine, but ALL clocks are dragged seconds away from real time:",
+              0, true);
+
+  std::printf("The 2*rho*R precision bound (~0.02 us per ppm at R = 100 ms) is what\n");
+  std::printf("makes TDMA slot boundaries — and the paper's entire platform — possible.\n");
+  return 0;
+}

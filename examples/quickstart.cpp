@@ -1,0 +1,67 @@
+// Quickstart: a critical task under Temporal Error Masking.
+//
+// Builds a node (simulator + CPU + real-time kernel), registers one
+// TEM-protected critical task, lets a fault-free job run, then injects a
+// silent data fault and an EDM-detected error into later jobs — and shows
+// that the delivered results are correct every time.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/tem.hpp"
+
+using namespace nlft;
+using util::Duration;
+using util::SimTime;
+
+int main() {
+  sim::Simulator simulator;
+  rt::Cpu cpu{simulator};
+  rt::RtKernel kernel{simulator, cpu};
+  tem::TemExecutor temExecutor{kernel};
+
+  // The critical task: computes a checksum-style result each period.
+  // Job 2's second copy is corrupted (silent data fault); job 4's first copy
+  // hits a detected hardware exception mid-execution.
+  rt::TaskConfig config;
+  config.name = "critical-control";
+  config.priority = 10;
+  config.period = Duration::milliseconds(10);
+  config.wcet = Duration::milliseconds(2);
+
+  const rt::TaskId task = temExecutor.addCriticalTask(config, [](const tem::CopyContext& ctx) {
+    tem::CopyPlan plan;
+    plan.executionTime = Duration::milliseconds(2);
+    plan.result = {static_cast<std::uint32_t>(40 + ctx.jobIndex)};  // the "correct" answer
+    if (ctx.jobIndex == 2 && ctx.copyIndex == 2) {
+      plan.result[0] ^= 0x80;  // transient fault corrupts this copy's data
+    }
+    if (ctx.jobIndex == 4 && ctx.copyIndex == 1) {
+      plan.end = tem::CopyPlan::End::DetectedError;  // CPU exception fires
+      plan.executionTime = Duration::microseconds(700);
+    }
+    return plan;
+  });
+
+  kernel.setResultSink([&](const rt::JobResult& result) {
+    std::printf("t=%7.3f ms  job %llu delivered result %u\n",
+                result.deliveredAt.toSeconds() * 1e3,
+                static_cast<unsigned long long>(result.jobIndex), result.data[0]);
+  });
+
+  kernel.start();
+  simulator.runUntil(SimTime::zero() + Duration::milliseconds(60));
+
+  const tem::TemStats& stats = temExecutor.stats(task);
+  std::printf("\njobs=%llu  clean=%llu  masked-by-vote=%llu  masked-by-replacement=%llu  "
+              "omissions=%llu\n",
+              static_cast<unsigned long long>(stats.jobs),
+              static_cast<unsigned long long>(stats.deliveredCleanly),
+              static_cast<unsigned long long>(stats.maskedByVote),
+              static_cast<unsigned long long>(stats.maskedByReplacement),
+              static_cast<unsigned long long>(stats.omissionsNoTime + stats.omissionsVoteFailed +
+                                              stats.omissionsAborted));
+  std::printf("Every result was delivered correctly: both faults were masked "
+              "locally in the node.\n");
+  return 0;
+}

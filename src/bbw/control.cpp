@@ -1,0 +1,83 @@
+#include "bbw/control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nlft::bbw {
+
+std::array<double, kWheelCount> distributeBrakeForce(const CentralUnitConfig& config,
+                                                     double pedal) {
+  pedal = std::clamp(pedal, 0.0, 1.0);
+  const double total = pedal * config.maxTotalForceN;
+  const double front = total * config.frontShare / 2.0;
+  const double rear = total * (1.0 - config.frontShare) / 2.0;
+  std::array<double, kWheelCount> torque{};
+  torque[FrontLeft] = front * config.wheelRadiusM;
+  torque[FrontRight] = front * config.wheelRadiusM;
+  torque[RearLeft] = rear * config.wheelRadiusM;
+  torque[RearRight] = rear * config.wheelRadiusM;
+  return torque;
+}
+
+WheelSlipController::WheelSlipController(SlipControllerConfig config) : config_{config} {
+  if (config.targetSlip <= 0.0 || config.releaseSlip <= config.targetSlip)
+    throw std::invalid_argument("WheelSlipController: bad slip thresholds");
+}
+
+double WheelSlipController::update(double requestedTorqueNm, double measuredSlip) {
+  if (measuredSlip > config_.releaseSlip) {
+    // Imminent lock-up: dump torque hard (two reduction steps).
+    if (currentLimit_ < 0.0) currentLimit_ = requestedTorqueNm;
+    currentLimit_ *= config_.reduceFactor * config_.reduceFactor;
+  } else if (measuredSlip > config_.targetSlip) {
+    if (currentLimit_ < 0.0) currentLimit_ = requestedTorqueNm;
+    currentLimit_ *= config_.reduceFactor;
+  } else if (currentLimit_ >= 0.0) {
+    currentLimit_ *= config_.recoverFactor;
+    if (currentLimit_ >= requestedTorqueNm) currentLimit_ = -1.0;  // limit released
+  }
+  double torque = requestedTorqueNm;
+  if (currentLimit_ >= 0.0) torque = std::min(torque, currentLimit_);
+  return std::max(0.0, torque);
+}
+
+std::uint32_t WheelSlipController::packedState() const {
+  if (currentLimit_ < 0.0) return 0xFFFFFFFFu;
+  return static_cast<std::uint32_t>(std::lround(currentLimit_ * 256.0));
+}
+
+void WheelSlipController::restoreState(std::uint32_t packed) {
+  currentLimit_ = packed == 0xFFFFFFFFu ? -1.0 : static_cast<double>(packed) / 256.0;
+}
+
+std::int32_t wheelControlFixedPoint(std::int32_t requestedTorqueQ8, std::int32_t slipQ8,
+                                    std::int32_t currentLimitQ8, std::int32_t* newLimitQ8) {
+  // Quantised counterparts of SlipControllerConfig's defaults:
+  // target 0.1484 (38/256), release 0.25 (64/256), reduce 179/256 = 0.699,
+  // recover 294/256 = 1.148. The structure matches update() exactly.
+  constexpr std::int32_t kTarget = 38;
+  constexpr std::int32_t kRelease = 64;
+  constexpr std::int32_t kReduce = 179;
+  constexpr std::int32_t kRecover = 294;
+
+  std::int32_t limit = currentLimitQ8;
+  if (slipQ8 > kRelease) {
+    if (limit < 0) limit = requestedTorqueQ8;
+    limit = static_cast<std::int32_t>((static_cast<std::int64_t>(limit) * kReduce) >> 8);
+    limit = static_cast<std::int32_t>((static_cast<std::int64_t>(limit) * kReduce) >> 8);
+  } else if (slipQ8 > kTarget) {
+    if (limit < 0) limit = requestedTorqueQ8;
+    limit = static_cast<std::int32_t>((static_cast<std::int64_t>(limit) * kReduce) >> 8);
+  } else if (limit >= 0) {
+    limit = static_cast<std::int32_t>((static_cast<std::int64_t>(limit) * kRecover) >> 8);
+    if (limit >= requestedTorqueQ8) limit = -1;
+  }
+  std::int32_t torque = requestedTorqueQ8;
+  if (limit >= 0 && limit < torque) torque = limit;
+  if (torque < 0) torque = 0;
+  *newLimitQ8 = limit;
+  return torque;
+}
+
+}  // namespace nlft::bbw

@@ -1,0 +1,60 @@
+#include "bbw/cu_task.hpp"
+
+#include <algorithm>
+
+namespace nlft::bbw {
+
+const char* cuTaskSource() {
+  return R"(
+; Central-unit brake-force distribution, q8.8 fixed point.
+; Front per-wheel torque at full pedal: 18000 N * 0.6 / 2 * 0.30 m = 1620 Nm.
+; Rear: 18000 * 0.4 / 2 * 0.30 = 1080 Nm.
+      ldi r1, 0x800
+      ld  r2, [r1+0]        ; pedal q8.8
+
+      cmpi r2, 0            ; clamp below
+      bge not_negative
+      ldi r2, 0
+not_negative:
+      cmpi r2, 256          ; clamp above
+      blt in_range
+      ldi r2, 256
+in_range:
+
+      ldi r3, 1620
+      mul r4, r2, r3        ; front torque (q8.8)
+      ldi r3, 1080
+      mul r5, r2, r3        ; rear torque (q8.8)
+
+      ldi r8, 0xC00
+      st  r4, [r8+0]        ; front left
+      st  r4, [r8+4]        ; front right
+      st  r5, [r8+8]        ; rear left
+      st  r5, [r8+12]       ; rear right
+      halt
+)";
+}
+
+std::array<std::int32_t, 4> distributeFixedPoint(std::int32_t pedalQ8) {
+  const std::int32_t pedal = std::clamp(pedalQ8, 0, 256);
+  const std::int32_t front = pedal * 1620;
+  const std::int32_t rear = pedal * 1080;
+  return {front, front, rear, rear};
+}
+
+fi::TaskImage makeCuTaskImage(std::int32_t pedalQ8) {
+  fi::TaskImage image;
+  image.program = hw::assemble(cuTaskSource());
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = {static_cast<std::uint32_t>(pedalQ8)};
+  image.outputBase = 0xC00;
+  image.outputWords = 4;
+  image.memBytes = 64 * 1024;
+  // Longest path is 16 instructions; budget timer at ~1.3x.
+  image.maxInstructionsPerCopy = 21;
+  return image;
+}
+
+}  // namespace nlft::bbw

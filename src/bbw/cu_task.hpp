@@ -1,0 +1,29 @@
+// The central unit's brake-force distribution task compiled for the
+// simulated COTS processor — the second interpreted workload for fault
+// injection (the CU is the duplex part of the architecture, so its failure
+// behaviour matters most for the system-level analysis).
+//
+// Memory interface:
+//   input  @ 0x800: [0] pedal position (q8.8, 0..256 = 0..100 %)
+//   output @ 0xC00: [0..3] per-wheel brake torque requests (q8.8 N m)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "faults/campaign.hpp"
+
+namespace nlft::bbw {
+
+/// Assembly source of the central-unit distribution task.
+[[nodiscard]] const char* cuTaskSource();
+
+/// Fixed-point reference of the distribution law (60/40 proportioning of
+/// an 18 kN total at 0.30 m wheel radius): front wheels get pedal * 1620,
+/// rear wheels pedal * 1080 (all q8.8). Pedal is clamped to [0, 256].
+[[nodiscard]] std::array<std::int32_t, 4> distributeFixedPoint(std::int32_t pedalQ8);
+
+/// Builds a ready-to-run TaskImage for the given pedal position.
+[[nodiscard]] fi::TaskImage makeCuTaskImage(std::int32_t pedalQ8);
+
+}  // namespace nlft::bbw

@@ -1,0 +1,203 @@
+#include "bbw/markov_models.hpp"
+
+namespace nlft::bbw {
+
+using rel::CtmcModel;
+using rel::StateId;
+
+rel::CtmcModel centralUnitChain(NodeType type, const ReliabilityParameters& p,
+                                double permanentRepairRate) {
+  CtmcModel m;
+  const double lambda = p.lambdaTotal();
+  const double undetected = 2.0 * lambda * (1.0 - p.coverage);
+
+  if (type == NodeType::FailSilent) {
+    // Fig. 6. Any detected fault silences the node; transients repair at muR.
+    const StateId s0 = m.addState("0: both up");
+    const StateId s1 = m.addState("1: one permanently down");
+    const StateId s2 = m.addState("2: one restarting (transient)");
+    const StateId f = m.addState("F: failure", /*failure=*/true);
+
+    m.addTransition(s0, s1, 2.0 * p.lambdaPermanent * p.coverage);
+    m.addTransition(s0, s2, 2.0 * p.lambdaTransient * p.coverage);
+    m.addTransition(s0, f, undetected);
+    m.addTransition(s2, s0, p.muRestart);
+    // With one node down (permanently or during restart), any further
+    // activated fault on the remaining node takes the service out.
+    m.addTransition(s1, f, lambda);
+    m.addTransition(s2, f, lambda);
+    if (permanentRepairRate > 0.0) {
+      m.addTransition(s1, s0, permanentRepairRate);
+      m.addTransition(f, s0, permanentRepairRate);
+    }
+    return m;
+  }
+
+  // Fig. 7. NLFT node: detected transients are masked with pMask (no state
+  // change), cause an omission with pOmission, or fail-silence with
+  // pFailSilent. Once only one node remains, its unmasked faults are fatal.
+  const StateId s0 = m.addState("0: both up");
+  const StateId s1 = m.addState("1: one permanently down");
+  const StateId s2 = m.addState("2: one restarting (fail-silent transient)");
+  const StateId s3 = m.addState("3: one in omission recovery");
+  const StateId f = m.addState("F: failure", /*failure=*/true);
+
+  m.addTransition(s0, s1, 2.0 * p.lambdaPermanent * p.coverage);
+  m.addTransition(s0, s2, 2.0 * p.lambdaTransient * p.coverage * p.pFailSilent);
+  m.addTransition(s0, s3, 2.0 * p.lambdaTransient * p.coverage * p.pOmission);
+  m.addTransition(s0, f, undetected);
+  m.addTransition(s2, s0, p.muRestart);
+  m.addTransition(s3, s0, p.muOmissionRepair);
+  const double loneNodeFatal = p.unmaskedRate();
+  m.addTransition(s1, f, loneNodeFatal);
+  m.addTransition(s2, f, loneNodeFatal);
+  m.addTransition(s3, f, loneNodeFatal);
+  if (permanentRepairRate > 0.0) {
+    m.addTransition(s1, s0, permanentRepairRate);
+    m.addTransition(f, s0, permanentRepairRate);
+  }
+  return m;
+}
+
+rel::CtmcModel wheelSubsystemChain(NodeType type, FunctionalityMode mode,
+                                   const ReliabilityParameters& p,
+                                   double permanentRepairRate) {
+  CtmcModel m;
+  const double lambda = p.lambdaTotal();
+
+  if (mode == FunctionalityMode::Full) {
+    if (type == NodeType::FailSilent) {
+      // Equivalent chain for the Fig. 8 RBD: any activated fault in any of
+      // the four nodes interrupts full functionality.
+      const StateId s0 = m.addState("0: all four up");
+      const StateId f = m.addState("F: failure", /*failure=*/true);
+      m.addTransition(s0, f, 4.0 * lambda);
+      if (permanentRepairRate > 0.0) m.addTransition(f, s0, permanentRepairRate);
+      return m;
+    }
+    // Fig. 10: only unmasked faults are visible at the system level.
+    const StateId s0 = m.addState("0: all four up (masked transients stay here)");
+    const StateId f = m.addState("F: failure", /*failure=*/true);
+    m.addTransition(s0, f, 4.0 * p.unmaskedRate());
+    if (permanentRepairRate > 0.0) m.addTransition(f, s0, permanentRepairRate);
+    return m;
+  }
+
+  // Degraded mode: one node may be lost; re-integration is allowed.
+  const double undetected = 4.0 * lambda * (1.0 - p.coverage);
+  if (type == NodeType::FailSilent) {
+    // Fig. 9.
+    const StateId s0 = m.addState("0: all four up");
+    const StateId s1 = m.addState("1: one permanently down");
+    const StateId s2 = m.addState("2: one restarting (transient)");
+    const StateId f = m.addState("F: failure", /*failure=*/true);
+
+    m.addTransition(s0, s1, 4.0 * p.lambdaPermanent * p.coverage);
+    m.addTransition(s0, s2, 4.0 * p.lambdaTransient * p.coverage);
+    m.addTransition(s0, f, undetected);
+    m.addTransition(s2, s0, p.muRestart);
+    // Exactly three nodes deliver service in states 1 and 2; a further
+    // activated fault in any of them drops below the 3-node requirement.
+    m.addTransition(s1, f, 3.0 * lambda);
+    m.addTransition(s2, f, 3.0 * lambda);
+    if (permanentRepairRate > 0.0) {
+      m.addTransition(s1, s0, permanentRepairRate);
+      m.addTransition(f, s0, permanentRepairRate);
+    }
+    return m;
+  }
+
+  // Fig. 11.
+  const StateId s0 = m.addState("0: all four up");
+  const StateId s1 = m.addState("1: one permanently down");
+  const StateId s2 = m.addState("2: one restarting (fail-silent transient)");
+  const StateId s3 = m.addState("3: one in omission recovery");
+  const StateId f = m.addState("F: failure", /*failure=*/true);
+
+  m.addTransition(s0, s1, 4.0 * p.lambdaPermanent * p.coverage);
+  m.addTransition(s0, s2, 4.0 * p.lambdaTransient * p.coverage * p.pFailSilent);
+  m.addTransition(s0, s3, 4.0 * p.lambdaTransient * p.coverage * p.pOmission);
+  m.addTransition(s0, f, undetected);
+  m.addTransition(s2, s0, p.muRestart);
+  m.addTransition(s3, s0, p.muOmissionRepair);
+  const double threeNodesFatal = 3.0 * p.unmaskedRate();
+  m.addTransition(s1, f, threeNodesFatal);
+  m.addTransition(s2, f, threeNodesFatal);
+  m.addTransition(s3, f, threeNodesFatal);
+  if (permanentRepairRate > 0.0) {
+    m.addTransition(s1, s0, permanentRepairRate);
+    m.addTransition(f, s0, permanentRepairRate);
+  }
+  return m;
+}
+
+rel::CtmcModel votingTriplexChain(const ReliabilityParameters& p, double permanentRepairRate) {
+  // 2-of-3 majority voting: value errors are outvoted (no coverage term);
+  // a transient only costs the brief state-resynchronisation outage of the
+  // affected node. With one node gone, the remaining pair can detect but
+  // not resolve a disagreement: any further activated fault is fatal.
+  CtmcModel m;
+  const double lambda = p.lambdaTotal();
+  const StateId s0 = m.addState("0: three up");
+  const StateId s1 = m.addState("1: one permanently down");
+  const StateId s2 = m.addState("2: one resynchronising (transient)");
+  const StateId f = m.addState("F: failure", /*failure=*/true);
+
+  m.addTransition(s0, s1, 3.0 * p.lambdaPermanent);
+  m.addTransition(s0, s2, 3.0 * p.lambdaTransient);
+  m.addTransition(s2, s0, p.muOmissionRepair);
+  m.addTransition(s1, f, 2.0 * lambda);
+  m.addTransition(s2, f, 2.0 * lambda);
+  if (permanentRepairRate > 0.0) {
+    m.addTransition(s1, s0, permanentRepairRate);
+    m.addTransition(f, s0, permanentRepairRate);
+  }
+  return m;
+}
+
+rel::Rbd wheelSubsystemRbdFullFs(const ReliabilityParameters& p) {
+  rel::Rbd rbd;
+  std::vector<rel::BlockId> wheels;
+  const double lambda = p.lambdaTotal();
+  for (const char* name : {"front-left", "front-right", "rear-left", "rear-right"}) {
+    wheels.push_back(rbd.component(name, rel::exponentialReliability(lambda)));
+  }
+  rbd.setRoot(rbd.series(wheels));
+  return rbd;
+}
+
+rel::FaultTree systemFaultTree(NodeType type, FunctionalityMode mode,
+                               const ReliabilityParameters& p) {
+  rel::FaultTree tree;
+  const auto cu = tree.basicEvent("central unit subsystem",
+                                  rel::ctmcReliability(centralUnitChain(type, p)));
+  const auto wns = tree.basicEvent("wheel node subsystem",
+                                   rel::ctmcReliability(wheelSubsystemChain(type, mode, p)));
+  tree.setTop(tree.orGate({cu, wns}));
+  return tree;
+}
+
+BbwStudy::BbwStudy(ReliabilityParameters p) : params_{p} {}
+
+double BbwStudy::centralUnitReliability(NodeType type, double tHours) const {
+  return centralUnitChain(type, params_).reliability(tHours);
+}
+
+double BbwStudy::wheelSubsystemReliability(NodeType type, FunctionalityMode mode,
+                                           double tHours) const {
+  return wheelSubsystemChain(type, mode, params_).reliability(tHours);
+}
+
+double BbwStudy::systemReliability(NodeType type, FunctionalityMode mode, double tHours) const {
+  const rel::IndependentSeriesSystem system{centralUnitChain(type, params_),
+                                            wheelSubsystemChain(type, mode, params_)};
+  return system.reliability(tHours);
+}
+
+double BbwStudy::systemMttfHours(NodeType type, FunctionalityMode mode) const {
+  const rel::IndependentSeriesSystem system{centralUnitChain(type, params_),
+                                            wheelSubsystemChain(type, mode, params_)};
+  return system.meanTimeToFailure();
+}
+
+}  // namespace nlft::bbw

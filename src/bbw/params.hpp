@@ -1,0 +1,42 @@
+// Parameters of the paper's dependability analysis (Section 3.3).
+#pragma once
+
+namespace nlft::bbw {
+
+/// Node type compared in the paper's analysis.
+enum class NodeType {
+  FailSilent,  // conventional fail-silent node: every detected error stops the node
+  Nlft,        // light-weight NLFT node: most transients are masked by TEM
+};
+
+/// System functionality requirement (Section 3.2).
+enum class FunctionalityMode {
+  Full,      // all four wheel nodes + one central-unit node must work
+  Degraded,  // at least three wheel nodes + one central-unit node must work
+};
+
+/// Rates and probabilities of the reliability study. All rates are per hour.
+struct ReliabilityParameters {
+  double lambdaPermanent = 1.82e-5;   ///< permanent fault rate (MIL-HDBK-217 derived)
+  double lambdaTransient = 1.82e-4;   ///< transient fault rate (10x permanent)
+  double coverage = 0.99;             ///< C_D: P(error detected | fault occurred)
+  double pMask = 0.90;                ///< P_T: P(masked by TEM | detected transient)
+  double pOmission = 0.05;            ///< P_OM: P(omission failure | detected transient)
+  double pFailSilent = 0.05;          ///< P_FS: P(fail-silent failure | detected transient)
+  double muRestart = 1.2e3;           ///< mu_R: restart+diagnosis+reintegration (3 s)
+  double muOmissionRepair = 2.25e3;   ///< mu_OM: reintegration after omission (1.6 s)
+
+  /// The paper's baseline parameter set.
+  [[nodiscard]] static ReliabilityParameters paperDefaults() { return {}; }
+
+  /// Total activated-fault rate of one node.
+  [[nodiscard]] double lambdaTotal() const { return lambdaPermanent + lambdaTransient; }
+
+  /// Rate at which one NLFT node suffers a fault that is NOT masked by TEM
+  /// (permanent faults plus undetected or unmaskable transients).
+  [[nodiscard]] double unmaskedRate() const {
+    return lambdaPermanent + lambdaTransient * (1.0 - coverage * pMask);
+  }
+};
+
+}  // namespace nlft::bbw

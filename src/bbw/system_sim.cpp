@@ -1,0 +1,378 @@
+#include "bbw/system_sim.hpp"
+
+#include <cmath>
+
+#include "bbw/cu_task.hpp"
+#include "core/replication.hpp"
+
+namespace nlft::bbw {
+
+namespace {
+constexpr std::uint32_t kMsgCommand = 0xC0DE0001;
+constexpr std::uint32_t kMsgWheelStatus = 0xC0DE0002;
+constexpr std::uint32_t kMsgEmergency = 0xC0DE0003;
+
+net::TdmaConfig makeBusConfig() {
+  net::TdmaConfig config;
+  config.slotLength = Duration::microseconds(500);
+  config.staticSchedule = {kCuA, kCuB, kWheelNodeBase + 0, kWheelNodeBase + 1,
+                           kWheelNodeBase + 2, kWheelNodeBase + 3};
+  config.dynamicMinislots = 4;  // event-triggered segment (diagnostics)
+  config.minislotLength = Duration::microseconds(250);
+  return config;
+}
+}  // namespace
+
+struct BbwSystemSim::Impl {
+  explicit Impl(BbwSimConfig cfg)
+      : config{cfg}, bus{simulator, makeBusConfig()}, membership{simulator, bus},
+        vehicle{cfg.vehicle} {}
+
+  struct Node {
+    net::NodeId id = 0;
+    std::unique_ptr<rt::Cpu> cpu;
+    std::unique_ptr<rt::RtKernel> kernel;
+    std::unique_ptr<tem::TemExecutor> temExecutor;
+    std::unique_ptr<tem::FailSilentExecutor> fsExecutor;
+    rt::TaskId controlTask{};
+    rt::TaskId emergencyTask{};  // CUs only
+    // One-shot fault-injection flags, consumed by the next control job.
+    bool corruptSecondCopy = false;
+    bool detectedErrorNextCopy = false;
+    // Input snapshot taken once per job and reused by every copy, preserving
+    // replica determinism (read input once per job, Fig. 2 task model).
+    std::array<std::uint32_t, 4> jobInput{};
+    std::uint64_t snapshotJob = ~0ULL;
+  };
+
+  BbwSimConfig config;
+  sim::Simulator simulator;
+  net::TdmaBus bus;
+  net::MembershipService membership;
+  Vehicle vehicle;
+  std::vector<Node> nodes;  // index i -> node id i+1
+
+  std::array<std::uint32_t, kWheelCount> lastCommandQ8{};
+  // Per-wheel duplex arbitration of the two CUs' command streams: the first
+  // valid copy of each command sequence wins, the partner's is dropped.
+  std::array<tem::DuplexArbiter, kWheelCount> commandArbiter{
+      tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid},
+      tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid},
+      tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid},
+      tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid}};
+  std::array<std::int32_t, kWheelCount> wheelLimitQ8{-1, -1, -1, -1};
+  std::uint64_t commandFramesDelivered = 0;
+  std::uint64_t failSilentEvents = 0;
+  double stopTimeS = 0.0;
+  bool vehicleStopped = false;
+  std::optional<SimTime> emergencyPressedAt;
+  std::optional<SimTime> emergencyAppliedAt;
+  bool emergencyLatched = false;  // the pedal sensor also shows full braking
+
+  Node& node(net::NodeId id) { return nodes[id - 1]; }
+  [[nodiscard]] static bool isWheel(net::NodeId id) { return id >= kWheelNodeBase; }
+  [[nodiscard]] static std::size_t wheelIndex(net::NodeId id) { return id - kWheelNodeBase; }
+
+  void build() {
+    for (net::NodeId id = kCuA; id <= kWheelNodeBase + 3; ++id) {
+      membership.addNode(id);
+    }
+    membership.setAppReceive(
+        [this](net::NodeId receiver, net::NodeId sender, const std::vector<std::uint32_t>& data) {
+          onAppData(receiver, sender, data);
+        });
+
+    for (net::NodeId id = kCuA; id <= kWheelNodeBase + 3; ++id) {
+      nodes.emplace_back();
+      Node& n = nodes.back();
+      n.id = id;
+      n.cpu = std::make_unique<rt::Cpu>(simulator);
+      n.kernel = std::make_unique<rt::RtKernel>(simulator, *n.cpu);
+      n.kernel->setFailSilentHook([this, id] { onNodeSilent(id, /*scheduleRestart=*/true); });
+      n.kernel->setResultSink([this, id](const rt::JobResult& result) { onResult(id, result); });
+
+      rt::TaskConfig control;
+      control.name = isWheel(id) ? "wheel-control" : "brake-distribution";
+      control.priority = 10;
+      control.period = config.controlPeriod;
+      control.wcet = Duration::microseconds(isWheel(id) ? 300 : 400);
+
+      auto behavior = [this, id](const tem::CopyContext& context) {
+        return controlCopy(id, context);
+      };
+      if (config.nodeType == NodeType::Nlft) {
+        n.temExecutor = std::make_unique<tem::TemExecutor>(*n.kernel);
+        n.controlTask = n.temExecutor->addCriticalTask(control, behavior);
+      } else {
+        n.fsExecutor = std::make_unique<tem::FailSilentExecutor>(*n.kernel);
+        n.controlTask = n.fsExecutor->addTask(control, behavior);
+      }
+
+      if (!isWheel(id)) {
+        // Sporadic emergency-brake task (event-triggered path, Section 2.1):
+        // released on the pedal-press event, its command bypasses the
+        // periodic schedule via the dynamic segment at top priority.
+        rt::TaskConfig emergency;
+        emergency.name = "emergency-brake";
+        emergency.priority = 12;  // above the periodic control task
+        emergency.relativeDeadline = Duration::milliseconds(5);
+        emergency.wcet = Duration::microseconds(150);
+        auto emergencyBehavior = [](const tem::CopyContext&) {
+          tem::CopyPlan plan;
+          plan.executionTime = Duration::microseconds(150);
+          plan.result = {kMsgEmergency};
+          return plan;
+        };
+        if (n.temExecutor) {
+          n.emergencyTask = n.temExecutor->addCriticalTask(emergency, emergencyBehavior);
+        } else {
+          n.emergencyTask = n.fsExecutor->addTask(emergency, emergencyBehavior);
+        }
+      } else {
+        // Wheels listen for emergency frames directly on the bus (the
+        // membership service ignores non-heartbeat traffic).
+        bus.attach(id, [this, id](const net::Frame& frame) {
+          if (frame.payload.empty() || frame.payload[0] != kMsgEmergency) return;
+          if (!membership.alive(id)) return;
+          const std::size_t w = wheelIndex(id);
+          const auto fullTorque = distributeFixedPoint(256);
+          lastCommandQ8[w] = static_cast<std::uint32_t>(fullTorque[w]);
+          vehicle.setBrakeTorque(w, static_cast<double>(fullTorque[w]) / 256.0);
+          if (!emergencyAppliedAt) emergencyAppliedAt = simulator.now();
+        });
+      }
+
+      // A non-critical diagnostic task rides the dynamic segment.
+      rt::TaskConfig diagnostic;
+      diagnostic.name = "diagnostic";
+      diagnostic.priority = 1;
+      diagnostic.period = Duration::milliseconds(50);
+      diagnostic.wcet = Duration::microseconds(100);
+      tem::addNonCriticalTask(*n.kernel, diagnostic, [this, id](const tem::CopyContext&) {
+        tem::CopyPlan plan;
+        plan.executionTime = Duration::microseconds(100);
+        plan.result = {kMsgWheelStatus};
+        bus.sendDynamic(id, id, {kMsgWheelStatus, static_cast<std::uint32_t>(id)});
+        return plan;
+      });
+
+      n.kernel->start();
+    }
+
+    membership.start();
+    schedulePlantStep();
+  }
+
+  tem::CopyPlan controlCopy(net::NodeId id, const tem::CopyContext& context) {
+    Node& n = node(id);
+    tem::CopyPlan plan;
+    plan.executionTime = Duration::microseconds(isWheel(id) ? 300 : 400);
+
+    if (context.jobIndex != n.snapshotJob) {
+      // Read-input phase: snapshot the sensors once per job (the input read
+      // happens at the start of the first copy, before any fault strikes).
+      n.snapshotJob = context.jobIndex;
+      if (isWheel(id)) {
+        const std::size_t w = wheelIndex(id);
+        n.jobInput[0] = lastCommandQ8[w];
+        n.jobInput[1] = static_cast<std::uint32_t>(std::lround(vehicle.slip(w) * 256.0));
+        n.jobInput[2] = static_cast<std::uint32_t>(wheelLimitQ8[w]);
+      } else {
+        double pedal = config.pedalProfile
+                           ? config.pedalProfile(simulator.now().toSeconds())
+                           : config.pedal;
+        // An emergency press latches the pedal input: the event-triggered
+        // message delivers the FIRST actuation, the periodic path sustains it.
+        if (emergencyLatched) pedal = 1.0;
+        n.jobInput[0] = static_cast<std::uint32_t>(std::lround(pedal * 256.0));
+      }
+    }
+
+    if (n.detectedErrorNextCopy && context.copyIndex == 1) {
+      n.detectedErrorNextCopy = false;
+      plan.end = tem::CopyPlan::End::DetectedError;
+      plan.executionTime = Duration::microseconds(120);
+      plan.error = {rt::ErrorEvent::Source::HardwareException, 0};
+      return plan;
+    }
+
+    if (isWheel(id)) {
+      std::int32_t newLimit = 0;
+      const std::int32_t torque = wheelControlFixedPoint(
+          static_cast<std::int32_t>(n.jobInput[0]), static_cast<std::int32_t>(n.jobInput[1]),
+          static_cast<std::int32_t>(n.jobInput[2]), &newLimit);
+      plan.result = {static_cast<std::uint32_t>(torque), static_cast<std::uint32_t>(newLimit)};
+    } else {
+      const double pedal = static_cast<double>(n.jobInput[0]) / 256.0;
+      const auto torques = distributeBrakeForce(config.centralUnit, pedal);
+      plan.result.reserve(kWheelCount);
+      for (double torque : torques) {
+        plan.result.push_back(static_cast<std::uint32_t>(std::lround(torque * 256.0)));
+      }
+    }
+
+    if (n.corruptSecondCopy && context.copyIndex == 2) {
+      n.corruptSecondCopy = false;
+      plan.result[0] ^= 1u << 7;  // silent data corruption
+    }
+    return plan;
+  }
+
+  void onResult(net::NodeId id, const rt::JobResult& result) {
+    if (!isWheel(id) && node(id).emergencyTask == result.task &&
+        !result.data.empty() && result.data[0] == kMsgEmergency) {
+      bus.sendDynamic(id, 0 /* wins every minislot arbitration */, {kMsgEmergency});
+      return;
+    }
+    if (node(id).controlTask == result.task) {
+      if (isWheel(id)) {
+        const std::size_t w = wheelIndex(id);
+        wheelLimitQ8[w] = static_cast<std::int32_t>(result.data[1]);
+        vehicle.setBrakeTorque(w, static_cast<double>(result.data[0]) / 256.0);
+      } else {
+        // Replica determinism: both CUs tag the command of job k with
+        // sequence number k, so receivers can arbitrate the duplex pair.
+        std::vector<std::uint32_t> payload;
+        payload.reserve(2 + result.data.size());
+        payload.push_back(kMsgCommand);
+        payload.push_back(static_cast<std::uint32_t>(result.jobIndex));
+        payload.insert(payload.end(), result.data.begin(), result.data.end());
+        membership.queueAppData(id, std::move(payload));
+      }
+    }
+  }
+
+  void onAppData(net::NodeId receiver, net::NodeId sender,
+                 const std::vector<std::uint32_t>& data) {
+    if (data.empty() || data[0] != kMsgCommand) return;
+    if (!isWheel(receiver) || sender > kCuB) return;
+    if (data.size() < 2 + kWheelCount) return;
+    const std::size_t w = wheelIndex(receiver);
+    const std::uint64_t sequence = data[1];
+    const int replica = sender == kCuA ? 0 : 1;
+    const auto accepted = commandArbiter[w].offer(
+        replica, sequence, {data.begin() + 2, data.end()}, simulator.now());
+    if (!accepted) return;  // duplicate from the partner CU
+    lastCommandQ8[w] = (*accepted)[w];
+    ++commandFramesDelivered;
+  }
+
+  void onNodeSilent(net::NodeId id, bool scheduleRestart) {
+    ++failSilentEvents;
+    membership.setAlive(id, false);
+    if (isWheel(id)) {
+      // The actuator watchdog releases the brake of a dead wheel node.
+      vehicle.setBrakeTorque(wheelIndex(id), 0.0);
+    }
+    if (scheduleRestart) {
+      simulator.scheduleAfter(config.restartTime, [this, id] {
+        node(id).kernel->restart();
+        membership.setAlive(id, true);
+      });
+    }
+  }
+
+  void schedulePlantStep() {
+    simulator.scheduleAfter(config.plantStep, [this] {
+      vehicle.step(config.plantStep.toSeconds());
+      if (vehicle.stopped()) {
+        if (!vehicleStopped) {
+          vehicleStopped = true;
+          stopTimeS = simulator.now().toSeconds();
+        }
+        return;  // plant settled; no more stepping needed
+      }
+      schedulePlantStep();
+    }, sim::EventPriority::Observer);
+  }
+};
+
+BbwSystemSim::BbwSystemSim(BbwSimConfig config) : impl_{std::make_unique<Impl>(config)} {
+  impl_->vehicle.reset(config.initialSpeedMps);
+  impl_->build();
+}
+
+BbwSystemSim::~BbwSystemSim() = default;
+
+sim::Simulator& BbwSystemSim::simulator() { return impl_->simulator; }
+const Vehicle& BbwSystemSim::vehicle() const { return impl_->vehicle; }
+
+void BbwSystemSim::injectComputationFault(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at, [this, node] { impl_->node(node).corruptSecondCopy = true; },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::injectDetectedError(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at,
+                              [this, node] { impl_->node(node).detectedErrorNextCopy = true; },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::injectKernelError(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at,
+                              [this, node] {
+                                impl_->node(node).kernel->reportKernelError(
+                                    {rt::ErrorEvent::Source::HardwareException, 0});
+                              },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::pressEmergencyBrake(SimTime at) {
+  impl_->simulator.scheduleAt(at, [this] {
+    Impl& impl = *impl_;
+    impl.emergencyLatched = true;
+    if (!impl.emergencyPressedAt) impl.emergencyPressedAt = impl.simulator.now();
+    for (const net::NodeId cu : {kCuA, kCuB}) {
+      if (!impl.node(cu).kernel->stopped()) {
+        impl.node(cu).kernel->releaseSporadic(impl.node(cu).emergencyTask);
+      }
+    }
+  }, sim::EventPriority::Application);
+}
+
+void BbwSystemSim::injectBusCorruption(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at, [this, node] { impl_->bus.corruptNextFrame(node); },
+                              sim::EventPriority::FaultInjection);
+}
+
+BbwSimResult BbwSystemSim::run() {
+  Impl& impl = *impl_;
+  const SimTime limit = SimTime::zero() + impl.config.horizon;
+  while (impl.simulator.now() < limit && !impl.vehicleStopped) {
+    if (!impl.simulator.step()) break;
+  }
+
+  BbwSimResult result;
+  result.stopped = impl.vehicleStopped;
+  result.stoppingDistanceM = impl.vehicle.distanceM();
+  result.stopTimeS = impl.stopTimeS;
+  result.commandFramesDelivered = impl.commandFramesDelivered;
+  for (const auto& arbiter : impl.commandArbiter) {
+    result.duplicateCommandsDropped += arbiter.duplicatesDropped();
+  }
+  result.busFramesDropped = impl.bus.framesDropped();
+  result.failSilentEvents = impl.failSilentEvents;
+  if (impl.emergencyPressedAt && impl.emergencyAppliedAt) {
+    result.emergencyBrakeLatency = *impl.emergencyAppliedAt - *impl.emergencyPressedAt;
+  }
+
+  for (const auto& n : impl.nodes) {
+    if (n.kernel->stopped() || !impl.membership.alive(n.id)) {
+      result.nodesDownAtEnd.insert(n.id);
+    }
+    const rt::TaskStats& stats = n.kernel->stats(n.controlTask);
+    if (Impl::isWheel(n.id)) {
+      result.wheelCompletions[Impl::wheelIndex(n.id)] = stats.completions;
+      result.wheelOmissions[Impl::wheelIndex(n.id)] = stats.omissions;
+    } else {
+      result.cuCompletions += stats.completions;
+    }
+    if (n.temExecutor) {
+      const tem::TemStats& temStats = n.temExecutor->stats(n.controlTask);
+      result.errorsMaskedByTem += temStats.maskedByVote + temStats.maskedByReplacement;
+    }
+  }
+  return result;
+}
+
+}  // namespace nlft::bbw

@@ -1,0 +1,119 @@
+// Closed-loop distributed brake-by-wire simulation (Fig. 4 of the paper).
+//
+// Six computer nodes on one FlexRay-style bus:
+//   node 1, 2  — duplex central unit (active replication): pedal ->
+//                per-wheel torque requests, broadcast each cycle;
+//   node 3..6  — simplex wheel nodes: slip control, local brake actuator.
+//
+// Every node runs the real-time kernel; critical control tasks execute under
+// TEM (NLFT nodes) or as single copies (fail-silent baseline). Faults can be
+// injected into any node mid-stop and the effect shows up directly in the
+// stopping distance — the system-level consequence of node-level fault
+// tolerance.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bbw/control.hpp"
+#include "bbw/params.hpp"
+#include "bbw/vehicle.hpp"
+#include "core/policies.hpp"
+#include "core/tem.hpp"
+#include "net/membership.hpp"
+#include "rtkernel/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace nlft::bbw {
+
+using util::Duration;
+using util::SimTime;
+
+/// Node ids on the bus.
+inline constexpr net::NodeId kCuA = 1;
+inline constexpr net::NodeId kCuB = 2;
+inline constexpr net::NodeId kWheelNodeBase = 3;  // +0..3 = FL, FR, RL, RR
+
+struct BbwSimConfig {
+  NodeType nodeType = NodeType::Nlft;
+  double initialSpeedMps = 27.8;   ///< ~100 km/h
+  double pedal = 1.0;              ///< panic braking
+  /// Optional pedal profile (simulated seconds -> pedal position [0,1]);
+  /// overrides `pedal` when set. Sampled once per CU job (read-input phase).
+  std::function<double(double)> pedalProfile;
+  Duration controlPeriod = Duration::milliseconds(5);
+  Duration plantStep = Duration::milliseconds(1);
+  Duration horizon = Duration::seconds(15);
+  Duration restartTime = Duration::seconds(3);  ///< node reboot + diagnosis (mu_R)
+  VehicleParams vehicle{};
+  CentralUnitConfig centralUnit{};
+};
+
+struct BbwSimResult {
+  bool stopped = false;
+  double stoppingDistanceM = 0.0;
+  double stopTimeS = 0.0;
+  std::uint64_t commandFramesDelivered = 0;   ///< accepted by the duplex arbiters
+  std::uint64_t duplicateCommandsDropped = 0; ///< partner copies discarded
+  std::uint64_t busFramesDropped = 0;
+  std::set<net::NodeId> nodesDownAtEnd;
+  /// Per wheel node: jobs completed / omissions (kernel stats).
+  std::array<std::uint64_t, kWheelCount> wheelCompletions{};
+  std::array<std::uint64_t, kWheelCount> wheelOmissions{};
+  std::uint64_t cuCompletions = 0;
+  std::uint64_t errorsMaskedByTem = 0;   ///< summed over all NLFT nodes
+  std::uint64_t failSilentEvents = 0;
+  /// Emergency-brake press -> first wheel actuation latency (zero if the
+  /// emergency path was never exercised).
+  Duration emergencyBrakeLatency{};
+};
+
+class BbwSystemSim {
+ public:
+  explicit BbwSystemSim(BbwSimConfig config = {});
+  ~BbwSystemSim();
+  BbwSystemSim(const BbwSystemSim&) = delete;
+  BbwSystemSim& operator=(const BbwSystemSim&) = delete;
+
+  /// Corrupts the result of one copy of the node's next control job
+  /// (a silent data fault: NLFT masks it by comparison+vote; a fail-silent
+  /// node delivers the wrong value undetected).
+  void injectComputationFault(net::NodeId node, SimTime at);
+
+  /// Injects an EDM-detected error into the node's next control-task copy
+  /// (NLFT: copy terminated + replacement; FS baseline: node fail-silent).
+  void injectDetectedError(net::NodeId node, SimTime at);
+
+  /// Injects an error into the node's kernel: the node becomes silent and
+  /// restarts after restartTime (both node types, Section 2.2 strategy 3).
+  void injectKernelError(net::NodeId node, SimTime at);
+
+  /// Corrupts the node's next bus frame in transit: the CRC check drops it
+  /// at every receiver, so one command/heartbeat is lost. Wheel nodes hold
+  /// the previous command (Section 2.2: "the system is able to use a
+  /// previous value").
+  void injectBusCorruption(net::NodeId node, SimTime at);
+
+  /// Presses the emergency-brake input at `at`: both CUs release a SPORADIC
+  /// task whose full-brake command travels in the event-triggered (dynamic)
+  /// segment — the paper's Section 2.1 argument for mixed time/event
+  /// triggering ("fast handling of sporadic activities"). Wheel nodes apply
+  /// it the moment it arrives, without waiting for the next periodic
+  /// command. Returns nothing; the observed latency is in the result.
+  void pressEmergencyBrake(SimTime at);
+
+  /// Runs until the vehicle stops or the horizon elapses.
+  [[nodiscard]] BbwSimResult run();
+
+  [[nodiscard]] sim::Simulator& simulator();
+  [[nodiscard]] const Vehicle& vehicle() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nlft::bbw

@@ -1,0 +1,195 @@
+#include "bbw/wheel_task.hpp"
+
+namespace nlft::bbw {
+
+const char* wheelTaskSource() {
+  return R"(
+; Wheel-node slip control, q8.8 fixed point.
+; r2 = requested torque, r3 = slip, r4 = anti-lock limit (-1 = none).
+      ldi r1, 0x800
+      ld  r2, [r1+0]
+      ld  r3, [r1+4]
+      ld  r4, [r1+8]
+
+      ldi r5, 64            ; release threshold (0.25)
+      cmp r5, r3
+      blt hard_release      ; slip > release
+      ldi r5, 38            ; target threshold (~0.148)
+      cmp r5, r3
+      blt reduce_once       ; slip > target
+
+      ; slip at or below target: recover the limit if one is active
+      cmpi r4, 0
+      blt compute           ; no active limit
+      ldi r6, 294           ; recover factor (1.148)
+      mul r4, r4, r6
+      shr r4, r4, 8
+      cmp r4, r2
+      blt compute           ; still limiting
+      ldi r4, -1            ; limit released
+      jmp compute
+
+hard_release:
+      cmpi r4, 0
+      bge hr_have
+      mov r4, r2
+hr_have:
+      ldi r6, 179           ; reduce factor (0.699), applied twice
+      mul r4, r4, r6
+      shr r4, r4, 8
+      mul r4, r4, r6
+      shr r4, r4, 8
+      jmp compute
+
+reduce_once:
+      cmpi r4, 0
+      bge ro_have
+      mov r4, r2
+ro_have:
+      ldi r6, 179
+      mul r4, r4, r6
+      shr r4, r4, 8
+
+compute:
+      mov r7, r2            ; torque = requested
+      cmpi r4, 0
+      blt clamp_zero        ; no limit active
+      cmp r4, r7
+      bge clamp_zero        ; limit >= torque: no capping
+      mov r7, r4
+
+clamp_zero:
+      cmpi r7, 0
+      bge store
+      ldi r7, 0
+
+store:
+      ldi r8, 0xC00
+      st  r7, [r8+0]
+      st  r4, [r8+4]
+      halt
+)";
+}
+
+const char* checkedWheelTaskSource() {
+  return R"(
+; Wheel-node slip control with end-to-end output checksum (q8.8).
+; Identical control law; the checksum subroutine exercises JSR/RTS and the
+; stack, and appends out[2] = out[0] ^ out[1] ^ 0x5A5A5A5A.
+      ldi r1, 0x800
+      ld  r2, [r1+0]
+      ld  r3, [r1+4]
+      ld  r4, [r1+8]
+
+      ldi r5, 64
+      cmp r5, r3
+      blt hard_release
+      ldi r5, 38
+      cmp r5, r3
+      blt reduce_once
+
+      cmpi r4, 0
+      blt compute
+      ldi r6, 294
+      mul r4, r4, r6
+      shr r4, r4, 8
+      cmp r4, r2
+      blt compute
+      ldi r4, -1
+      jmp compute
+
+hard_release:
+      cmpi r4, 0
+      bge hr_have
+      mov r4, r2
+hr_have:
+      ldi r6, 179
+      mul r4, r4, r6
+      shr r4, r4, 8
+      mul r4, r4, r6
+      shr r4, r4, 8
+      jmp compute
+
+reduce_once:
+      cmpi r4, 0
+      bge ro_have
+      mov r4, r2
+ro_have:
+      ldi r6, 179
+      mul r4, r4, r6
+      shr r4, r4, 8
+
+compute:
+      mov r7, r2
+      cmpi r4, 0
+      blt clamp_zero
+      cmp r4, r7
+      bge clamp_zero
+      mov r7, r4
+
+clamp_zero:
+      cmpi r7, 0
+      bge store
+      ldi r7, 0
+
+store:
+      ldi r8, 0xC00
+      st  r7, [r8+0]
+      st  r4, [r8+4]
+      jsr checksum
+      st  r9, [r8+8]
+      halt
+
+checksum:
+      push r5
+      push r6
+      ldi r6, 0x5A5A
+      shl r6, r6, 16
+      ldi r5, 0x5A5A
+      or  r6, r6, r5
+      xor r9, r7, r4
+      xor r9, r9, r6
+      pop r6
+      pop r5
+      rts
+)";
+}
+
+fi::TaskImage makeCheckedWheelTaskImage(std::int32_t requestedTorqueQ8, std::int32_t slipQ8,
+                                        std::int32_t currentLimitQ8) {
+  fi::TaskImage image;
+  image.program = hw::assemble(checkedWheelTaskSource());
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = {static_cast<std::uint32_t>(requestedTorqueQ8),
+                 static_cast<std::uint32_t>(slipQ8),
+                 static_cast<std::uint32_t>(currentLimitQ8)};
+  image.outputBase = 0xC00;
+  image.outputWords = 3;
+  image.memBytes = 64 * 1024;
+  image.maxInstructionsPerCopy = 52;  // longest path ~42 instructions
+  image.outputHasChecksum = true;
+  return image;
+}
+
+fi::TaskImage makeWheelTaskImage(std::int32_t requestedTorqueQ8, std::int32_t slipQ8,
+                                 std::int32_t currentLimitQ8) {
+  fi::TaskImage image;
+  image.program = hw::assemble(wheelTaskSource());
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = {static_cast<std::uint32_t>(requestedTorqueQ8),
+                 static_cast<std::uint32_t>(slipQ8),
+                 static_cast<std::uint32_t>(currentLimitQ8)};
+  image.outputBase = 0xC00;
+  image.outputWords = 2;
+  image.memBytes = 64 * 1024;
+  // Budget timer at ~1.25x the longest legal path (29 instructions): tight
+  // enough that a runaway copy is killed before it eats the recovery slack.
+  image.maxInstructionsPerCopy = 36;
+  return image;
+}
+
+}  // namespace nlft::bbw

@@ -1,0 +1,39 @@
+// The wheel-node slip-control task compiled for the simulated COTS
+// processor (toy ISA). Implements exactly the quantised control law of
+// wheelControlFixedPoint(), so fault-injection campaigns (bench
+// fault_injection_coverage) corrupt the *real* brake algorithm — mirroring
+// the paper's reference [7], which injected faults into a brake-by-wire
+// application to obtain P_T and P_OM.
+//
+// Memory interface:
+//   input  @ 0x800: [0] requested torque (q8.8), [1] slip (q8.8),
+//                   [2] current anti-lock limit (q8.8; -1 = none)
+//   output @ 0xC00: [0] applied torque (q8.8), [1] new anti-lock limit
+#pragma once
+
+#include <cstdint>
+
+#include "faults/campaign.hpp"
+
+namespace nlft::bbw {
+
+/// Assembly source of the wheel control task.
+[[nodiscard]] const char* wheelTaskSource();
+
+/// Builds a ready-to-run TaskImage for the given inputs.
+[[nodiscard]] fi::TaskImage makeWheelTaskImage(std::int32_t requestedTorqueQ8,
+                                               std::int32_t slipQ8,
+                                               std::int32_t currentLimitQ8);
+
+/// End-to-end-protected variant (Section 2.6 / Table 1): the same control
+/// law restructured with a subroutine (exercising the stack) that appends an
+/// XOR checksum word to the output. A receiver — or the kernel's data
+/// integrity check — verifies torque ^ limit ^ kEndToEndSeed == checksum, so
+/// data faults that corrupt the output after the computation are detected
+/// even on a single-copy fail-silent node.
+[[nodiscard]] const char* checkedWheelTaskSource();
+[[nodiscard]] fi::TaskImage makeCheckedWheelTaskImage(std::int32_t requestedTorqueQ8,
+                                                      std::int32_t slipQ8,
+                                                      std::int32_t currentLimitQ8);
+
+}  // namespace nlft::bbw

@@ -1,0 +1,52 @@
+#include "core/control_flow.hpp"
+
+#include <algorithm>
+
+#include "util/crc.hpp"
+
+namespace nlft::tem {
+
+std::uint32_t SignatureMonitor::signatureOf(const std::vector<std::uint32_t>& blockIds) {
+  return util::crc32Words(blockIds);
+}
+
+void SignatureMonitor::addLegalPath(const std::vector<std::uint32_t>& blockIds) {
+  legalSignatures_.push_back(signatureOf(blockIds));
+}
+
+void SignatureMonitor::begin() { running_ = 0; }
+
+void SignatureMonitor::enterBlock(std::uint32_t blockId) {
+  // Serialise exactly like crc32Words so incremental and one-shot agree.
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(blockId), static_cast<std::uint8_t>(blockId >> 8),
+      static_cast<std::uint8_t>(blockId >> 16), static_cast<std::uint8_t>(blockId >> 24)};
+  running_ = util::crc32Update(running_, bytes);
+}
+
+bool SignatureMonitor::finishAndCheck() const {
+  return std::find(legalSignatures_.begin(), legalSignatures_.end(), running_) !=
+         legalSignatures_.end();
+}
+
+std::uint64_t DeliveryGuard::armAfterVote(std::uint32_t resultChecksum) {
+  // The token mixes a per-arming nonce with the result checksum, so neither
+  // a stale token nor a token for a different result authorises delivery.
+  nonce_ = nonce_ * 0x5851F42D4C957F2DULL + 1442695040888963407ULL;
+  expected_ = nonce_ ^ (static_cast<std::uint64_t>(resultChecksum) << 32 | resultChecksum);
+  armed_ = true;
+  return expected_;
+}
+
+bool DeliveryGuard::authorizeDelivery(std::uint64_t token, std::uint32_t resultChecksum) {
+  const std::uint64_t wanted =
+      nonce_ ^ (static_cast<std::uint64_t>(resultChecksum) << 32 | resultChecksum);
+  if (!armed_ || token != expected_ || token != wanted) {
+    ++bypassAttempts_;
+    return false;
+  }
+  armed_ = false;
+  return true;
+}
+
+}  // namespace nlft::tem

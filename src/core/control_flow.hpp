@@ -1,0 +1,59 @@
+// Control-flow error detection (paper Section 2.7).
+//
+// Two complementary mechanisms:
+//   * SignatureMonitor — block-signature monitoring: the task reports every
+//     basic block it enters; at the end the accumulated signature must equal
+//     the signature of a legal path. Detects illegal jumps within the task
+//     that the MMU cannot see.
+//   * DeliveryGuard — protects the comparison/vote from being bypassed: the
+//     token required to write the output can only be produced by the vote
+//     step. An erroneous jump straight to the output code fails the check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nlft::tem {
+
+/// Accumulates a running signature of executed block ids and checks it
+/// against pre-recorded legal path signatures.
+class SignatureMonitor {
+ public:
+  /// Records a legal path (sequence of block ids) during integration.
+  void addLegalPath(const std::vector<std::uint32_t>& blockIds);
+
+  /// Starts a fresh run.
+  void begin();
+  /// Reports entry into a basic block.
+  void enterBlock(std::uint32_t blockId);
+  /// True if the accumulated signature matches any legal path.
+  [[nodiscard]] bool finishAndCheck() const;
+
+  [[nodiscard]] static std::uint32_t signatureOf(const std::vector<std::uint32_t>& blockIds);
+
+ private:
+  std::vector<std::uint32_t> legalSignatures_;
+  std::uint32_t running_ = 0;
+};
+
+/// One-shot token gate between the vote and the output write.
+class DeliveryGuard {
+ public:
+  /// Called by the comparison/vote step after two results matched; returns
+  /// the token that authorises exactly one delivery.
+  [[nodiscard]] std::uint64_t armAfterVote(std::uint32_t resultChecksum);
+
+  /// Called by the output-write step. Succeeds once per armed vote and only
+  /// with the correct token for the same result checksum.
+  [[nodiscard]] bool authorizeDelivery(std::uint64_t token, std::uint32_t resultChecksum);
+
+  [[nodiscard]] std::uint64_t bypassAttempts() const { return bypassAttempts_; }
+
+ private:
+  std::uint64_t expected_ = 0;
+  bool armed_ = false;
+  std::uint64_t nonce_ = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t bypassAttempts_ = 0;
+};
+
+}  // namespace nlft::tem

@@ -1,0 +1,62 @@
+#include "core/end_to_end.hpp"
+
+#include <stdexcept>
+
+namespace nlft::tem {
+
+void CrcProtectedRecord::write(std::span<const std::uint32_t> data) {
+  data_.assign(data.begin(), data.end());
+  crc_ = util::crc32Words(data_);
+}
+
+std::optional<std::vector<std::uint32_t>> CrcProtectedRecord::read() const {
+  if (util::crc32Words(data_) != crc_) return std::nullopt;
+  return data_;
+}
+
+void CrcProtectedRecord::corruptWord(std::size_t index, int bit) {
+  if (index >= data_.size() || bit < 0 || bit >= 32)
+    throw std::out_of_range("CrcProtectedRecord::corruptWord");
+  data_[index] ^= 1u << bit;
+}
+
+void CrcProtectedRecord::corruptChecksum(int bit) {
+  if (bit < 0 || bit >= 32) throw std::out_of_range("CrcProtectedRecord::corruptChecksum");
+  crc_ ^= 1u << bit;
+}
+
+void DuplicatedValue::write(std::uint32_t value) {
+  copies_[0] = value;
+  copies_[1] = value;
+}
+
+std::optional<std::uint32_t> DuplicatedValue::read() const {
+  if (copies_[0] != copies_[1]) return std::nullopt;
+  return copies_[0];
+}
+
+void DuplicatedValue::corruptCopy(int copy, int bit) {
+  if (copy < 0 || copy >= 2 || bit < 0 || bit >= 32)
+    throw std::out_of_range("DuplicatedValue::corruptCopy");
+  copies_[copy] ^= 1u << bit;
+}
+
+void TriplicatedValue::write(std::uint32_t value) {
+  copies_[0] = value;
+  copies_[1] = value;
+  copies_[2] = value;
+}
+
+std::optional<std::uint32_t> TriplicatedValue::read() const {
+  if (copies_[0] == copies_[1] || copies_[0] == copies_[2]) return copies_[0];
+  if (copies_[1] == copies_[2]) return copies_[1];
+  return std::nullopt;
+}
+
+void TriplicatedValue::corruptCopy(int copy, int bit) {
+  if (copy < 0 || copy >= 3 || bit < 0 || bit >= 32)
+    throw std::out_of_range("TriplicatedValue::corruptCopy");
+  copies_[copy] ^= 1u << bit;
+}
+
+}  // namespace nlft::tem

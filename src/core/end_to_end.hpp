@@ -1,0 +1,71 @@
+// End-to-end data integrity (paper Section 2.6).
+//
+// TEM protects data DURING computation; these records protect input, state
+// and result data before and after it. Three schemes are provided, matching
+// the paper's suggestions:
+//   * CrcProtectedRecord — CRC-32 checksum over a data block (for larger
+//     structures);
+//   * DuplicatedValue    — two copies compared on read (detects);
+//   * TriplicatedValue   — three copies with majority vote on read (masks;
+//     suggested for state data of simplex nodes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/crc.hpp"
+
+namespace nlft::tem {
+
+/// A CRC-32-protected block of words.
+class CrcProtectedRecord {
+ public:
+  CrcProtectedRecord() = default;
+
+  /// Stores a fresh value and recomputes the checksum.
+  void write(std::span<const std::uint32_t> data);
+
+  /// Returns the data if the checksum verifies, nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> read() const;
+
+  [[nodiscard]] std::size_t sizeWords() const { return data_.size(); }
+
+  /// Fault-injection hook: flips one bit of one stored word.
+  void corruptWord(std::size_t index, int bit);
+  /// Fault-injection hook: flips one bit of the stored checksum.
+  void corruptChecksum(int bit);
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::uint32_t crc_ = 0;
+};
+
+/// A word stored twice; read() detects divergence.
+class DuplicatedValue {
+ public:
+  void write(std::uint32_t value);
+  /// Returns the value if both copies agree, nullopt otherwise.
+  [[nodiscard]] std::optional<std::uint32_t> read() const;
+
+  void corruptCopy(int copy, int bit);
+
+ private:
+  std::uint32_t copies_[2] = {0, 0};
+};
+
+/// A word stored three times; read() masks a single corrupted copy.
+class TriplicatedValue {
+ public:
+  void write(std::uint32_t value);
+  /// Returns the majority value, or nullopt when all three copies differ.
+  [[nodiscard]] std::optional<std::uint32_t> read() const;
+
+  void corruptCopy(int copy, int bit);
+
+ private:
+  std::uint32_t copies_[3] = {0, 0, 0};
+};
+
+}  // namespace nlft::tem

@@ -1,0 +1,75 @@
+#include "core/policies.hpp"
+
+#include <stdexcept>
+
+namespace nlft::tem {
+
+rt::TaskId FailSilentExecutor::addTask(rt::TaskConfig taskConfig, CopyBehavior behavior) {
+  if (!behavior) throw std::invalid_argument("FailSilentExecutor: null behavior");
+  auto shared = std::make_shared<CopyBehavior>(std::move(behavior));
+  return kernel_.addTask(std::move(taskConfig), [this, shared](rt::Job& job) {
+    auto failSilent = [this] {
+      ++failSilentEvents_;
+      // Fail-silent semantics: the node stops producing any output.
+      kernel_.reportKernelError({rt::ErrorEvent::Source::External, 0});
+    };
+    job.setErrorHandler([failSilent](const rt::ErrorEvent&) { failSilent(); });
+    const CopyPlan plan = (*shared)(CopyContext{job.index(), 1});
+    job.runCopy(plan.executionTime, [&job, plan, failSilent](rt::CopyStop stop) {
+      if (stop == rt::CopyStop::Aborted) return;
+      if (stop != rt::CopyStop::Completed || plan.end == CopyPlan::End::DetectedError) {
+        failSilent();
+        return;
+      }
+      job.complete(plan.result);
+    });
+  });
+}
+
+rt::TaskId addNonCriticalTask(rt::RtKernel& kernel, rt::TaskConfig taskConfig,
+                              CopyBehavior behavior) {
+  if (!behavior) throw std::invalid_argument("addNonCriticalTask: null behavior");
+  taskConfig.criticality = rt::Criticality::NonCritical;
+  auto shared = std::make_shared<CopyBehavior>(std::move(behavior));
+  // The task id is only known after addTask returns; capture via shared slot.
+  auto idSlot = std::make_shared<rt::TaskId>();
+  const rt::TaskId id = kernel.addTask(std::move(taskConfig), [&kernel, shared, idSlot](rt::Job& job) {
+    auto shutdown = [&kernel, idSlot] { kernel.disableTask(*idSlot); };
+    job.setErrorHandler([shutdown](const rt::ErrorEvent&) { shutdown(); });
+    const CopyPlan plan = (*shared)(CopyContext{job.index(), 1});
+    job.runCopy(plan.executionTime, [&job, plan, shutdown](rt::CopyStop stop) {
+      if (stop == rt::CopyStop::Aborted) return;
+      if (stop != rt::CopyStop::Completed || plan.end == CopyPlan::End::DetectedError) {
+        shutdown();
+        return;
+      }
+      job.complete(plan.result);
+    });
+  });
+  *idSlot = id;
+  return id;
+}
+
+PermanentFaultMonitor::PermanentFaultMonitor(int threshold) : threshold_{threshold} {
+  if (threshold < 1) throw std::invalid_argument("PermanentFaultMonitor: threshold must be >= 1");
+}
+
+void PermanentFaultMonitor::onJob(rt::TaskId task, bool jobHadError) {
+  int& streak = streaks_[task.value];
+  if (!jobHadError) {
+    streak = 0;
+    return;
+  }
+  ++streak;
+  if (streak >= threshold_ && !suspected_) {
+    suspected_ = true;
+    if (shutdown_) shutdown_();
+  }
+}
+
+int PermanentFaultMonitor::streak(rt::TaskId task) const {
+  const auto it = streaks_.find(task.value);
+  return it == streaks_.end() ? 0 : it->second;
+}
+
+}  // namespace nlft::tem

@@ -1,0 +1,67 @@
+#include "core/replication.hpp"
+
+#include <stdexcept>
+
+namespace nlft::tem {
+
+DuplexArbiter::DuplexArbiter(Policy policy, Duration compareWindow)
+    : policy_{policy}, window_{compareWindow} {
+  if (compareWindow <= Duration{}) throw std::invalid_argument("DuplexArbiter: bad window");
+}
+
+std::optional<std::vector<std::uint32_t>> DuplexArbiter::offer(
+    int replica, std::uint64_t sequence, std::vector<std::uint32_t> payload, SimTime now) {
+  if (replica != 0 && replica != 1) throw std::invalid_argument("DuplexArbiter: bad replica");
+
+  if (settled_.count(sequence)) {
+    ++duplicatesDropped_;
+    return std::nullopt;
+  }
+
+  if (policy_ == Policy::FirstValid) {
+    settled_[sequence] = now;
+    ++delivered_;
+    return payload;
+  }
+
+  // CompareAndFlag.
+  const auto pendingIt = pending_.find(sequence);
+  if (pendingIt == pending_.end()) {
+    pending_[sequence] = Pending{replica, std::move(payload), now};
+    return std::nullopt;
+  }
+  if (pendingIt->second.replica == replica) {
+    ++duplicatesDropped_;  // same replica retransmitted
+    return std::nullopt;
+  }
+
+  const bool match = pendingIt->second.payload == payload;
+  pending_.erase(pendingIt);
+  settled_[sequence] = now;
+  if (match) {
+    ++delivered_;
+    return payload;
+  }
+  ++mismatches_;
+  if (onMismatch_) onMismatch_(sequence);
+  return std::nullopt;
+}
+
+std::vector<std::vector<std::uint32_t>> DuplexArbiter::poll(SimTime now) {
+  std::vector<std::vector<std::uint32_t>> released;
+  if (policy_ != Policy::CompareAndFlag) return released;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.arrivedAt >= window_) {
+      settled_[it->first] = now;
+      ++delivered_;
+      ++singleSource_;
+      released.push_back(std::move(it->second.payload));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+}  // namespace nlft::tem

@@ -1,0 +1,77 @@
+// Consumer-side arbitration of messages from an actively replicated
+// (duplex) sender pair — e.g. the wheel nodes consuming the two central
+// units' brake commands.
+//
+// Replica determinism (paper reference [12] and Section 4) means both
+// replicas of a round send the same sequence number with — ideally — the
+// same payload. Two policies are provided:
+//
+//   * FirstValid      — accept the first arrival of every sequence number,
+//                       drop the duplicate. Lowest latency; relies on each
+//                       node's own NLFT to keep the values trustworthy.
+//   * CompareAndFlag  — hold the first arrival until the partner's copy (or
+//                       a timeout): matching copies are delivered, a
+//                       mismatch is flagged as a detected error and NOT
+//                       delivered (turning replica divergence into an
+//                       omission), and a timeout delivers the single copy
+//                       (the partner is presumed down).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nlft::tem {
+
+using util::Duration;
+using util::SimTime;
+
+class DuplexArbiter {
+ public:
+  enum class Policy : std::uint8_t { FirstValid, CompareAndFlag };
+
+  /// `compareWindow` is how long CompareAndFlag waits for the partner copy.
+  explicit DuplexArbiter(Policy policy, Duration compareWindow = Duration::milliseconds(10));
+
+  /// Offers one replica message. Returns a payload when the arbiter decides
+  /// to deliver at this point (first arrival, or matching second copy).
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> offer(
+      int replica, std::uint64_t sequence, std::vector<std::uint32_t> payload, SimTime now);
+
+  /// Flushes timed-out pending sequences; returns the payloads that are
+  /// released single-source (partner missing). Call periodically.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> poll(SimTime now);
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t duplicatesDropped() const { return duplicatesDropped_; }
+  [[nodiscard]] std::uint64_t mismatches() const { return mismatches_; }
+  [[nodiscard]] std::uint64_t singleSourceDeliveries() const { return singleSource_; }
+
+  /// Invoked on every CompareAndFlag mismatch (a detected replica error).
+  void setMismatchHandler(std::function<void(std::uint64_t sequence)> handler) {
+    onMismatch_ = std::move(handler);
+  }
+
+ private:
+  struct Pending {
+    int replica;
+    std::vector<std::uint32_t> payload;
+    SimTime arrivedAt;
+  };
+
+  Policy policy_;
+  Duration window_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, SimTime> settled_;  // delivered/flagged sequences
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicatesDropped_ = 0;
+  std::uint64_t mismatches_ = 0;
+  std::uint64_t singleSource_ = 0;
+  std::function<void(std::uint64_t)> onMismatch_;
+};
+
+}  // namespace nlft::tem

@@ -1,0 +1,161 @@
+#include "core/tem.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace nlft::tem {
+
+/// Mutable state of one job's TEM execution, shared by the copy callbacks.
+struct JobRun {
+  int copiesStarted = 0;
+  std::vector<TaskResult> results;
+  bool sawMismatch = false;
+  bool sawDetectedError = false;
+
+  [[nodiscard]] bool hadError() const { return sawMismatch || sawDetectedError; }
+};
+
+TemExecutor::TemExecutor(rt::RtKernel& kernel, TemConfig config)
+    : kernel_{kernel}, config_{config} {
+  if (config_.maxCopies < 2) throw std::invalid_argument("TemExecutor: maxCopies must be >= 2");
+}
+
+rt::TaskId TemExecutor::addCriticalTask(rt::TaskConfig taskConfig, CopyBehavior behavior) {
+  if (!behavior) throw std::invalid_argument("TemExecutor: null behavior");
+  taskConfig.criticality = rt::Criticality::Critical;
+  // The comparison/vote is charged as part of the copy's CPU work, so the
+  // execution-time-monitor budget must cover it too.
+  if (taskConfig.budget == Duration{}) taskConfig.budget = taskConfig.wcet;
+  taskConfig.budget += config_.checkOverhead;
+  auto state = std::make_unique<TaskState>();
+  TaskState* raw = state.get();
+  state->behavior = std::move(behavior);
+  state->id = kernel_.addTask(std::move(taskConfig),
+                              [this, raw](rt::Job& job) { runJob(*raw, job); });
+  tasks_.push_back(std::move(state));
+  return tasks_.back()->id;
+}
+
+const TemStats& TemExecutor::stats(rt::TaskId task) const {
+  for (const auto& state : tasks_) {
+    if (state->id == task) return state->stats;
+  }
+  throw std::invalid_argument("TemExecutor: unknown task");
+}
+
+void TemExecutor::runJob(TaskState& state, rt::Job& job) {
+  state.stats.jobs++;
+  auto run = std::make_shared<JobRun>();
+
+  job.setAbortHandler([this, &state, run] {
+    state.stats.omissionsAborted++;
+    if (onJobError_) onJobError_(state.id, true);
+  });
+
+  // Errors reported while a copy runs (hardware EDM, ECC, MMU, integrity
+  // checks): terminate the copy at once — scenario (iii)/(iv). Remaining
+  // copy time is reclaimed because the CPU work item is cancelled.
+  job.setErrorHandler([this, &state, run, &job](const rt::ErrorEvent&) {
+    run->sawDetectedError = true;
+    state.stats.edmDetectedErrors++;
+    if (config_.restoreContextOnEdmError) state.stats.contextRestores++;
+    if (job.copyActive()) {
+      job.killRunningCopy();  // its onStop(Killed) continues the recovery
+    }
+  });
+
+  startCopy(state, job, run);
+}
+
+void TemExecutor::startCopy(TaskState& state, rt::Job& job, std::shared_ptr<JobRun> run) {
+  const CopyContext context{job.index(), ++run->copiesStarted};
+  const CopyPlan plan = state.behavior(context);
+
+  // Comparison (after the second and later copies) is charged as CPU time
+  // together with the copy itself.
+  Duration work = plan.executionTime;
+  if (context.copyIndex >= 2) work += config_.checkOverhead;
+
+  job.runCopy(work, [this, &state, &job, run, plan](rt::CopyStop stop) {
+    auto deliver = [&](TaskResult result) {
+      if (!run->hadError()) {
+        state.stats.deliveredCleanly++;
+      } else if (run->sawMismatch && run->results.size() >= 3) {
+        state.stats.maskedByVote++;
+      } else {
+        state.stats.maskedByReplacement++;
+      }
+      const bool hadError = run->hadError();
+      job.complete(std::move(result));  // deletes the job: last action
+      if (onJobError_) onJobError_(state.id, hadError);
+    };
+    auto omitNoTime = [&] {
+      state.stats.omissionsNoTime++;
+      job.omit();
+      if (onJobError_) onJobError_(state.id, true);
+    };
+    auto omitVoteFailed = [&] {
+      state.stats.omissionsVoteFailed++;
+      job.omit();
+      if (onJobError_) onJobError_(state.id, true);
+    };
+    // Can another copy be started and still meet the deadline? The kernel
+    // checks the deadline after every error (Section 2.5); the estimate is
+    // one copy worst case plus the comparison/vote.
+    auto anotherCopyFeasible = [&] {
+      if (run->copiesStarted >= config_.maxCopies) return false;
+      const Duration estimate = job.config().wcet + config_.checkOverhead;
+      return job.timeToDeadline() >= estimate;
+    };
+
+    switch (stop) {
+      case rt::CopyStop::Aborted:
+        // The kernel's deadline monitor already omitted the job and invoked
+        // the abort handler; nothing more to do.
+        return;
+      case rt::CopyStop::Killed:
+        // Terminated by the error handler; fall through to recovery.
+        break;
+      case rt::CopyStop::BudgetOverrun:
+        // The execution-time monitor is itself an EDM (Table 1).
+        run->sawDetectedError = true;
+        state.stats.edmDetectedErrors++;
+        if (config_.restoreContextOnEdmError) state.stats.contextRestores++;
+        break;
+      case rt::CopyStop::Completed:
+        if (plan.end == CopyPlan::End::DetectedError) {
+          // The EDM fired after the copy consumed plan.executionTime.
+          run->sawDetectedError = true;
+          state.stats.edmDetectedErrors++;
+          if (config_.restoreContextOnEdmError) state.stats.contextRestores++;
+          break;  // discard: the copy produced no trustworthy result
+        }
+        run->results.push_back(plan.result);
+        if (run->results.size() >= 2) {
+          if (run->results.size() == 2 && !resultsMatch(run->results[0], run->results[1])) {
+            run->sawMismatch = true;
+            state.stats.comparisonMismatches++;
+          }
+          if (auto voted = majorityVote(run->results)) {
+            deliver(std::move(*voted));
+            return;
+          }
+          // All results differ pairwise.
+          if (run->copiesStarted >= config_.maxCopies) {
+            omitVoteFailed();
+            return;
+          }
+        }
+        break;
+    }
+
+    // Need another copy (first result pending, mismatch, or detected error).
+    if (anotherCopyFeasible()) {
+      startCopy(state, job, run);
+    } else {
+      omitNoTime();
+    }
+  });
+}
+
+}  // namespace nlft::tem

@@ -1,0 +1,351 @@
+#include "faults/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/result.hpp"
+
+namespace nlft::fi {
+
+namespace {
+
+hw::Machine makeMachine(const TaskImage& image) {
+  hw::Machine machine{image.memBytes};
+  machine.loadWords(image.program.origin, image.program.words);
+  machine.loadWords(image.inputBase, image.input);
+  if (image.enableMmu) {
+    constexpr hw::MmuTaskId kTask = 1;
+    const auto rx = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Execute);
+    const auto ro = hw::accessMask(hw::Access::Read);
+    const auto rw = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Write);
+    machine.mmu().addRegion({image.program.origin, image.program.sizeBytes(), kTask, rx, "text"});
+    machine.mmu().addRegion(
+        {image.inputBase, static_cast<std::uint32_t>(image.input.size()) * 4, kTask, ro, "input"});
+    machine.mmu().addRegion({image.outputBase, image.outputWords * 4, kTask, rw, "output"});
+    machine.mmu().addRegion(
+        {image.stackTop - image.stackBytes, image.stackBytes, kTask, rw, "stack"});
+    machine.mmu().setActiveTask(kTask);
+    machine.mmu().setEnabled(true);
+  }
+  return machine;
+}
+
+void resetContext(hw::Machine& machine, const TaskImage& image) {
+  // Full CPU-context restore from the task control block (paper 2.5): every
+  // copy starts from pristine registers, PC and SP.
+  machine.cpu().regs.fill(0);
+  machine.cpu().pc = image.entry;
+  machine.cpu().setSp(image.stackTop);
+  machine.cpu().flagZero = false;
+  machine.cpu().flagNegative = false;
+  machine.resume();
+  // The kernel hands each copy a zeroed result buffer.
+  for (std::uint32_t w = 0; w < image.outputWords; ++w) {
+    machine.memory().write(image.outputBase + 4 * w, 0);
+  }
+}
+
+CopyRun finishRun(hw::Machine& machine, const TaskImage& image, const hw::RunResult& run,
+                  std::uint64_t instructionsBefore) {
+  CopyRun copy;
+  copy.instructions = instructionsBefore + run.executedInstructions;
+  switch (run.reason) {
+    case hw::StopReason::Halted: {
+      copy.end = CopyRun::End::Output;
+      copy.output.reserve(image.outputWords);
+      for (std::uint32_t w = 0; w < image.outputWords; ++w) {
+        const auto read = machine.memory().read(image.outputBase + 4 * w);
+        if (!read.ok) {
+          copy.end = CopyRun::End::OutputUnreadable;
+          copy.exception = hw::ExceptionKind::BusError;
+          copy.output.clear();
+          return copy;
+        }
+        copy.output.push_back(read.value);
+      }
+      return copy;
+    }
+    case hw::StopReason::Exception:
+      copy.end = CopyRun::End::Exception;
+      copy.exception = run.exception.kind;
+      return copy;
+    case hw::StopReason::BudgetExhausted:
+      copy.end = CopyRun::End::Overrun;
+      return copy;
+  }
+  return copy;
+}
+
+/// Runs one copy, injecting `locations` after `afterInstructions` executed
+/// instructions (empty = fault-free copy).
+CopyRun runCopyWithInjection(hw::Machine& machine, const TaskImage& image,
+                             std::uint64_t afterInstructions,
+                             const std::vector<FaultLocation>& locations) {
+  resetContext(machine, image);
+  const std::uint64_t budget = image.maxInstructionsPerCopy;
+  if (locations.empty()) {
+    return finishRun(machine, image, machine.run(budget), 0);
+  }
+  const std::uint64_t untilFault = std::min(afterInstructions, budget);
+  const hw::RunResult phase1 = machine.run(untilFault);
+  if (phase1.reason != hw::StopReason::BudgetExhausted || machine.halted()) {
+    // The copy ended before the fault instant; nothing to inject here.
+    return finishRun(machine, image, phase1, 0);
+  }
+  for (const FaultLocation& location : locations) inject(machine, location);
+  const hw::RunResult phase2 = machine.run(budget - untilFault);
+  return finishRun(machine, image, phase2, phase1.executedInstructions);
+}
+
+/// The fault of one experiment, normalised to a list of locations.
+struct ExperimentFault {
+  int targetCopy = 1;
+  std::uint64_t afterInstructions = 0;
+  std::vector<FaultLocation> locations;
+};
+
+ExperimentFault normalize(const FaultSpec& fault, util::Rng& rng) {
+  ExperimentFault experiment;
+  experiment.afterInstructions = fault.afterInstructions;
+  experiment.targetCopy = std::abs(fault.targetCopy);
+  experiment.locations.push_back(fault.location);
+  if (fault.targetCopy < 0) {
+    // Double-flip marker from sampleFault: add a second flip in the same
+    // memory word so the upset becomes uncorrectable.
+    if (const auto* mem = std::get_if<MemoryBitFlip>(&fault.location)) {
+      int otherBit = static_cast<int>(rng.uniformInt(hw::kEccCodewordBits));
+      if (otherBit == mem->bit) otherBit = (otherBit + 1) % hw::kEccCodewordBits;
+      experiment.locations.push_back(MemoryBitFlip{mem->address, otherBit});
+    }
+  }
+  return experiment;
+}
+
+void countMechanism(DetectionMechanismCounts* counts, const CopyRun& run) {
+  if (!counts) return;
+  switch (run.end) {
+    case CopyRun::End::Output:
+      return;
+    case CopyRun::End::Overrun:
+      ++counts->executionTimeMonitor;
+      return;
+    case CopyRun::End::OutputUnreadable:
+      ++counts->outputUnreadable;
+      return;
+    case CopyRun::End::Exception:
+      switch (run.exception) {
+        case hw::ExceptionKind::IllegalInstruction: ++counts->illegalInstruction; return;
+        case hw::ExceptionKind::AddressError: ++counts->addressError; return;
+        case hw::ExceptionKind::BusError: ++counts->busError; return;
+        case hw::ExceptionKind::DivideByZero: ++counts->divideByZero; return;
+        case hw::ExceptionKind::MmuViolation: ++counts->mmuViolation; return;
+        case hw::ExceptionKind::StackOverflow: ++counts->stackOverflow; return;
+        case hw::ExceptionKind::None: return;
+      }
+  }
+}
+
+TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
+                       const ExperimentFault& fault, double jobBudgetFactor,
+                       DetectionMechanismCounts* mechanisms = nullptr) {
+  hw::Machine machine = makeMachine(image);
+  auto remaining =
+      static_cast<std::int64_t>(jobBudgetFactor * static_cast<double>(golden.instructions));
+
+  std::vector<tem::TaskResult> results;
+  bool edmDetected = false;
+  bool mismatchDetected = false;
+  constexpr int kMaxCopies = 3;
+
+  for (int copy = 1; copy <= kMaxCopies; ++copy) {
+    // Deadline check (Section 2.5): enough budget for another full copy?
+    if (remaining < static_cast<std::int64_t>(golden.instructions)) {
+      return TemOutcome::OmissionNoBudget;
+    }
+    const bool faultHere = fault.targetCopy == copy;
+    const CopyRun run = runCopyWithInjection(
+        machine, image, fault.afterInstructions,
+        faultHere ? fault.locations : std::vector<FaultLocation>{});
+    remaining -= static_cast<std::int64_t>(run.instructions);
+
+    if (run.end != CopyRun::End::Output) {
+      edmDetected = true;  // exception, overrun or unreadable output
+      countMechanism(mechanisms, run);
+    } else if (image.outputHasChecksum && !endToEndChecksumValid(run.output)) {
+      // The kernel's data-integrity check rejects the copy's result before
+      // it ever reaches the comparison (Section 2.6).
+      edmDetected = true;
+      if (mechanisms) ++mechanisms->endToEndCheck;
+    } else {
+      results.push_back(run.output);
+    }
+
+    if (results.size() >= 2) {
+      if (results.size() == 2 && results[0] != results[1]) {
+        mismatchDetected = true;
+        if (mechanisms) ++mechanisms->temComparison;
+      }
+      if (const auto voted = tem::majorityVote(results)) {
+        if (*voted != golden.output) return TemOutcome::UndetectedWrongOutput;
+        if (mismatchDetected) return TemOutcome::MaskedByVote;
+        if (edmDetected) return TemOutcome::MaskedByRestart;
+        if (machine.memory().correctedErrors() > 0) {
+          if (mechanisms) ++mechanisms->eccCorrected;
+          return TemOutcome::MaskedByEcc;
+        }
+        return TemOutcome::NotActivated;
+      }
+      if (copy == kMaxCopies) return TemOutcome::OmissionVoteFailed;
+    }
+  }
+  // Copies exhausted without two matching results (repeated EDM errors).
+  return TemOutcome::OmissionNoBudget;
+}
+
+FsOutcome classifyFs(const TaskImage& image, const CopyRun& golden,
+                     const ExperimentFault& fault) {
+  hw::Machine machine = makeMachine(image);
+  const CopyRun run =
+      runCopyWithInjection(machine, image, fault.afterInstructions, fault.locations);
+  if (run.end != CopyRun::End::Output) return FsOutcome::FailSilent;
+  if (run.output != golden.output) {
+    if (image.outputHasChecksum && !endToEndChecksumValid(run.output)) {
+      return FsOutcome::DetectedByEndToEnd;
+    }
+    return FsOutcome::UndetectedWrongOutput;
+  }
+  if (machine.memory().correctedErrors() > 0) return FsOutcome::MaskedByEcc;
+  return FsOutcome::NotActivated;
+}
+
+}  // namespace
+
+bool endToEndChecksumValid(const std::vector<std::uint32_t>& output) {
+  if (output.empty()) return false;
+  std::uint32_t expected = kEndToEndSeed;
+  for (std::size_t i = 0; i + 1 < output.size(); ++i) expected ^= output[i];
+  return output.back() == expected;
+}
+
+CopyRun runCopy(hw::Machine& machine, const TaskImage& image, std::optional<FaultSpec> fault) {
+  if (!fault) return runCopyWithInjection(machine, image, 0, {});
+  return runCopyWithInjection(machine, image, fault->afterInstructions, {fault->location});
+}
+
+CopyRun goldenRun(const TaskImage& image) {
+  hw::Machine machine = makeMachine(image);
+  const CopyRun run = runCopy(machine, image, std::nullopt);
+  if (run.end != CopyRun::End::Output) {
+    throw std::runtime_error("goldenRun: task program does not terminate cleanly");
+  }
+  return run;
+}
+
+TemOutcome runTemExperiment(const TaskImage& image, const FaultSpec& fault,
+                            double jobBudgetFactor) {
+  const CopyRun golden = goldenRun(image);
+  util::Rng rng{0xFau};  // only used when the double-flip marker is set
+  return classifyTem(image, golden, normalize(fault, rng), jobBudgetFactor);
+}
+
+FsOutcome runFsExperiment(const TaskImage& image, const FaultSpec& fault) {
+  const CopyRun golden = goldenRun(image);
+  util::Rng rng{0xFau};
+  ExperimentFault experiment = normalize(fault, rng);
+  experiment.targetCopy = 1;
+  return classifyFs(image, golden, experiment);
+}
+
+FaultSpec sampleFault(const TaskImage& image, std::uint64_t goldenInstructions,
+                      const FaultMix& mix, util::Rng& rng) {
+  FaultSpec fault;
+  fault.afterInstructions = rng.uniformInt(std::max<std::uint64_t>(goldenInstructions, 1));
+  fault.targetCopy = 1 + static_cast<int>(rng.uniformInt(2));
+
+  const double total =
+      mix.registerWeight + mix.pcWeight + mix.memoryWeight + mix.fetchWeight;
+  const double pick = rng.uniform(0.0, total);
+  if (pick < mix.registerWeight) {
+    fault.location = RegisterBitFlip{static_cast<int>(rng.uniformInt(hw::kRegisterCount)),
+                                     static_cast<int>(rng.uniformInt(32))};
+  } else if (pick < mix.registerWeight + mix.pcWeight) {
+    fault.location = PcBitFlip{static_cast<int>(rng.uniformInt(18))};
+  } else if (pick < mix.registerWeight + mix.pcWeight + mix.fetchWeight) {
+    fault.location = FetchBitFlip{static_cast<int>(rng.uniformInt(32))};
+  } else {
+    // Memory fault over program text or input data, weighted by size.
+    const auto textWords = static_cast<std::uint32_t>(image.program.words.size());
+    const auto inputWords = static_cast<std::uint32_t>(image.input.size());
+    const auto pickWord = static_cast<std::uint32_t>(
+        rng.uniformInt(std::max<std::uint32_t>(textWords + inputWords, 1)));
+    const std::uint32_t address = pickWord < textWords
+                                      ? image.program.origin + 4 * pickWord
+                                      : image.inputBase + 4 * (pickWord - textWords);
+    fault.location = MemoryBitFlip{address, static_cast<int>(rng.uniformInt(hw::kEccCodewordBits))};
+    if (rng.bernoulli(mix.doubleMemoryFlipProbability)) {
+      fault.targetCopy = -fault.targetCopy;  // double-flip marker (see normalize)
+    }
+  }
+  return fault;
+}
+
+TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config) {
+  TemCampaignStats stats;
+  stats.experiments = config.experiments;
+  const CopyRun golden = goldenRun(image);
+  util::Rng rng{config.seed};
+
+  for (std::size_t i = 0; i < config.experiments; ++i) {
+    const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+    switch (classifyTem(image, golden, normalize(fault, rng), config.jobBudgetFactor,
+                        &stats.mechanisms)) {
+      case TemOutcome::NotActivated: ++stats.notActivated; break;
+      case TemOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+      case TemOutcome::MaskedByVote: ++stats.maskedByVote; break;
+      case TemOutcome::MaskedByRestart: ++stats.maskedByRestart; break;
+      case TemOutcome::OmissionVoteFailed: ++stats.omissionVoteFailed; break;
+      case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
+      case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+    }
+  }
+  return stats;
+}
+
+FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config) {
+  FsCampaignStats stats;
+  stats.experiments = config.experiments;
+  const CopyRun golden = goldenRun(image);
+  util::Rng rng{config.seed};
+
+  for (std::size_t i = 0; i < config.experiments; ++i) {
+    const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+    ExperimentFault experiment = normalize(fault, rng);
+    experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
+    switch (classifyFs(image, golden, experiment)) {
+      case FsOutcome::NotActivated: ++stats.notActivated; break;
+      case FsOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+      case FsOutcome::FailSilent: ++stats.failSilent; break;
+      case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
+      case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+    }
+  }
+  return stats;
+}
+
+util::ProportionEstimate TemCampaignStats::pMask() const {
+  return util::wilsonInterval(maskedByVote + maskedByRestart, activated());
+}
+
+util::ProportionEstimate TemCampaignStats::pOmission() const {
+  return util::wilsonInterval(omissionVoteFailed + omissionNoBudget, activated());
+}
+
+util::ProportionEstimate TemCampaignStats::coverage() const {
+  return util::wilsonInterval(activated() - undetected, activated());
+}
+
+util::ProportionEstimate FsCampaignStats::coverage() const {
+  return util::wilsonInterval(activated() - undetected, activated());
+}
+
+}  // namespace nlft::fi

@@ -1,0 +1,178 @@
+// Fault-injection campaigns over interpreted task programs.
+//
+// A TaskImage describes one critical task compiled for the toy ISA: program
+// text, input data, output region and entry conditions. The campaign runner
+// executes the TEM protocol at the machine level — two copies, comparison,
+// recovery copy, vote, instruction budget — with exactly one fault injected
+// per experiment, and classifies the outcome. This reproduces the
+// methodology behind the paper's assumed P_T = 0.9, P_OM = 0.05 figures
+// (fault injection on a brake-by-wire task, reference [7]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/fault_model.hpp"
+#include "hw/assembler.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace nlft::fi {
+
+/// A task program plus everything needed to run one copy of it.
+struct TaskImage {
+  hw::Program program;
+  std::uint32_t entry = 0;       ///< initial PC
+  std::uint32_t stackTop = 0;    ///< initial SP
+  std::uint32_t inputBase = 0;   ///< input data region (read by the task)
+  std::vector<std::uint32_t> input;
+  std::uint32_t outputBase = 0;  ///< result region (written by the task)
+  std::uint32_t outputWords = 0;
+  std::uint32_t memBytes = 64 * 1024;
+  std::uint64_t maxInstructionsPerCopy = 100000;  ///< execution-time monitor
+  /// When true, the campaign machine enables the MMU with regions covering
+  /// text (read/execute), input (read), output and stack (read/write):
+  /// wild stores then raise MMU violations instead of silently corrupting
+  /// unrelated memory (Table 1 fault confinement).
+  bool enableMmu = false;
+  std::uint32_t stackBytes = 4096;
+  /// When true, the LAST output word is an end-to-end checksum: it must
+  /// equal the XOR of all preceding output words with kEndToEndSeed
+  /// (Table 1 "data integrity checks and end-to-end error detection"). The
+  /// receiver/kernel verifies it; a failing checksum is a DETECTED error.
+  bool outputHasChecksum = false;
+};
+
+/// Seed of the end-to-end output checksum.
+inline constexpr std::uint32_t kEndToEndSeed = 0x5A5A5A5A;
+
+/// Verifies the end-to-end checksum convention on an output block.
+[[nodiscard]] bool endToEndChecksumValid(const std::vector<std::uint32_t>& output);
+
+/// How one copy of the task ended.
+struct CopyRun {
+  enum class End : std::uint8_t { Output, Exception, Overrun, OutputUnreadable };
+  End end = End::Output;
+  hw::ExceptionKind exception = hw::ExceptionKind::None;
+  std::vector<std::uint32_t> output;
+  std::uint64_t instructions = 0;
+};
+
+/// Classification of one TEM fault-injection experiment.
+enum class TemOutcome : std::uint8_t {
+  NotActivated,     ///< fault never became an error (overwritten / latent)
+  MaskedByEcc,      ///< hardware ECC corrected it; execution stayed clean
+  MaskedByVote,     ///< comparison mismatch, 2-of-3 vote delivered the right result
+  MaskedByRestart,  ///< EDM exception, replacement copy delivered the right result
+  OmissionVoteFailed,  ///< three pairwise-distinct results
+  OmissionNoBudget,    ///< recovery did not fit the instruction budget
+  UndetectedWrongOutput,  ///< silent data corruption delivered (coverage gap)
+};
+
+/// Classification of one fail-silent-node experiment (single copy, no TEM).
+enum class FsOutcome : std::uint8_t {
+  NotActivated,
+  MaskedByEcc,
+  FailSilent,             ///< EDM fired; the node went silent (safe)
+  DetectedByEndToEnd,     ///< wrong output caught by the receiver checksum
+  UndetectedWrongOutput,  ///< wrong result delivered without any indication
+};
+
+/// Which mechanism detected the error first (Table 1 of the paper): CPU
+/// hardware exceptions, ECC, the execution-time monitor, or the TEM
+/// comparison. Aggregated over a campaign.
+struct DetectionMechanismCounts {
+  std::size_t illegalInstruction = 0;
+  std::size_t addressError = 0;
+  std::size_t busError = 0;  ///< uncorrectable ECC
+  std::size_t divideByZero = 0;
+  std::size_t mmuViolation = 0;
+  std::size_t stackOverflow = 0;
+  std::size_t executionTimeMonitor = 0;  ///< per-copy budget overrun
+  std::size_t outputUnreadable = 0;
+  std::size_t temComparison = 0;  ///< caught only by the result comparison
+  std::size_t eccCorrected = 0;   ///< corrected transparently (no error raised)
+  std::size_t endToEndCheck = 0;  ///< output checksum failed (data integrity)
+};
+
+struct TemCampaignStats {
+  DetectionMechanismCounts mechanisms;
+  std::size_t experiments = 0;
+  std::size_t notActivated = 0;
+  std::size_t maskedByEcc = 0;
+  std::size_t maskedByVote = 0;
+  std::size_t maskedByRestart = 0;
+  std::size_t omissionVoteFailed = 0;
+  std::size_t omissionNoBudget = 0;
+  std::size_t undetected = 0;
+
+  [[nodiscard]] std::size_t activated() const {
+    return experiments - notActivated - maskedByEcc;
+  }
+  /// P_T estimate: masked / activated (Wilson interval).
+  [[nodiscard]] util::ProportionEstimate pMask() const;
+  /// P_OM estimate: omissions / activated.
+  [[nodiscard]] util::ProportionEstimate pOmission() const;
+  /// Coverage estimate: 1 - undetected / activated.
+  [[nodiscard]] util::ProportionEstimate coverage() const;
+};
+
+struct FsCampaignStats {
+  std::size_t experiments = 0;
+  std::size_t notActivated = 0;
+  std::size_t maskedByEcc = 0;
+  std::size_t failSilent = 0;
+  std::size_t detectedByEndToEnd = 0;  ///< wrong output caught by the checksum
+  std::size_t undetected = 0;
+
+  [[nodiscard]] std::size_t activated() const {
+    return experiments - notActivated - maskedByEcc;
+  }
+  [[nodiscard]] util::ProportionEstimate coverage() const;
+};
+
+/// Sampling weights for fault locations.
+struct FaultMix {
+  double registerWeight = 0.60;
+  double pcWeight = 0.10;
+  double memoryWeight = 0.22;  ///< over text + input regions (ECC codeword bits)
+  double fetchWeight = 0.08;   ///< instruction-fetch path upsets
+  /// Number of memory bits flipped per memory fault (1 = correctable,
+  /// 2 = uncorrectable); sampled: P(double) below.
+  double doubleMemoryFlipProbability = 0.15;
+};
+
+struct CampaignConfig {
+  std::size_t experiments = 1000;
+  std::uint64_t seed = 1;
+  FaultMix mix{};
+  /// Total instruction budget across all copies of one job, as a multiple of
+  /// the golden single-copy cost (models the reserved TEM slack).
+  double jobBudgetFactor = 3.5;
+};
+
+/// Runs one copy of the task (optionally with a fault striking mid-run).
+[[nodiscard]] CopyRun runCopy(hw::Machine& machine, const TaskImage& image,
+                              std::optional<FaultSpec> fault);
+
+/// Golden (fault-free) run; throws std::runtime_error if the program fails.
+[[nodiscard]] CopyRun goldenRun(const TaskImage& image);
+
+/// One TEM experiment with the given fault.
+[[nodiscard]] TemOutcome runTemExperiment(const TaskImage& image, const FaultSpec& fault,
+                                          double jobBudgetFactor = 3.5);
+
+/// One fail-silent-node experiment with the given fault.
+[[nodiscard]] FsOutcome runFsExperiment(const TaskImage& image, const FaultSpec& fault);
+
+/// Full campaigns with randomly sampled faults.
+[[nodiscard]] TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config);
+[[nodiscard]] FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config);
+
+/// Samples a random fault for the campaign (exposed for reproducibility in
+/// tests and benches).
+[[nodiscard]] FaultSpec sampleFault(const TaskImage& image, std::uint64_t goldenInstructions,
+                                    const FaultMix& mix, util::Rng& rng);
+
+}  // namespace nlft::fi

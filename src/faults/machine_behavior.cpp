@@ -1,0 +1,48 @@
+#include "faults/machine_behavior.hpp"
+
+namespace nlft::fi {
+
+tem::CopyBehavior makeMachineBehavior(TaskImage image, MachineClock clock,
+                                      std::shared_ptr<MachineTaskPort> port) {
+  // State shared across copies of one job: the input snapshot, taken once
+  // per job (Fig. 2 read-input phase) to preserve replica determinism.
+  struct JobState {
+    std::uint64_t snapshotJob = ~0ULL;
+    std::vector<std::uint32_t> input;
+  };
+  auto jobState = std::make_shared<JobState>();
+
+  return [image = std::move(image), clock, port = std::move(port),
+          jobState](const tem::CopyContext& context) -> tem::CopyPlan {
+    if (context.jobIndex != jobState->snapshotJob) {
+      jobState->snapshotJob = context.jobIndex;
+      jobState->input = port->input();
+    }
+
+    TaskImage copyImage = image;
+    copyImage.input = jobState->input;
+
+    hw::Machine machine{copyImage.memBytes};
+    machine.loadWords(copyImage.program.origin, copyImage.program.words);
+    machine.loadWords(copyImage.inputBase, copyImage.input);
+    machine.cpu().pc = copyImage.entry;
+    machine.cpu().setSp(copyImage.stackTop);
+
+    const CopyRun run = runCopy(machine, copyImage, port->takePendingFault());
+
+    tem::CopyPlan plan;
+    plan.executionTime = clock.executionTime(run.instructions);
+    if (run.end == CopyRun::End::Output) {
+      plan.result = run.output;
+    } else {
+      plan.end = tem::CopyPlan::End::DetectedError;
+      plan.error = {run.end == CopyRun::End::Overrun
+                        ? rt::ErrorEvent::Source::External
+                        : rt::ErrorEvent::Source::HardwareException,
+                    static_cast<int>(run.exception)};
+    }
+    return plan;
+  };
+}
+
+}  // namespace nlft::fi

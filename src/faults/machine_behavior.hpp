@@ -1,0 +1,62 @@
+// Bridges the interpreted COTS-processor model into the real-time kernel:
+// a critical task whose copies actually EXECUTE the compiled program, with
+// CPU time derived from the instruction count. This unifies the framework's
+// two execution models — the same TaskImage drives both offline
+// fault-injection campaigns and online TEM-protected execution on the
+// scheduled kernel.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/tem.hpp"
+#include "faults/campaign.hpp"
+
+namespace nlft::fi {
+
+/// Clock model converting instruction counts to simulated CPU time.
+struct MachineClock {
+  double cyclesPerInstruction = 2.0;
+  double clockMhz = 25.0;  ///< MC68340-class part
+
+  [[nodiscard]] util::Duration executionTime(std::uint64_t instructions) const {
+    const double us = static_cast<double>(instructions) * cyclesPerInstruction / clockMhz;
+    return util::Duration::microseconds(static_cast<std::int64_t>(us) + 1);
+  }
+};
+
+/// Mutable input port: the kernel-side task reads its inputs from here at
+/// the start of every job (read-once semantics keep replicas deterministic).
+class MachineTaskPort {
+ public:
+  explicit MachineTaskPort(std::vector<std::uint32_t> initialInput)
+      : input_{std::move(initialInput)} {}
+
+  void setInput(std::vector<std::uint32_t> input) { input_ = std::move(input); }
+  [[nodiscard]] const std::vector<std::uint32_t>& input() const { return input_; }
+
+  /// Arms a fault to inject into the next started copy.
+  void injectIntoNextCopy(FaultSpec fault) { pending_ = fault; }
+  [[nodiscard]] std::optional<FaultSpec> takePendingFault() {
+    auto fault = pending_;
+    pending_.reset();
+    return fault;
+  }
+
+ private:
+  std::vector<std::uint32_t> input_;
+  std::optional<FaultSpec> pending_;
+};
+
+/// Builds a TEM CopyBehavior that runs `image`'s program for every copy.
+///
+/// Each copy gets a fresh machine (program text reloaded — e.g. from ROM),
+/// the port's current input, and a full CPU-context reset. A fault armed on
+/// the port strikes the next copy only (transient). The plan's
+/// executionTime follows the actual instruction count through `clock`, so
+/// a crashing copy consumes only the time it really used (TEM reclaims the
+/// rest, Fig. 3 scenario iii).
+[[nodiscard]] tem::CopyBehavior makeMachineBehavior(TaskImage image, MachineClock clock,
+                                                    std::shared_ptr<MachineTaskPort> port);
+
+}  // namespace nlft::fi

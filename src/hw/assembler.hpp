@@ -1,0 +1,61 @@
+// Two-pass text assembler for the toy ISA.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   .org 0x100          ; set origin (byte address, default 0)
+//   loop:               ; label definition
+//     ldi  r1, 42       ; immediates: decimal, 0x-hex, negative, or a label
+//     ld   r2, [r3+4]   ; memory operands: [rN], [rN+imm], [rN-imm]
+//     st   r2, [r3-8]
+//     add  r1, r2, r3   ; three-register ALU forms
+//     addi r1, r1, 1
+//     shl  r1, r1, 2
+//     cmp  r1, r2
+//     cmpi r1, 100
+//     beq  done         ; branch targets are labels or absolute addresses
+//     jsr  subroutine
+//     push r1
+//     pop  r1
+//     halt
+//
+// The brake-by-wire control tasks in src/bbw are written in this assembly so
+// that fault-injection campaigns corrupt genuine computations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nlft::hw {
+
+/// Raised on any syntax or semantic error, with the 1-based source line.
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_{line} {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// An assembled program image.
+struct Program {
+  std::uint32_t origin = 0;                    ///< load address of words[0]
+  std::vector<std::uint32_t> words;            ///< encoded instructions
+  std::map<std::string, std::uint32_t> symbols;  ///< label -> byte address
+
+  [[nodiscard]] std::uint32_t sizeBytes() const {
+    return static_cast<std::uint32_t>(words.size()) * 4;
+  }
+  /// Address of a label; throws std::out_of_range if undefined.
+  [[nodiscard]] std::uint32_t symbol(const std::string& name) const { return symbols.at(name); }
+};
+
+/// Assembles source text; throws AssemblyError on the first error.
+[[nodiscard]] Program assemble(std::string_view source);
+
+}  // namespace nlft::hw

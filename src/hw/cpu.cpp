@@ -1,0 +1,18 @@
+#include "hw/cpu.hpp"
+
+namespace nlft::hw {
+
+const char* exceptionName(ExceptionKind kind) {
+  switch (kind) {
+    case ExceptionKind::None: return "none";
+    case ExceptionKind::IllegalInstruction: return "illegal-instruction";
+    case ExceptionKind::AddressError: return "address-error";
+    case ExceptionKind::BusError: return "bus-error";
+    case ExceptionKind::DivideByZero: return "divide-by-zero";
+    case ExceptionKind::MmuViolation: return "mmu-violation";
+    case ExceptionKind::StackOverflow: return "stack-overflow";
+  }
+  return "?";
+}
+
+}  // namespace nlft::hw

@@ -1,0 +1,90 @@
+#include "hw/hamming.hpp"
+
+namespace nlft::hw {
+
+namespace {
+
+// Codeword layout: bit 0 holds the overall parity; bits 1..38 are classic
+// 1-indexed Hamming positions. Power-of-two positions (1,2,4,8,16,32) carry
+// parity; the remaining 32 positions carry data bits in ascending order.
+
+constexpr bool isPowerOfTwo(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::uint64_t bit(unsigned position) { return 1ULL << position; }
+
+}  // namespace
+
+std::uint64_t eccEncode(std::uint32_t data) {
+  std::uint64_t codeword = 0;
+  unsigned dataIndex = 0;
+  for (unsigned position = 1; position <= 38; ++position) {
+    if (isPowerOfTwo(position)) continue;
+    if ((data >> dataIndex) & 1u) codeword |= bit(position);
+    ++dataIndex;
+  }
+  // Hamming parity bits: each makes the XOR over its covered positions even.
+  for (unsigned k = 0; k < 6; ++k) {
+    const unsigned parityPos = 1u << k;
+    unsigned parity = 0;
+    for (unsigned position = 1; position <= 38; ++position) {
+      if ((position & parityPos) && (codeword & bit(position))) parity ^= 1u;
+    }
+    if (parity) codeword |= bit(parityPos);
+  }
+  // Overall parity over bits 1..38 stored at bit 0 (even overall parity).
+  unsigned overall = 0;
+  for (unsigned position = 1; position <= 38; ++position) {
+    if (codeword & bit(position)) overall ^= 1u;
+  }
+  if (overall) codeword |= bit(0);
+  return codeword;
+}
+
+EccDecodeResult eccDecode(std::uint64_t codeword) {
+  EccDecodeResult result;
+  codeword &= (1ULL << kEccCodewordBits) - 1;
+
+  unsigned syndrome = 0;
+  for (unsigned position = 1; position <= 38; ++position) {
+    if (codeword & bit(position)) syndrome ^= position;
+  }
+  unsigned overall = 0;
+  for (unsigned position = 0; position <= 38; ++position) {
+    if (codeword & bit(position)) overall ^= 1u;
+  }
+
+  if (syndrome == 0 && overall == 0) {
+    result.status = EccStatus::Clean;
+  } else if (overall == 1) {
+    // Odd total parity: a single-bit error (possibly in a parity bit).
+    if (syndrome == 0) {
+      codeword ^= bit(0);  // the overall parity bit itself flipped
+    } else if (syndrome <= 38) {
+      codeword ^= bit(syndrome);
+    } else {
+      result.status = EccStatus::Uncorrectable;
+      result.codeword = codeword;
+      return result;
+    }
+    result.status = EccStatus::Corrected;
+  } else {
+    // syndrome != 0 with even overall parity: double-bit error.
+    result.status = EccStatus::Uncorrectable;
+    result.codeword = codeword;
+    return result;
+  }
+
+  // Extract data bits from the (possibly corrected) codeword.
+  std::uint32_t data = 0;
+  unsigned dataIndex = 0;
+  for (unsigned position = 1; position <= 38; ++position) {
+    if (isPowerOfTwo(position)) continue;
+    if (codeword & bit(position)) data |= 1u << dataIndex;
+    ++dataIndex;
+  }
+  result.data = data;
+  result.codeword = codeword;
+  return result;
+}
+
+}  // namespace nlft::hw

@@ -1,0 +1,37 @@
+// SEC-DED Hamming code for 32-bit words (39-bit codewords: 32 data bits,
+// 6 Hamming parity bits, 1 overall parity bit).
+//
+// The ECC memory stores full codewords; fault injection flips arbitrary
+// codeword bits (data or parity). Decoding corrects any single-bit error and
+// detects any double-bit error, exactly the behaviour the paper's Table 1
+// assumes for "Error correcting codes (ECC)".
+#pragma once
+
+#include <cstdint>
+
+namespace nlft::hw {
+
+/// Result of decoding a codeword.
+enum class EccStatus {
+  Clean,          ///< no error
+  Corrected,      ///< single-bit error corrected
+  Uncorrectable,  ///< double-bit (or worse detectable) error
+};
+
+struct EccDecodeResult {
+  EccStatus status = EccStatus::Clean;
+  std::uint32_t data = 0;          ///< corrected data (valid unless Uncorrectable)
+  std::uint64_t codeword = 0;      ///< corrected codeword
+};
+
+/// Encodes 32 data bits into a 39-bit SEC-DED codeword (stored in the low
+/// 39 bits of the return value).
+[[nodiscard]] std::uint64_t eccEncode(std::uint32_t data);
+
+/// Decodes a 39-bit codeword, correcting a single-bit error if present.
+[[nodiscard]] EccDecodeResult eccDecode(std::uint64_t codeword);
+
+/// Number of bits in a codeword (for fault injectors choosing a bit).
+inline constexpr int kEccCodewordBits = 39;
+
+}  // namespace nlft::hw

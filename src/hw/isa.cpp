@@ -1,0 +1,155 @@
+#include "hw/isa.hpp"
+
+#include <cstdio>
+
+namespace nlft::hw {
+
+namespace {
+constexpr std::uint32_t kImmMask = (1u << 18) - 1;
+
+std::int32_t signExtend18(std::uint32_t raw) {
+  return static_cast<std::int32_t>(raw << 14) >> 14;
+}
+}  // namespace
+
+std::uint32_t encode(const Instruction& instruction) {
+  const auto op = static_cast<std::uint32_t>(instruction.opcode) & 0x3Fu;
+  const auto rd = static_cast<std::uint32_t>(instruction.rd) & 0xFu;
+  const auto rs1 = static_cast<std::uint32_t>(instruction.rs1) & 0xFu;
+  std::uint32_t word = (op << 26) | (rd << 22) | (rs1 << 18);
+  switch (instruction.opcode) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Divs:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Cmp:
+      word |= (static_cast<std::uint32_t>(instruction.rs2) & 0xFu) << 14;
+      break;
+    default:
+      word |= static_cast<std::uint32_t>(instruction.imm) & kImmMask;
+      break;
+  }
+  return word;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  const std::uint8_t op = static_cast<std::uint8_t>(word >> 26);
+  if (op > kMaxOpcode) return std::nullopt;
+
+  Instruction instruction;
+  instruction.opcode = static_cast<Opcode>(op);
+  instruction.rd = static_cast<int>((word >> 22) & 0xFu);
+  instruction.rs1 = static_cast<int>((word >> 18) & 0xFu);
+  switch (instruction.opcode) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Divs:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Cmp:
+      instruction.rs2 = static_cast<int>((word >> 14) & 0xFu);
+      break;
+    default:
+      instruction.imm = signExtend18(word & kImmMask);
+      break;
+  }
+  return instruction;
+}
+
+const char* mnemonic(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::Nop: return "nop";
+    case Opcode::Halt: return "halt";
+    case Opcode::Ldi: return "ldi";
+    case Opcode::Ld: return "ld";
+    case Opcode::St: return "st";
+    case Opcode::Mov: return "mov";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Divs: return "divs";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Addi: return "addi";
+    case Opcode::Cmp: return "cmp";
+    case Opcode::Cmpi: return "cmpi";
+    case Opcode::Beq: return "beq";
+    case Opcode::Bne: return "bne";
+    case Opcode::Blt: return "blt";
+    case Opcode::Bge: return "bge";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Jsr: return "jsr";
+    case Opcode::Rts: return "rts";
+    case Opcode::Push: return "push";
+    case Opcode::Pop: return "pop";
+  }
+  return "?";
+}
+
+std::string disassemble(const Instruction& i) {
+  char buf[64];
+  switch (i.opcode) {
+    case Opcode::Nop:
+    case Opcode::Halt:
+    case Opcode::Rts:
+      std::snprintf(buf, sizeof buf, "%s", mnemonic(i.opcode));
+      break;
+    case Opcode::Ldi:
+      std::snprintf(buf, sizeof buf, "ldi r%d, %d", i.rd, i.imm);
+      break;
+    case Opcode::Ld:
+      std::snprintf(buf, sizeof buf, "ld r%d, [r%d%+d]", i.rd, i.rs1, i.imm);
+      break;
+    case Opcode::St:
+      std::snprintf(buf, sizeof buf, "st r%d, [r%d%+d]", i.rd, i.rs1, i.imm);
+      break;
+    case Opcode::Mov:
+      std::snprintf(buf, sizeof buf, "mov r%d, r%d", i.rd, i.rs1);
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Divs:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      std::snprintf(buf, sizeof buf, "%s r%d, r%d, r%d", mnemonic(i.opcode), i.rd, i.rs1, i.rs2);
+      break;
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Addi:
+      std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", mnemonic(i.opcode), i.rd, i.rs1, i.imm);
+      break;
+    case Opcode::Cmp:
+      std::snprintf(buf, sizeof buf, "cmp r%d, r%d", i.rs1, i.rs2);
+      break;
+    case Opcode::Cmpi:
+      std::snprintf(buf, sizeof buf, "cmpi r%d, %d", i.rs1, i.imm);
+      break;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Jmp:
+    case Opcode::Jsr:
+      std::snprintf(buf, sizeof buf, "%s 0x%x", mnemonic(i.opcode), i.imm);
+      break;
+    case Opcode::Push:
+      std::snprintf(buf, sizeof buf, "push r%d", i.rd);
+      break;
+    case Opcode::Pop:
+      std::snprintf(buf, sizeof buf, "pop r%d", i.rd);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace nlft::hw

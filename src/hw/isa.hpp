@@ -1,0 +1,84 @@
+// Instruction set of the simulated COTS processor.
+//
+// The framework executes critical tasks on a small 32-bit load/store machine
+// so that injected bit flips corrupt *real* computations: a flipped opcode
+// bit can become an illegal instruction (caught by a CPU exception, Table 1
+// of the paper), a flipped address bit can become an MMU violation, and a
+// flipped data bit silently changes the result (caught by TEM comparison).
+//
+// Encoding (32 bits):
+//   [31:26] opcode   (6 bits; undefined values raise IllegalInstruction)
+//   [25:22] rd       (r0..r15)
+//   [21:18] rs1
+//   [17:14] rs2      (register forms), otherwise top bits of imm
+//   [17:0]  imm18    (sign-extended immediate / absolute code address)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nlft::hw {
+
+/// Number of general-purpose registers (r15 doubles as the stack pointer).
+inline constexpr int kRegisterCount = 16;
+/// Conventional stack pointer register.
+inline constexpr int kStackPointer = 15;
+
+enum class Opcode : std::uint8_t {
+  Nop = 0,
+  Halt = 1,
+  Ldi = 2,    // rd = imm
+  Ld = 3,     // rd = mem[rs1 + imm]
+  St = 4,     // mem[rs1 + imm] = rd
+  Mov = 5,    // rd = rs1
+  Add = 6,    // rd = rs1 + rs2
+  Sub = 7,
+  Mul = 8,
+  Divs = 9,   // signed division; divisor 0 raises DivideByZero
+  And = 10,
+  Or = 11,
+  Xor = 12,
+  Shl = 13,   // rd = rs1 << (imm & 31)
+  Shr = 14,   // rd = rs1 >> (imm & 31), logical
+  Addi = 15,  // rd = rs1 + imm
+  Cmp = 16,   // flags = compare(rs1, rs2), signed
+  Cmpi = 17,  // flags = compare(rs1, imm), signed
+  Beq = 18,   // if Z: pc = imm
+  Bne = 19,
+  Blt = 20,   // if N: pc = imm
+  Bge = 21,
+  Jmp = 22,   // pc = imm
+  Jsr = 23,   // push return address, pc = imm
+  Rts = 24,   // pop return address into pc
+  Push = 25,  // mem[--sp] = rd
+  Pop = 26,   // rd = mem[sp++]
+};
+
+/// One instruction after decoding. Fields not used by the opcode are zero.
+struct Instruction {
+  Opcode opcode = Opcode::Nop;
+  int rd = 0;
+  int rs1 = 0;
+  int rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+/// Highest defined opcode value; encodings above this are illegal.
+inline constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(Opcode::Pop);
+
+/// Encodes an instruction into its 32-bit memory representation.
+[[nodiscard]] std::uint32_t encode(const Instruction& instruction);
+
+/// Decodes a word; returns std::nullopt for illegal opcodes or register
+/// fields that alias outside the register file (cannot happen with 4-bit
+/// fields, kept for forward compatibility).
+[[nodiscard]] std::optional<Instruction> decode(std::uint32_t word);
+
+/// Human-readable form, for traces and assembler diagnostics.
+[[nodiscard]] std::string disassemble(const Instruction& instruction);
+
+/// Mnemonic for an opcode ("add", "jsr", ...).
+[[nodiscard]] const char* mnemonic(Opcode opcode);
+
+}  // namespace nlft::hw

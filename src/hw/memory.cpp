@@ -1,0 +1,70 @@
+#include "hw/memory.hpp"
+
+namespace nlft::hw {
+
+EccMemory::EccMemory(std::uint32_t sizeBytes) : wordCount_{sizeBytes / 4} {
+  codewords_.assign(wordCount_, eccEncode(0));
+}
+
+MemoryReadResult EccMemory::read(std::uint32_t address) {
+  MemoryReadResult result;
+  if (!validAddress(address)) return result;
+  auto& codeword = codewords_[address / 4];
+  const EccDecodeResult decoded = eccDecode(codeword);
+  switch (decoded.status) {
+    case EccStatus::Clean:
+      result.ok = true;
+      result.value = decoded.data;
+      break;
+    case EccStatus::Corrected:
+      // Scrub on read: store the corrected codeword back.
+      codeword = decoded.codeword;
+      ++correctedErrors_;
+      result.ok = true;
+      result.corrected = true;
+      result.value = decoded.data;
+      break;
+    case EccStatus::Uncorrectable:
+      ++uncorrectableErrors_;
+      break;
+  }
+  return result;
+}
+
+bool EccMemory::write(std::uint32_t address, std::uint32_t value) {
+  if (!validAddress(address)) return false;
+  codewords_[address / 4] = eccEncode(value);
+  return true;
+}
+
+std::uint64_t EccMemory::rawCodeword(std::uint32_t wordIndex) const {
+  return wordIndex < wordCount_ ? codewords_[wordIndex] : 0;
+}
+
+std::uint32_t EccMemory::scrub() {
+  std::uint32_t corrected = 0;
+  for (std::uint32_t word = 0; word < wordCount_; ++word) {
+    const EccDecodeResult decoded = eccDecode(codewords_[word]);
+    switch (decoded.status) {
+      case EccStatus::Clean:
+        break;
+      case EccStatus::Corrected:
+        codewords_[word] = decoded.codeword;
+        ++correctedErrors_;
+        ++corrected;
+        break;
+      case EccStatus::Uncorrectable:
+        ++uncorrectableErrors_;
+        break;
+    }
+  }
+  return corrected;
+}
+
+bool EccMemory::flipBit(std::uint32_t address, int bitIndex) {
+  if (!validAddress(address) || bitIndex < 0 || bitIndex >= kEccCodewordBits) return false;
+  codewords_[address / 4] ^= 1ULL << bitIndex;
+  return true;
+}
+
+}  // namespace nlft::hw

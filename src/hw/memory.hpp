@@ -1,0 +1,70 @@
+// ECC-protected word-addressable memory.
+//
+// Every 32-bit word is stored as a 39-bit SEC-DED codeword. Reads decode the
+// codeword: single-bit upsets are corrected transparently (and counted),
+// double-bit upsets raise an uncorrectable-ECC error that the machine turns
+// into a bus-error exception. Fault injectors flip raw codeword bits, so
+// parity bits are exposed to faults exactly like data bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/hamming.hpp"
+
+namespace nlft::hw {
+
+/// Outcome of a memory read.
+struct MemoryReadResult {
+  bool ok = false;           ///< false on uncorrectable ECC error or bad address
+  bool corrected = false;    ///< a single-bit error was corrected
+  std::uint32_t value = 0;
+};
+
+class EccMemory {
+ public:
+  /// Creates a memory of `sizeBytes` (rounded down to whole words), zeroed.
+  explicit EccMemory(std::uint32_t sizeBytes);
+
+  [[nodiscard]] std::uint32_t sizeBytes() const { return wordCount_ * 4; }
+  [[nodiscard]] std::uint32_t wordCount() const { return wordCount_; }
+
+  /// Aligned 32-bit read with ECC decode. `address` must be word-aligned and
+  /// in range; otherwise ok=false with corrected=false.
+  [[nodiscard]] MemoryReadResult read(std::uint32_t address);
+
+  /// Aligned 32-bit write (re-encodes a fresh codeword, clearing any latent
+  /// upsets in that word). Returns false on bad address.
+  bool write(std::uint32_t address, std::uint32_t value);
+
+  /// Raw read without ECC decode (for golden-run snapshots and scrubbing).
+  [[nodiscard]] std::uint64_t rawCodeword(std::uint32_t wordIndex) const;
+
+  /// Flips one codeword bit (0..38) of the addressed word; the model for a
+  /// memory single-event upset. Returns false on bad address/bit.
+  bool flipBit(std::uint32_t address, int bitIndex);
+
+  /// Memory scrubbing: decodes every word, rewriting corrected codewords.
+  /// Periodic scrubbing keeps latent single-bit upsets from accumulating
+  /// into uncorrectable double-bit errors. Returns the number of words
+  /// corrected in this pass (uncorrectable words are left untouched and
+  /// counted via uncorrectableErrors()).
+  std::uint32_t scrub();
+
+  /// Number of single-bit errors corrected since construction.
+  [[nodiscard]] std::uint64_t correctedErrors() const { return correctedErrors_; }
+  /// Number of uncorrectable (double-bit) errors observed by reads.
+  [[nodiscard]] std::uint64_t uncorrectableErrors() const { return uncorrectableErrors_; }
+
+  [[nodiscard]] bool validAddress(std::uint32_t address) const {
+    return address % 4 == 0 && address / 4 < wordCount_;
+  }
+
+ private:
+  std::uint32_t wordCount_;
+  std::vector<std::uint64_t> codewords_;
+  std::uint64_t correctedErrors_ = 0;
+  std::uint64_t uncorrectableErrors_ = 0;
+};
+
+}  // namespace nlft::hw

@@ -1,0 +1,17 @@
+#include "hw/mmu.hpp"
+
+namespace nlft::hw {
+
+void Mmu::addRegion(MmuRegion region) { regions_.push_back(std::move(region)); }
+
+std::optional<MmuViolation> Mmu::check(std::uint32_t address, Access access) const {
+  if (!enabled_ || activeTask_ == kKernelTask) return std::nullopt;
+  for (const MmuRegion& region : regions_) {
+    if (region.owner != activeTask_) continue;
+    if (address < region.base || address >= region.base + region.size) continue;
+    if (region.permissions & accessMask(access)) return std::nullopt;
+  }
+  return MmuViolation{address, access, activeTask_};
+}
+
+}  // namespace nlft::hw

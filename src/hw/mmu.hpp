@@ -1,0 +1,71 @@
+// Memory management unit with per-task region protection.
+//
+// The paper (Sections 2.4, 2.7) relies on the MMU for fault confinement
+// between tasks and for catching control-flow errors that leave a task's
+// address range. Regions are owned by a task id; the kernel switches the
+// active task id on every dispatch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nlft::hw {
+
+/// Task identity as seen by the MMU. Id 0 is reserved for the kernel, which
+/// bypasses protection (matching supervisor-mode behaviour).
+using MmuTaskId = std::uint32_t;
+inline constexpr MmuTaskId kKernelTask = 0;
+
+enum class Access : std::uint8_t { Read = 1, Write = 2, Execute = 4 };
+
+[[nodiscard]] constexpr std::uint8_t accessMask(Access access) {
+  return static_cast<std::uint8_t>(access);
+}
+
+struct MmuRegion {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;      ///< bytes
+  MmuTaskId owner = kKernelTask;
+  std::uint8_t permissions = 0;  ///< OR of accessMask() values
+  std::string name;
+};
+
+struct MmuViolation {
+  std::uint32_t address = 0;
+  Access access = Access::Read;
+  MmuTaskId task = 0;
+};
+
+class Mmu {
+ public:
+  /// Adds a region; overlapping regions are allowed (first match wins for
+  /// diagnostics, permission check passes if ANY owned region permits).
+  void addRegion(MmuRegion region);
+
+  /// Sets the task id used for subsequent checks.
+  void setActiveTask(MmuTaskId task) { activeTask_ = task; }
+  [[nodiscard]] MmuTaskId activeTask() const { return activeTask_; }
+
+  /// Enables/disables protection (disabled = flat access, like boot mode).
+  void setEnabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Checks an access; returns a violation record if denied.
+  [[nodiscard]] std::optional<MmuViolation> check(std::uint32_t address, Access access) const;
+
+  [[nodiscard]] std::uint64_t violationCount() const { return violations_; }
+  /// check() is const; callers report violations so the counter can advance.
+  void recordViolation() { ++violations_; }
+
+  [[nodiscard]] const std::vector<MmuRegion>& regions() const { return regions_; }
+
+ private:
+  std::vector<MmuRegion> regions_;
+  MmuTaskId activeTask_ = kKernelTask;
+  bool enabled_ = false;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace nlft::hw

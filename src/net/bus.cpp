@@ -1,0 +1,165 @@
+#include "net/bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nlft::net {
+
+TdmaBus::TdmaBus(sim::Simulator& simulator, TdmaConfig config)
+    : simulator_{simulator}, config_{std::move(config)} {
+  if (config_.staticSchedule.empty()) throw std::invalid_argument("TdmaBus: empty schedule");
+  if (config_.slotLength <= Duration{}) throw std::invalid_argument("TdmaBus: bad slot length");
+}
+
+Duration TdmaBus::cycleLength() const {
+  return config_.slotLength * static_cast<std::int64_t>(config_.staticSchedule.size()) +
+         config_.minislotLength * static_cast<std::int64_t>(config_.dynamicMinislots);
+}
+
+void TdmaBus::attach(NodeId node, ReceiveFn receive) {
+  attached_.push_back({node, std::move(receive)});
+}
+
+void TdmaBus::sendStatic(NodeId node, std::vector<std::uint32_t> payload) {
+  pendingStatic_[node] = std::move(payload);
+}
+
+void TdmaBus::sendDynamic(NodeId node, std::uint32_t priority, std::vector<std::uint32_t> payload) {
+  Frame frame;
+  frame.sender = node;
+  frame.slot = ~0u;
+  frame.priority = priority;
+  frame.payload = std::move(payload);
+  pendingDynamic_.push_back(std::move(frame));
+}
+
+void TdmaBus::setNodeSilent(NodeId node, bool silent) { silent_[node] = silent; }
+
+bool TdmaBus::nodeSilent(NodeId node) const {
+  const auto it = silent_.find(node);
+  return it != silent_.end() && it->second;
+}
+
+void TdmaBus::corruptNextFrame(NodeId node) { corruptNext_[node] = true; }
+
+void TdmaBus::setBabbling(NodeId node, bool babbling) { babbling_[node] = babbling; }
+
+void TdmaBus::start() {
+  if (started_) throw std::logic_error("TdmaBus: already started");
+  started_ = true;
+  scheduleNextCycle();
+}
+
+void TdmaBus::scheduleNextCycle() {
+  // Schedule every slot boundary of the upcoming cycle. Frames are delivered
+  // at the END of their slot (transmission complete).
+  const SimTime cycleStart = simulator_.now();
+  for (std::uint32_t slot = 0; slot < config_.staticSchedule.size(); ++slot) {
+    const SimTime slotEnd = cycleStart + config_.slotLength * static_cast<std::int64_t>(slot + 1);
+    simulator_.scheduleAt(slotEnd, [this, slot] { runStaticSlot(slot); },
+                          sim::EventPriority::Network);
+  }
+  const SimTime staticEnd =
+      cycleStart + config_.slotLength * static_cast<std::int64_t>(config_.staticSchedule.size());
+  const SimTime cycleEnd = cycleStart + cycleLength();
+  if (config_.dynamicMinislots > 0) {
+    // Arbitration happens when the static segment closes; each winning frame
+    // is delivered at the end of its minislot.
+    simulator_.scheduleAt(staticEnd, [this] { runDynamicSegment(); },
+                          sim::EventPriority::Network);
+  }
+  simulator_.scheduleAt(cycleEnd,
+                        [this] {
+                          ++cycles_;
+                          scheduleNextCycle();
+                        },
+                        sim::EventPriority::Observer);
+}
+
+void TdmaBus::runStaticSlot(std::uint32_t slot) {
+  const NodeId owner = config_.staticSchedule[slot];
+
+  // Babbling-idiot handling: a faulty node transmitting outside its slot
+  // either collides with the owner's frame (no guardian) or is blocked at
+  // its own bus interface (guardian enabled).
+  bool collision = false;
+  for (const auto& [babbler, active] : babbling_) {
+    if (!active || babbler == owner || nodeSilent(babbler)) continue;
+    if (guardian_) {
+      ++babbleBlocked_;
+    } else {
+      collision = true;
+      ++babbleCollisions_;
+    }
+  }
+
+  if (nodeSilent(owner)) return;
+  const auto it = pendingStatic_.find(owner);
+  if (it == pendingStatic_.end()) return;
+  if (collision) {
+    // The owner's frame is destroyed by the overlapping transmission;
+    // receivers see garbage and their CRC check drops it.
+    pendingStatic_.erase(it);
+    ++dropped_;
+    return;
+  }
+  Frame frame;
+  frame.sender = owner;
+  frame.slot = slot;
+  frame.payload = std::move(it->second);
+  pendingStatic_.erase(it);
+  bool corrupted = false;
+  if (auto corrupt = corruptNext_.find(owner); corrupt != corruptNext_.end() && corrupt->second) {
+    corrupt->second = false;
+    corrupted = true;
+  }
+  deliver(std::move(frame), corrupted);
+}
+
+void TdmaBus::runDynamicSegment() {
+  // Minislot arbitration: pending frames transmit in priority order; each
+  // consumes one minislot. Frames beyond the segment capacity wait.
+  std::stable_sort(pendingDynamic_.begin(), pendingDynamic_.end(),
+                   [](const Frame& a, const Frame& b) { return a.priority < b.priority; });
+  std::uint32_t used = 0;
+  std::deque<Frame> keep;
+  while (!pendingDynamic_.empty()) {
+    Frame frame = std::move(pendingDynamic_.front());
+    pendingDynamic_.pop_front();
+    if (nodeSilent(frame.sender)) continue;  // silent nodes transmit nothing
+    if (used >= config_.dynamicMinislots) {
+      keep.push_back(std::move(frame));
+      continue;
+    }
+    ++used;
+    bool corrupted = false;
+    if (auto corrupt = corruptNext_.find(frame.sender);
+        corrupt != corruptNext_.end() && corrupt->second) {
+      corrupt->second = false;
+      corrupted = true;
+    }
+    simulator_.scheduleAfter(config_.minislotLength * static_cast<std::int64_t>(used),
+                             [this, frame = std::move(frame), corrupted]() mutable {
+                               deliver(std::move(frame), corrupted);
+                             },
+                             sim::EventPriority::Network);
+  }
+  pendingDynamic_ = std::move(keep);
+}
+
+void TdmaBus::deliver(Frame frame, bool corrupted) {
+  // The CRC-16 protecting each frame catches any injected corruption; a
+  // corrupted frame is dropped by every receiver (and therefore by all of
+  // them consistently — an atomic broadcast property of TDMA buses).
+  if (corrupted) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  for (const Attached& attached : attached_) {
+    if (attached.node == frame.sender) continue;
+    attached.receive(frame);
+  }
+}
+
+}  // namespace nlft::net

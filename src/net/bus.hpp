@@ -1,0 +1,130 @@
+// Time-triggered broadcast bus with FlexRay-style communication cycles
+// (paper Section 2.1: "time-triggered ... or even more preferable, a mix of
+// event- and time-triggered communication (such as provided by the FlexRay
+// protocol)").
+//
+// A communication cycle (round) consists of:
+//   * a static segment: one slot per entry in the static schedule, each
+//     owned by one node (time-triggered; used for all critical messages);
+//   * a dynamic segment: minislot arbitration by frame priority (event-
+//     triggered; used for sporadic traffic such as diagnostics or state
+//     re-synchronisation requests).
+//
+// Frames carry a CRC-16; the channel is assumed reliable by the paper, but
+// corruption can be injected to exercise receiver-side end-to-end checks
+// (corrupted frames are dropped and counted, never delivered).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace nlft::net {
+
+using util::Duration;
+using util::SimTime;
+
+using NodeId = std::uint32_t;
+
+struct Frame {
+  NodeId sender = 0;
+  std::uint32_t slot = 0;      ///< static slot index, or ~0u for dynamic frames
+  std::uint32_t priority = 0;  ///< dynamic frames: lower value wins arbitration
+  std::vector<std::uint32_t> payload;
+};
+
+struct TdmaConfig {
+  Duration slotLength = Duration::milliseconds(1);
+  std::vector<NodeId> staticSchedule;  ///< slot index -> owning node
+  std::uint32_t dynamicMinislots = 0;  ///< minislots per cycle (0 = none)
+  Duration minislotLength = Duration::microseconds(100);
+};
+
+class TdmaBus {
+ public:
+  using ReceiveFn = std::function<void(const Frame&)>;
+
+  TdmaBus(sim::Simulator& simulator, TdmaConfig config);
+
+  /// Registers a receiver; every delivered frame (except the node's own) is
+  /// passed to `receive`.
+  void attach(NodeId node, ReceiveFn receive);
+
+  /// Queues the payload for the node's NEXT static slot. One frame per slot;
+  /// a newer message replaces a pending one (freshest-value semantics, as in
+  /// state message protocols).
+  void sendStatic(NodeId node, std::vector<std::uint32_t> payload);
+
+  /// Queues an event-triggered frame for the dynamic segment. Lower priority
+  /// value transmits first. Frames that do not fit wait for the next cycle.
+  void sendDynamic(NodeId node, std::uint32_t priority, std::vector<std::uint32_t> payload);
+
+  /// Starts the first communication cycle at the current simulated time.
+  void start();
+
+  /// Marks a node as silent: its static slots stay empty and its dynamic
+  /// frames are discarded (fail-silent failure, or node powered down).
+  void setNodeSilent(NodeId node, bool silent);
+  [[nodiscard]] bool nodeSilent(NodeId node) const;
+
+  /// Fault injection: the next transmitted frame of `node` is corrupted in
+  /// transit (receivers' CRC check drops it).
+  void corruptNextFrame(NodeId node);
+
+  /// Fault injection: `node` becomes a babbling idiot — it transmits in
+  /// EVERY static slot. Without a bus guardian, its babble collides with
+  /// the slot owner's frame and destroys it (both are dropped); with the
+  /// guardian enabled, out-of-slot transmissions are blocked at the node's
+  /// bus interface and only counted.
+  void setBabbling(NodeId node, bool babbling);
+
+  /// Enables the bus guardian (per-slot transmission windows enforced in
+  /// hardware, as in TTP/FlexRay star couplers / local guardians).
+  void setBusGuardianEnabled(bool enabled) { guardian_ = enabled; }
+  [[nodiscard]] bool busGuardianEnabled() const { return guardian_; }
+
+  [[nodiscard]] std::uint64_t babbleCollisions() const { return babbleCollisions_; }
+  [[nodiscard]] std::uint64_t babbleBlocked() const { return babbleBlocked_; }
+
+  [[nodiscard]] Duration cycleLength() const;
+  [[nodiscard]] std::uint64_t cyclesCompleted() const { return cycles_; }
+  [[nodiscard]] std::uint64_t framesDelivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t framesDropped() const { return dropped_; }
+
+  [[nodiscard]] const TdmaConfig& config() const { return config_; }
+
+ private:
+  struct Attached {
+    NodeId node;
+    ReceiveFn receive;
+  };
+
+  void runStaticSlot(std::uint32_t slot);
+  void runDynamicSegment();
+  void deliver(Frame frame, bool corrupted);
+  void scheduleNextCycle();
+
+  sim::Simulator& simulator_;
+  TdmaConfig config_;
+  std::vector<Attached> attached_;
+  std::map<NodeId, std::vector<std::uint32_t>> pendingStatic_;
+  std::deque<Frame> pendingDynamic_;
+  std::map<NodeId, bool> silent_;
+  std::map<NodeId, bool> corruptNext_;
+  std::map<NodeId, bool> babbling_;
+  bool guardian_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t babbleCollisions_ = 0;
+  std::uint64_t babbleBlocked_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace nlft::net

@@ -1,0 +1,89 @@
+#include "net/clock_sync.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nlft::net {
+
+ClockSyncService::ClockSyncService(sim::Simulator& simulator, util::Duration resyncInterval,
+                                   int faultyTolerated)
+    : simulator_{simulator}, interval_{resyncInterval}, faultyTolerated_{faultyTolerated} {
+  if (resyncInterval <= util::Duration{})
+    throw std::invalid_argument("ClockSyncService: bad interval");
+  if (faultyTolerated < 0) throw std::invalid_argument("ClockSyncService: bad k");
+}
+
+std::size_t ClockSyncService::addClock(DriftingClock clock) {
+  if (started_) throw std::logic_error("ClockSyncService: addClock after start");
+  clocks_.push_back(clock);
+  byzantine_.emplace_back();
+  return clocks_.size() - 1;
+}
+
+void ClockSyncService::setByzantine(std::size_t index,
+                                    std::function<double(double)> lie) {
+  byzantine_.at(index) = std::move(lie);
+}
+
+void ClockSyncService::start() {
+  if (started_) throw std::logic_error("ClockSyncService: already started");
+  if (clocks_.size() < static_cast<std::size_t>(2 * faultyTolerated_ + 1))
+    throw std::invalid_argument("ClockSyncService: need > 2k clocks");
+  started_ = true;
+  simulator_.scheduleAfter(interval_, [this] { resyncRound(); },
+                           sim::EventPriority::Network);
+}
+
+void ClockSyncService::resyncRound() {
+  const util::SimTime now = simulator_.now();
+
+  // Broadcast phase: every node's (possibly lying) reading.
+  std::vector<double> broadcast(clocks_.size());
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    const double honest = clocks_[i].readAt(now);
+    broadcast[i] = byzantine_[i] ? byzantine_[i](honest) : honest;
+  }
+
+  // Correction phase: each honest node applies the fault-tolerant average
+  // of the differences to its own clock.
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (byzantine_[i]) continue;  // a faulty node need not correct itself
+    const double own = clocks_[i].readAt(now);
+    std::vector<double> differences;
+    differences.reserve(clocks_.size());
+    for (std::size_t j = 0; j < clocks_.size(); ++j) {
+      differences.push_back(broadcast[j] - own);  // includes its own zero
+    }
+    std::sort(differences.begin(), differences.end());
+    const std::size_t k = static_cast<std::size_t>(faultyTolerated_);
+    double sum = 0.0;
+    for (std::size_t d = k; d < differences.size() - k; ++d) sum += differences[d];
+    const double correction = sum / static_cast<double>(differences.size() - 2 * k);
+    clocks_[i].adjust(correction);
+  }
+
+  ++rounds_;
+  simulator_.scheduleAfter(interval_, [this] { resyncRound(); },
+                           sim::EventPriority::Network);
+}
+
+double ClockSyncService::maxSkewUs() const {
+  const util::SimTime now = simulator_.now();
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (byzantine_[i]) continue;
+    const double reading = clocks_[i].readAt(now);
+    if (first) {
+      lo = hi = reading;
+      first = false;
+    } else {
+      lo = std::min(lo, reading);
+      hi = std::max(hi, reading);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace nlft::net

@@ -1,0 +1,87 @@
+// Membership and reintegration on top of the TDMA bus.
+//
+// Every alive node broadcasts a heartbeat in its static slot each cycle.
+// Each node maintains a local membership view: a peer is a member while its
+// heartbeats keep arriving; it is expelled after `missTolerance` consecutive
+// silent cycles; and after coming back it is re-admitted only after
+// `reintegrationCycles` consecutive heartbeats (the node must prove itself
+// stable before it may carry load again). The restart/reintegration times
+// behind the paper's repair rates mu_R (3 s) and mu_OM (1.6 s) are exactly
+// these protocol latencies plus the local reboot/diagnosis time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/bus.hpp"
+
+namespace nlft::net {
+
+struct MembershipConfig {
+  std::uint32_t missTolerance = 1;        ///< silent cycles before expulsion
+  std::uint32_t reintegrationCycles = 2;  ///< heartbeats needed to rejoin
+};
+
+/// Runs the heartbeat protocol for a set of nodes sharing one bus.
+///
+/// Heartbeat payloads use one reserved word prepended to application data in
+/// the node's slot; this service owns the slot traffic of its nodes (it
+/// forwards any application payload given via queueAppData).
+class MembershipService {
+ public:
+  MembershipService(sim::Simulator& simulator, TdmaBus& bus, MembershipConfig config = {});
+
+  /// Registers a node; `alive` nodes heartbeat from the next cycle on.
+  void addNode(NodeId node, bool alive = true);
+
+  /// Node liveness toggles: a fail-silent failure sets alive=false; a
+  /// completed restart sets alive=true (reintegration then takes
+  /// reintegrationCycles before peers re-admit the node).
+  void setAlive(NodeId node, bool alive);
+  [[nodiscard]] bool alive(NodeId node) const;
+
+  /// Queues application data to ride along the node's next heartbeat.
+  void queueAppData(NodeId node, std::vector<std::uint32_t> data);
+
+  /// Membership view of `observer`: which peers it currently counts as
+  /// members (the observer itself is always included while alive).
+  [[nodiscard]] std::set<NodeId> membershipView(NodeId observer) const;
+
+  /// True if `observer` counts `peer` as a member.
+  [[nodiscard]] bool isMember(NodeId observer, NodeId peer) const;
+
+  /// Application receive hook: called with (receiver, sender, data) for
+  /// every heartbeat frame carrying application data.
+  using AppReceiveFn = std::function<void(NodeId, NodeId, const std::vector<std::uint32_t>&)>;
+  void setAppReceive(AppReceiveFn fn) { appReceive_ = std::move(fn); }
+
+  /// Must be called once after all nodes are added; also starts the bus.
+  void start();
+
+ private:
+  struct PeerState {
+    bool member = false;
+    std::uint32_t consecutiveHeard = 0;
+    std::uint32_t consecutiveMissed = 0;
+    std::uint64_t lastHeardCycle = ~0ULL;
+  };
+  struct NodeState {
+    bool alive = true;
+    std::vector<std::uint32_t> pendingAppData;
+    std::map<NodeId, PeerState> peers;
+  };
+
+  void onCycle();
+  void onFrame(NodeId receiver, const Frame& frame);
+
+  sim::Simulator& simulator_;
+  TdmaBus& bus_;
+  MembershipConfig config_;
+  std::map<NodeId, NodeState> nodes_;
+  AppReceiveFn appReceive_;
+  bool started_ = false;
+};
+
+}  // namespace nlft::net

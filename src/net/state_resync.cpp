@@ -1,0 +1,68 @@
+#include "net/state_resync.hpp"
+
+namespace nlft::net {
+
+namespace {
+constexpr std::uint32_t kStateRequestMagic = 0x53524551;   // "SREQ"
+constexpr std::uint32_t kStateResponseMagic = 0x53525350;  // "SRSP"
+}  // namespace
+
+StateResyncService::StateResyncService(sim::Simulator& simulator, TdmaBus& bus,
+                                       std::uint32_t requestPriority,
+                                       std::uint32_t responsePriority)
+    : simulator_{simulator},
+      bus_{bus},
+      requestPriority_{requestPriority},
+      responsePriority_{responsePriority} {}
+
+void StateResyncService::addNode(NodeId node, ProviderFn provider) {
+  nodes_[node].provider = std::move(provider);
+  bus_.attach(node, [this, node](const Frame& frame) { onFrame(node, frame); });
+}
+
+void StateResyncService::setRecoveredHandler(NodeId node, RecoveredFn handler) {
+  nodes_.at(node).recovered = std::move(handler);
+}
+
+void StateResyncService::requestState(NodeId node, StateId32 stateId) {
+  NodeState& state = nodes_.at(node);
+  state.outstanding[stateId] = simulator_.now();
+  ++requestsSent_;
+  bus_.sendDynamic(node, requestPriority_, {kStateRequestMagic, stateId});
+}
+
+void StateResyncService::onFrame(NodeId receiver, const Frame& frame) {
+  if (frame.payload.size() < 2) return;
+  NodeState& state = nodes_.at(receiver);
+
+  if (frame.payload[0] == kStateRequestMagic) {
+    // Answer if this node holds the requested state.
+    if (!state.provider) return;
+    const StateId32 stateId = frame.payload[1];
+    if (const auto data = state.provider(stateId)) {
+      std::vector<std::uint32_t> payload{kStateResponseMagic, stateId,
+                                         frame.sender /* requester */};
+      payload.insert(payload.end(), data->begin(), data->end());
+      ++responsesSent_;
+      bus_.sendDynamic(receiver, responsePriority_, std::move(payload));
+    }
+    return;
+  }
+
+  if (frame.payload[0] == kStateResponseMagic && frame.payload.size() >= 3) {
+    const StateId32 stateId = frame.payload[1];
+    const NodeId requester = frame.payload[2];
+    if (requester != receiver) return;  // addressed to someone else
+    const auto outstanding = state.outstanding.find(stateId);
+    if (outstanding == state.outstanding.end()) return;  // duplicate response
+    const Duration latency = simulator_.now() - outstanding->second;
+    state.outstanding.erase(outstanding);
+    ++recoveries_;
+    if (state.recovered) {
+      const std::vector<std::uint32_t> data{frame.payload.begin() + 3, frame.payload.end()};
+      state.recovered(stateId, data, latency);
+    }
+  }
+}
+
+}  // namespace nlft::net

@@ -1,0 +1,75 @@
+// State re-synchronisation over the event-triggered (dynamic) segment.
+//
+// The paper's future-work section singles out FlexRay's event-triggered part
+// for "fast recovery of state data with low communication overhead through
+// special requests to the partner node" after an omission failure. This
+// service implements that protocol:
+//
+//   1. A node that lost state (omission recovery, restart) broadcasts a
+//      STATE_REQ frame in the dynamic segment (high priority).
+//   2. Every peer holding a copy of that state answers with STATE_RESP in
+//      the same or the next dynamic segment.
+//   3. The requester adopts the first matching response and reports the
+//      measured recovery latency.
+//
+// The protocol is generic over a 32-bit-word state snapshot keyed by a
+// state id (e.g. one id per replicated task).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/bus.hpp"
+
+namespace nlft::net {
+
+using StateId32 = std::uint32_t;
+
+class StateResyncService {
+ public:
+  /// `requestPriority` / `responsePriority` are dynamic-segment priorities
+  /// (lower transmits first; responses default just after requests).
+  StateResyncService(sim::Simulator& simulator, TdmaBus& bus,
+                     std::uint32_t requestPriority = 0, std::uint32_t responsePriority = 1);
+
+  /// Registers a node. `provider(stateId)` returns the node's copy of a
+  /// state (nullopt if it does not hold it).
+  using ProviderFn = std::function<std::optional<std::vector<std::uint32_t>>(StateId32)>;
+  void addNode(NodeId node, ProviderFn provider);
+
+  /// Called on the requester when a response arrives:
+  /// (stateId, data, latency since request).
+  using RecoveredFn =
+      std::function<void(StateId32, const std::vector<std::uint32_t>&, Duration)>;
+  void setRecoveredHandler(NodeId node, RecoveredFn handler);
+
+  /// Broadcasts a state request from `node`.
+  void requestState(NodeId node, StateId32 stateId);
+
+  [[nodiscard]] std::uint64_t requestsSent() const { return requestsSent_; }
+  [[nodiscard]] std::uint64_t responsesSent() const { return responsesSent_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  struct NodeState {
+    ProviderFn provider;
+    RecoveredFn recovered;
+    std::map<StateId32, SimTime> outstanding;  ///< stateId -> request time
+  };
+
+  void onFrame(NodeId receiver, const Frame& frame);
+
+  sim::Simulator& simulator_;
+  TdmaBus& bus_;
+  std::uint32_t requestPriority_;
+  std::uint32_t responsePriority_;
+  std::map<NodeId, NodeState> nodes_;
+  std::uint64_t requestsSent_ = 0;
+  std::uint64_t responsesSent_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace nlft::net

@@ -1,0 +1,219 @@
+#include "reliability/ctmc.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nlft::rel {
+
+using util::LuDecomposition;
+using util::Matrix;
+
+StateId CtmcModel::addState(std::string name, bool failure) {
+  names_.push_back(std::move(name));
+  failure_.push_back(failure);
+  initial_.push_back(names_.size() == 1 ? 1.0 : 0.0);
+  return StateId{names_.size() - 1};
+}
+
+void CtmcModel::validateState(StateId s) const {
+  if (s.value >= names_.size()) throw std::invalid_argument("CtmcModel: unknown state");
+}
+
+void CtmcModel::addTransition(StateId from, StateId to, double ratePerHour) {
+  validateState(from);
+  validateState(to);
+  if (from == to) throw std::invalid_argument("CtmcModel: self-transition");
+  if (ratePerHour < 0.0) throw std::invalid_argument("CtmcModel: negative rate");
+  if (ratePerHour == 0.0) return;
+  transitions_.push_back({from.value, to.value, ratePerHour});
+}
+
+void CtmcModel::setInitialProbability(StateId state, double probability) {
+  validateState(state);
+  if (probability < 0.0 || probability > 1.0)
+    throw std::invalid_argument("CtmcModel: initial probability outside [0,1]");
+  initial_[state.value] = probability;
+}
+
+Matrix CtmcModel::generator() const {
+  const std::size_t n = stateCount();
+  Matrix q{n, n};
+  for (const auto& t : transitions_) {
+    q.at(t.from, t.to) += t.rate;
+    q.at(t.from, t.from) -= t.rate;
+  }
+  return q;
+}
+
+Matrix CtmcModel::transientGenerator() const {
+  std::vector<std::size_t> map;
+  for (std::size_t i = 0; i < stateCount(); ++i)
+    if (!failure_[i]) map.push_back(i);
+  const Matrix q = generator();
+  Matrix qt{map.size(), map.size()};
+  for (std::size_t r = 0; r < map.size(); ++r) {
+    // Keep the full exit rate on the diagonal so that probability leaking to
+    // failure states is correctly lost from the transient partition.
+    for (std::size_t c = 0; c < map.size(); ++c) qt.at(r, c) = q.at(map[r], map[c]);
+  }
+  return qt;
+}
+
+std::vector<double> CtmcModel::transientInitial() const {
+  std::vector<double> p0;
+  for (std::size_t i = 0; i < stateCount(); ++i)
+    if (!failure_[i]) p0.push_back(initial_[i]);
+  return p0;
+}
+
+namespace {
+
+std::vector<double> transientPade(const Matrix& q, const std::vector<double>& p0, double t) {
+  const Matrix expQt = util::matrixExponential(q * t);
+  // Row vector: p(t) = p0 * exp(Q t).
+  return expQt.applyLeft(p0);
+}
+
+std::vector<double> transientUniformization(const Matrix& q, const std::vector<double>& p0,
+                                            double t, double epsilon = 1e-12) {
+  const std::size_t n = q.rows();
+  double maxExit = 0.0;
+  for (std::size_t i = 0; i < n; ++i) maxExit = std::max(maxExit, -q.at(i, i));
+  if (maxExit == 0.0 || t == 0.0) return p0;
+
+  const double rate = maxExit * 1.02;
+  const double qt = rate * t;
+  // P = I + Q / rate (a substochastic matrix on the transient partition).
+  Matrix p = Matrix::identity(n);
+  p += q * (1.0 / rate);
+
+  std::vector<double> pk = p0;           // p0 * P^k
+  std::vector<double> result(n, 0.0);
+  double accumulated = 0.0;
+  const std::uint64_t maxIterations =
+      static_cast<std::uint64_t>(qt + 12.0 * std::sqrt(qt) + 64.0);
+  for (std::uint64_t k = 0; k <= maxIterations; ++k) {
+    const double logWeight = -qt + static_cast<double>(k) * std::log(qt) -
+                             std::lgamma(static_cast<double>(k) + 1.0);
+    const double weight = logWeight < -745.0 ? 0.0 : std::exp(logWeight);
+    if (weight > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) result[i] += weight * pk[i];
+      accumulated += weight;
+      if (accumulated >= 1.0 - epsilon) break;
+    }
+    pk = p.applyLeft(pk);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> CtmcModel::stateProbabilities(double tHours, TransientMethod method) const {
+  if (tHours < 0.0) throw std::invalid_argument("CtmcModel: negative time");
+  const std::size_t n = stateCount();
+  const Matrix q = generator();
+  std::vector<double> p;
+  switch (method) {
+    case TransientMethod::PadeExpm:
+      p = transientPade(q, initial_, tHours);
+      break;
+    case TransientMethod::Uniformization:
+      p = transientUniformization(q, initial_, tHours);
+      break;
+  }
+  // Clamp tiny negative round-off.
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::max(0.0, p[i]);
+  return p;
+}
+
+double CtmcModel::reliability(double tHours, TransientMethod method) const {
+  if (tHours < 0.0) throw std::invalid_argument("CtmcModel: negative time");
+  // Work on the transient partition only: with absorbing failure states this
+  // equals 1 - P(failure), and it stays numerically clean for stiff chains.
+  const Matrix qt = transientGenerator();
+  const auto p0 = transientInitial();
+  std::vector<double> p;
+  switch (method) {
+    case TransientMethod::PadeExpm:
+      p = transientPade(qt, p0, tHours);
+      break;
+    case TransientMethod::Uniformization:
+      p = transientUniformization(qt, p0, tHours);
+      break;
+  }
+  double r = std::accumulate(p.begin(), p.end(), 0.0);
+  return std::min(1.0, std::max(0.0, r));
+}
+
+std::vector<double> CtmcModel::expectedVisitTimes() const {
+  const Matrix qt = transientGenerator();
+  const auto p0 = transientInitial();
+  // m^T = p0^T * (-Q_TT)^{-1}  <=>  (-Q_TT)^T m = p0.
+  Matrix neg = qt;
+  neg *= -1.0;
+  return LuDecomposition{neg.transpose()}.solve(p0);
+}
+
+std::vector<double> CtmcModel::stationaryDistribution() const {
+  const std::size_t n = stateCount();
+  const Matrix q = generator();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (q.at(i, i) == 0.0)
+      throw std::logic_error("CtmcModel: absorbing state; no stationary distribution");
+  }
+  // Solve pi Q = 0 with the last balance equation replaced by normalisation:
+  // rows of A are Q^T's rows, except row n-1 = all ones.
+  Matrix a = q.transpose();
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) a.at(n - 1, c) = 1.0;
+  rhs[n - 1] = 1.0;
+  auto pi = LuDecomposition{a}.solve(rhs);
+  for (double& p : pi) p = std::max(0.0, p);
+  return pi;
+}
+
+double CtmcModel::steadyStateAvailability() const {
+  const auto pi = stationaryDistribution();
+  double available = 0.0;
+  for (std::size_t i = 0; i < stateCount(); ++i) {
+    if (!failure_[i]) available += pi[i];
+  }
+  return available;
+}
+
+double CtmcModel::meanTimeToFailure() const {
+  // MTTF = sum over transient states of expected time spent there.
+  const auto visits = expectedVisitTimes();
+  return std::accumulate(visits.begin(), visits.end(), 0.0);
+}
+
+IndependentSeriesSystem::IndependentSeriesSystem(const CtmcModel& a, const CtmcModel& b)
+    : qa_{a.transientGenerator()},
+      qb_{b.transientGenerator()},
+      pa0_{a.transientInitial()},
+      pb0_{b.transientInitial()} {}
+
+double IndependentSeriesSystem::reliability(double tHours) const {
+  const auto pa = transientPade(qa_, pa0_, tHours);
+  const auto pb = transientPade(qb_, pb0_, tHours);
+  const double ra = std::accumulate(pa.begin(), pa.end(), 0.0);
+  const double rb = std::accumulate(pb.begin(), pb.end(), 0.0);
+  return std::min(1.0, std::max(0.0, ra)) * std::min(1.0, std::max(0.0, rb));
+}
+
+double IndependentSeriesSystem::meanTimeToFailure() const {
+  // System survives while BOTH components are transient: the joint process
+  // lives on the product space with generator Q_a (+) Q_b (Kronecker sum).
+  const Matrix joint = util::kroneckerSum(qa_, qb_);
+  std::vector<double> p0(pa0_.size() * pb0_.size());
+  for (std::size_t i = 0; i < pa0_.size(); ++i)
+    for (std::size_t j = 0; j < pb0_.size(); ++j) p0[i * pb0_.size() + j] = pa0_[i] * pb0_[j];
+
+  Matrix neg = joint;
+  neg *= -1.0;
+  const auto visits = LuDecomposition{neg.transpose()}.solve(p0);
+  return std::accumulate(visits.begin(), visits.end(), 0.0);
+}
+
+}  // namespace nlft::rel

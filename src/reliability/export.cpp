@@ -1,0 +1,51 @@
+#include "reliability/export.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nlft::rel {
+
+std::string toDot(const CtmcModel& model, const std::string& title) {
+  std::string dot = "digraph \"" + title + "\" {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < model.stateCount(); ++i) {
+    const StateId state{i};
+    dot += "  s" + std::to_string(i) + " [label=\"" + model.stateName(state) + "\"";
+    if (model.isFailureState(state)) dot += ", shape=doublecircle";
+    dot += "];\n";
+  }
+  const util::Matrix q = model.generator();
+  for (std::size_t from = 0; from < model.stateCount(); ++from) {
+    for (std::size_t to = 0; to < model.stateCount(); ++to) {
+      if (from == to || q.at(from, to) == 0.0) continue;
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.3g", q.at(from, to));
+      dot += "  s" + std::to_string(from) + " -> s" + std::to_string(to) + " [label=\"" +
+             rate + "\"];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+CtmcModel kOfNRepairableChain(int n, int k, double failureRate, double repairRate) {
+  if (n < 1 || k < 1 || k > n) throw std::invalid_argument("kOfNRepairableChain: bad n/k");
+  if (failureRate <= 0.0 || repairRate < 0.0)
+    throw std::invalid_argument("kOfNRepairableChain: bad rates");
+
+  CtmcModel m;
+  const int failureState = n - k + 1;  // this many down => fewer than k up
+  std::vector<StateId> states;
+  for (int down = 0; down <= failureState; ++down) {
+    states.push_back(m.addState(std::to_string(down) + " down", down == failureState));
+  }
+  for (int down = 0; down < failureState; ++down) {
+    m.addTransition(states[down], states[down + 1],
+                    static_cast<double>(n - down) * failureRate);
+    if (down > 0 && repairRate > 0.0) {
+      m.addTransition(states[down], states[down - 1], repairRate);
+    }
+  }
+  return m;
+}
+
+}  // namespace nlft::rel

@@ -1,0 +1,25 @@
+// Graphviz (DOT) export of reliability models — the SHARPE-style tooling
+// side of the engine: render the paper's state-transition diagrams
+// (Figs. 6, 7, 9, 10, 11) and the Fig. 5 fault tree directly from the
+// models used in the analysis.
+#pragma once
+
+#include <string>
+
+#include "reliability/ctmc.hpp"
+
+namespace nlft::rel {
+
+/// DOT digraph of a CTMC: states as nodes (failure states drawn as double
+/// circles), transitions as edges labelled with their rates.
+[[nodiscard]] std::string toDot(const CtmcModel& model, const std::string& title = "ctmc");
+
+/// Generic m-out-of-n repairable group as a birth-death CTMC:
+/// `n` identical components, each failing at `failureRate` while the group
+/// is alive; failed components are repaired one at a time at `repairRate`
+/// (single repair crew); the group fails when fewer than `k` components
+/// remain up. State i = "i components down"; state n-k+1 = failure.
+[[nodiscard]] CtmcModel kOfNRepairableChain(int n, int k, double failureRate,
+                                            double repairRate);
+
+}  // namespace nlft::rel

@@ -1,0 +1,107 @@
+#include "reliability/fault_tree.hpp"
+
+#include <stdexcept>
+
+namespace nlft::rel {
+
+GateId FaultTree::addNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return GateId{nodes_.size() - 1};
+}
+
+GateId FaultTree::basicEvent(std::string name, ReliabilityFn reliabilityFn) {
+  if (!reliabilityFn) throw std::invalid_argument("FaultTree: null reliability function");
+  return addNode(Node{Kind::Basic, std::move(name), std::move(reliabilityFn), 0, {}});
+}
+
+GateId FaultTree::orGate(std::vector<GateId> inputs) {
+  if (inputs.empty()) throw std::invalid_argument("FaultTree: OR gate needs inputs");
+  Node n{Kind::Or, "or", {}, 0, {}};
+  for (GateId g : inputs) n.inputs.push_back(g.value);
+  return addNode(std::move(n));
+}
+
+GateId FaultTree::andGate(std::vector<GateId> inputs) {
+  if (inputs.empty()) throw std::invalid_argument("FaultTree: AND gate needs inputs");
+  Node n{Kind::And, "and", {}, 0, {}};
+  for (GateId g : inputs) n.inputs.push_back(g.value);
+  return addNode(std::move(n));
+}
+
+GateId FaultTree::kOfNGate(std::size_t k, std::vector<GateId> inputs) {
+  if (inputs.empty() || k == 0 || k > inputs.size())
+    throw std::invalid_argument("FaultTree: k-of-n requires 1 <= k <= n");
+  Node n{Kind::KOfN, "k-of-n", {}, k, {}};
+  for (GateId g : inputs) n.inputs.push_back(g.value);
+  return addNode(std::move(n));
+}
+
+void FaultTree::setTop(GateId top) {
+  if (top.value >= nodes_.size()) throw std::invalid_argument("FaultTree: unknown top");
+  top_ = top.value;
+  hasTop_ = true;
+}
+
+double FaultTree::nodeFailure(std::size_t node, double tHours, std::ptrdiff_t forcedNode,
+                              double forcedValue) const {
+  const Node& n = nodes_[node];
+  if (forcedNode >= 0 && static_cast<std::size_t>(forcedNode) == node && n.kind == Kind::Basic) {
+    return forcedValue;
+  }
+  switch (n.kind) {
+    case Kind::Basic:
+      return 1.0 - n.fn(tHours);
+    case Kind::Or: {
+      double survive = 1.0;
+      for (std::size_t input : n.inputs)
+        survive *= 1.0 - nodeFailure(input, tHours, forcedNode, forcedValue);
+      return 1.0 - survive;
+    }
+    case Kind::And: {
+      double fail = 1.0;
+      for (std::size_t input : n.inputs)
+        fail *= nodeFailure(input, tHours, forcedNode, forcedValue);
+      return fail;
+    }
+    case Kind::KOfN: {
+      // dist[j] = P(exactly j inputs failed) over processed inputs.
+      std::vector<double> dist(n.inputs.size() + 1, 0.0);
+      dist[0] = 1.0;
+      std::size_t processed = 0;
+      for (std::size_t input : n.inputs) {
+        const double f = nodeFailure(input, tHours, forcedNode, forcedValue);
+        for (std::size_t j = processed + 1; j-- > 0;) {
+          dist[j + 1] += dist[j] * f;
+          dist[j] *= 1.0 - f;
+        }
+        ++processed;
+      }
+      double sum = 0.0;
+      for (std::size_t j = n.k; j <= n.inputs.size(); ++j) sum += dist[j];
+      return sum;
+    }
+  }
+  return 1.0;
+}
+
+double FaultTree::failureProbability(double tHours) const {
+  if (nodes_.empty()) throw std::logic_error("FaultTree: empty tree");
+  const std::size_t top = hasTop_ ? top_ : nodes_.size() - 1;
+  return nodeFailure(top, tHours);
+}
+
+double FaultTree::reliability(double tHours) const { return 1.0 - failureProbability(tHours); }
+
+double FaultTree::mttf(double horizonHintHours) const {
+  return mttfByIntegration([this](double t) { return reliability(t); }, horizonHintHours);
+}
+
+double FaultTree::birnbaumImportance(GateId basicEvent, double tHours) const {
+  if (basicEvent.value >= nodes_.size() || nodes_[basicEvent.value].kind != Kind::Basic)
+    throw std::invalid_argument("FaultTree: birnbaumImportance needs a basic event");
+  const std::size_t top = hasTop_ ? top_ : nodes_.size() - 1;
+  const auto forced = static_cast<std::ptrdiff_t>(basicEvent.value);
+  return nodeFailure(top, tHours, forced, 1.0) - nodeFailure(top, tHours, forced, 0.0);
+}
+
+}  // namespace nlft::rel

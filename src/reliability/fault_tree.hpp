@@ -1,0 +1,77 @@
+// Static fault trees.
+//
+// A fault tree expresses *failure* logic: basic events are component
+// failures with probability F(t) = 1 - R(t); gates combine them. The paper's
+// Figure 5 is a two-input OR gate over the central-unit subsystem and the
+// wheel-node subsystem.
+//
+// Basic events must be statistically independent and must not be shared
+// between branches (no repeated events); this matches the paper's
+// assumptions and is validated in debug builds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reliability/reliability_fn.hpp"
+
+namespace nlft::rel {
+
+/// Handle to a node inside one FaultTree instance.
+struct GateId {
+  std::size_t value = 0;
+  friend bool operator==(GateId, GateId) = default;
+};
+
+class FaultTree {
+ public:
+  /// Adds a basic event whose *reliability* (not failure probability) is fn.
+  GateId basicEvent(std::string name, ReliabilityFn reliabilityFn);
+
+  /// Output fails if ANY input fails.
+  GateId orGate(std::vector<GateId> inputs);
+  /// Output fails only if ALL inputs fail.
+  GateId andGate(std::vector<GateId> inputs);
+  /// Output fails if at least k of the n inputs fail.
+  GateId kOfNGate(std::size_t k, std::vector<GateId> inputs);
+
+  /// Designates the top event (defaults to the last node added).
+  void setTop(GateId top);
+
+  /// Probability that the top event has occurred by time t.
+  [[nodiscard]] double failureProbability(double tHours) const;
+  /// 1 - failureProbability.
+  [[nodiscard]] double reliability(double tHours) const;
+  /// MTTF of the top event by numeric integration of reliability().
+  [[nodiscard]] double mttf(double horizonHintHours) const;
+
+  /// Birnbaum structural importance of a basic event at time t:
+  /// I_B = F_top(event failed) - F_top(event working). The event with the
+  /// highest importance is the system's reliability bottleneck (the paper's
+  /// Section 3.2.3 motivates the hierarchical model with exactly this kind
+  /// of bottleneck identification).
+  [[nodiscard]] double birnbaumImportance(GateId basicEvent, double tHours) const;
+
+ private:
+  enum class Kind { Basic, Or, And, KOfN };
+  struct Node {
+    Kind kind;
+    std::string name;
+    ReliabilityFn fn;  // basic only
+    std::size_t k = 0;
+    std::vector<std::size_t> inputs;
+  };
+
+  GateId addNode(Node node);
+  /// `forcedNode` >= 0 pins that basic event's failure probability.
+  [[nodiscard]] double nodeFailure(std::size_t node, double tHours,
+                                   std::ptrdiff_t forcedNode = -1,
+                                   double forcedValue = 0.0) const;
+
+  std::vector<Node> nodes_;
+  std::size_t top_ = 0;
+  bool hasTop_ = false;
+};
+
+}  // namespace nlft::rel

@@ -1,0 +1,93 @@
+#include "reliability/rbd.hpp"
+
+#include <stdexcept>
+
+namespace nlft::rel {
+
+BlockId Rbd::addBlock(Block block) {
+  blocks_.push_back(std::move(block));
+  return BlockId{blocks_.size() - 1};
+}
+
+BlockId Rbd::component(std::string name, ReliabilityFn fn) {
+  if (!fn) throw std::invalid_argument("Rbd: null reliability function");
+  return addBlock(Block{Kind::Component, std::move(name), std::move(fn), 0, {}});
+}
+
+BlockId Rbd::series(std::vector<BlockId> children) {
+  if (children.empty()) throw std::invalid_argument("Rbd: series needs children");
+  Block b{Kind::Series, "series", {}, 0, {}};
+  for (BlockId c : children) b.children.push_back(c.value);
+  return addBlock(std::move(b));
+}
+
+BlockId Rbd::parallel(std::vector<BlockId> children) {
+  if (children.empty()) throw std::invalid_argument("Rbd: parallel needs children");
+  Block b{Kind::Parallel, "parallel", {}, 0, {}};
+  for (BlockId c : children) b.children.push_back(c.value);
+  return addBlock(std::move(b));
+}
+
+BlockId Rbd::kOfN(std::size_t k, std::vector<BlockId> children) {
+  if (children.empty() || k == 0 || k > children.size())
+    throw std::invalid_argument("Rbd: k-of-n requires 1 <= k <= n");
+  Block b{Kind::KOfN, "k-of-n", {}, k, {}};
+  for (BlockId c : children) b.children.push_back(c.value);
+  return addBlock(std::move(b));
+}
+
+void Rbd::setRoot(BlockId root) {
+  if (root.value >= blocks_.size()) throw std::invalid_argument("Rbd: unknown root");
+  root_ = root.value;
+  hasRoot_ = true;
+}
+
+double Rbd::blockReliability(BlockId block, double tHours) const {
+  if (block.value >= blocks_.size()) throw std::invalid_argument("Rbd: unknown block");
+  const Block& b = blocks_[block.value];
+  switch (b.kind) {
+    case Kind::Component:
+      return b.fn(tHours);
+    case Kind::Series: {
+      double r = 1.0;
+      for (std::size_t c : b.children) r *= blockReliability(BlockId{c}, tHours);
+      return r;
+    }
+    case Kind::Parallel: {
+      double unreliability = 1.0;
+      for (std::size_t c : b.children) unreliability *= 1.0 - blockReliability(BlockId{c}, tHours);
+      return 1.0 - unreliability;
+    }
+    case Kind::KOfN: {
+      // Dynamic program over children: dist[j] = P(exactly j of the first i
+      // children work). Handles heterogeneous components exactly.
+      std::vector<double> dist(b.children.size() + 1, 0.0);
+      dist[0] = 1.0;
+      std::size_t processed = 0;
+      for (std::size_t c : b.children) {
+        const double r = blockReliability(BlockId{c}, tHours);
+        for (std::size_t j = processed + 1; j-- > 0;) {
+          dist[j + 1] += dist[j] * r;
+          dist[j] *= 1.0 - r;
+        }
+        ++processed;
+      }
+      double sum = 0.0;
+      for (std::size_t j = b.k; j <= b.children.size(); ++j) sum += dist[j];
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+double Rbd::reliability(double tHours) const {
+  if (blocks_.empty()) throw std::logic_error("Rbd: empty diagram");
+  const std::size_t root = hasRoot_ ? root_ : blocks_.size() - 1;
+  return blockReliability(BlockId{root}, tHours);
+}
+
+double Rbd::mttf(double horizonHintHours) const {
+  return mttfByIntegration([this](double t) { return reliability(t); }, horizonHintHours);
+}
+
+}  // namespace nlft::rel

@@ -1,0 +1,66 @@
+// Reliability block diagrams (RBD).
+//
+// A block diagram is a tree: leaves are components with reliability
+// functions; inner blocks combine children in series (all must work),
+// parallel (at least one must work) or k-of-n (at least k must work).
+// Components are assumed statistically independent, matching the paper's
+// assumptions (Section 3.2.2). Figure 8 of the paper (wheel-node subsystem,
+// full functionality, fail-silent nodes) is a 4-block series diagram.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reliability/reliability_fn.hpp"
+
+namespace nlft::rel {
+
+/// Handle to a block inside one Rbd instance.
+struct BlockId {
+  std::size_t value = 0;
+  friend bool operator==(BlockId, BlockId) = default;
+};
+
+class Rbd {
+ public:
+  /// Adds a leaf component with the given reliability function.
+  BlockId component(std::string name, ReliabilityFn fn);
+
+  /// All children must work. Requires at least one child.
+  BlockId series(std::vector<BlockId> children);
+  /// At least one child must work. Requires at least one child.
+  BlockId parallel(std::vector<BlockId> children);
+  /// At least k of the children must work. Requires 1 <= k <= n.
+  BlockId kOfN(std::size_t k, std::vector<BlockId> children);
+
+  /// Designates the top-level block (defaults to the last one added).
+  void setRoot(BlockId root);
+
+  /// System reliability at time t (hours).
+  [[nodiscard]] double reliability(double tHours) const;
+
+  /// Reliability of an individual block (useful for bottleneck inspection).
+  [[nodiscard]] double blockReliability(BlockId block, double tHours) const;
+
+  /// System MTTF by numeric integration.
+  [[nodiscard]] double mttf(double horizonHintHours) const;
+
+ private:
+  enum class Kind { Component, Series, Parallel, KOfN };
+  struct Block {
+    Kind kind;
+    std::string name;
+    ReliabilityFn fn;                // component only
+    std::size_t k = 0;               // k-of-n only
+    std::vector<std::size_t> children;
+  };
+
+  BlockId addBlock(Block block);
+
+  std::vector<Block> blocks_;
+  std::size_t root_ = 0;
+  bool hasRoot_ = false;
+};
+
+}  // namespace nlft::rel

@@ -1,0 +1,26 @@
+#include "reliability/reliability_fn.hpp"
+
+#include <cmath>
+
+#include "util/quadrature.hpp"
+
+namespace nlft::rel {
+
+ReliabilityFn exponentialReliability(double ratePerHour) {
+  return [ratePerHour](double t) { return std::exp(-ratePerHour * t); };
+}
+
+ReliabilityFn constantReliability(double value) {
+  return [value](double) { return value; };
+}
+
+ReliabilityFn ctmcReliability(CtmcModel model) {
+  auto shared = std::make_shared<CtmcModel>(std::move(model));
+  return [shared](double t) { return shared->reliability(t); };
+}
+
+double mttfByIntegration(const ReliabilityFn& fn, double horizonHint) {
+  return util::integrateToInfinity(fn, horizonHint, 1e-9);
+}
+
+}  // namespace nlft::rel

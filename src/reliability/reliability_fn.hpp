@@ -1,0 +1,28 @@
+// Reliability functions R(t) and helpers to build them.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "reliability/ctmc.hpp"
+
+namespace nlft::rel {
+
+/// A reliability function: t in hours -> probability of survival in [0,1].
+using ReliabilityFn = std::function<double(double)>;
+
+/// R(t) = exp(-rate * t).
+[[nodiscard]] ReliabilityFn exponentialReliability(double ratePerHour);
+
+/// Constant reliability (useful for components out of scope of a study).
+[[nodiscard]] ReliabilityFn constantReliability(double value);
+
+/// Reliability of a CTMC (probability of not having hit a failure state).
+/// The model is copied into the returned function.
+[[nodiscard]] ReliabilityFn ctmcReliability(CtmcModel model);
+
+/// MTTF of an arbitrary reliability function by numeric integration.
+/// `horizonHint` (hours) sets the first integration window.
+[[nodiscard]] double mttfByIntegration(const ReliabilityFn& fn, double horizonHint);
+
+}  // namespace nlft::rel

@@ -1,0 +1,49 @@
+#include "rtkernel/observer.hpp"
+
+namespace nlft::rt {
+
+ResponseTimeObserver::ResponseTimeObserver(RtKernel& kernel) : kernel_{kernel} {
+  kernel_.setResultSink([this](const JobResult& result) { onResult(result); });
+}
+
+void ResponseTimeObserver::noteRelease(TaskId task, std::uint64_t jobIndex,
+                                       SimTime releaseTime) {
+  sporadicReleases_[{task.value, jobIndex}] = releaseTime;
+}
+
+void ResponseTimeObserver::onResult(const JobResult& result) {
+  SimTime release;
+  const auto sporadic = sporadicReleases_.find({result.task.value, result.jobIndex});
+  if (sporadic != sporadicReleases_.end()) {
+    release = sporadic->second;
+    sporadicReleases_.erase(sporadic);
+  } else {
+    // Periodic: release k happens at offset + k * period.
+    const TaskConfig& config = kernel_.config(result.task);
+    release = SimTime::zero() + config.offset +
+              config.period * static_cast<std::int64_t>(result.jobIndex);
+  }
+  const Duration response = result.deliveredAt - release;
+  stats_[result.task.value].add(response.toSeconds());
+  if (downstream_) downstream_(result);
+}
+
+const util::RunningStats& ResponseTimeObserver::stats(TaskId task) const {
+  static const util::RunningStats kEmpty{};
+  const auto it = stats_.find(task.value);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+Duration ResponseTimeObserver::worstCase(TaskId task) const {
+  const util::RunningStats& s = stats(task);
+  if (s.count() == 0) return Duration{};
+  return Duration::fromSeconds(s.max());
+}
+
+Duration ResponseTimeObserver::jitter(TaskId task) const {
+  const util::RunningStats& s = stats(task);
+  if (s.count() == 0) return Duration{};
+  return Duration::fromSeconds(s.max() - s.min());
+}
+
+}  // namespace nlft::rt

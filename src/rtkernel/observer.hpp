@@ -1,0 +1,48 @@
+// Response-time observation: per-task response-time statistics (max, mean,
+// jitter) collected from delivered results, for comparing the running system
+// against the response-time analysis bounds.
+#pragma once
+
+#include <map>
+
+#include "rtkernel/kernel.hpp"
+#include "util/statistics.hpp"
+
+namespace nlft::rt {
+
+/// Collects response times (delivery time - release time) per task.
+///
+/// Hook it between the kernel and the application's result sink:
+///
+///   ResponseTimeObserver observer{kernel};
+///   observer.setDownstream([](const JobResult& r) { ... });
+///
+/// The observer needs the jobs' release times, which it derives from the
+/// task config (periodic releases) — exact for periodic tasks started at
+/// offset; sporadic tasks can be recorded manually via noteRelease().
+class ResponseTimeObserver {
+ public:
+  explicit ResponseTimeObserver(RtKernel& kernel);
+
+  /// Forwards every result downstream after recording its response time.
+  void setDownstream(RtKernel::ResultSink sink) { downstream_ = std::move(sink); }
+
+  /// Records a sporadic release (periodic ones are derived automatically).
+  void noteRelease(TaskId task, std::uint64_t jobIndex, SimTime releaseTime);
+
+  [[nodiscard]] const util::RunningStats& stats(TaskId task) const;
+  /// Max observed response; zero if the task never delivered.
+  [[nodiscard]] Duration worstCase(TaskId task) const;
+  /// Jitter: max - min observed response time.
+  [[nodiscard]] Duration jitter(TaskId task) const;
+
+ private:
+  void onResult(const JobResult& result);
+
+  RtKernel& kernel_;
+  RtKernel::ResultSink downstream_;
+  std::map<std::uint32_t, util::RunningStats> stats_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SimTime> sporadicReleases_;
+};
+
+}  // namespace nlft::rt

@@ -1,0 +1,100 @@
+#include "rtkernel/rta.hpp"
+
+#include <stdexcept>
+
+namespace nlft::rt {
+
+namespace {
+
+// ceil(a / b) for positive durations.
+std::int64_t ceilDiv(Duration a, Duration b) {
+  return (a.us() + b.us() - 1) / b.us();
+}
+
+std::optional<Duration> fixedPoint(const std::vector<RtaTask>& tasks, std::size_t index,
+                                   Duration faultMinInterArrival) {
+  const RtaTask& task = tasks[index];
+  if (task.wcet <= Duration{}) throw std::invalid_argument("RTA: non-positive wcet");
+
+  // Max recovery cost among tasks at this or higher priority: a fault in any
+  // of them can steal CPU time from task i.
+  Duration maxRecovery{};
+  for (const RtaTask& other : tasks) {
+    if (other.priority >= task.priority) maxRecovery = std::max(maxRecovery, other.recovery);
+  }
+
+  // The recurrence either converges or grows without bound (utilisation at
+  // or above 1 within this priority band). Responses are reported even past
+  // the deadline so callers can see HOW unschedulable a task is; only truly
+  // divergent recurrences return nullopt.
+  const Duration divergenceBound = std::max(task.deadline, task.period) * 64;
+
+  Duration response = task.wcet;
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    Duration demand = task.wcet;
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (j == index) continue;
+      const RtaTask& other = tasks[j];
+      if (other.priority <= task.priority) continue;
+      if (other.period <= Duration{}) throw std::invalid_argument("RTA: non-positive period");
+      demand += Duration::microseconds(ceilDiv(response, other.period) * other.wcet.us());
+    }
+    if (faultMinInterArrival > Duration{} && maxRecovery > Duration{}) {
+      demand += Duration::microseconds(ceilDiv(response, faultMinInterArrival) * maxRecovery.us());
+    }
+    if (demand == response) return response;
+    if (demand > divergenceBound) return std::nullopt;
+    response = demand;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Duration> responseTime(const std::vector<RtaTask>& tasks, std::size_t index) {
+  return fixedPoint(tasks, index, Duration{});
+}
+
+std::optional<Duration> responseTimeWithFaults(const std::vector<RtaTask>& tasks,
+                                               std::size_t index,
+                                               Duration faultMinInterArrival) {
+  return fixedPoint(tasks, index, faultMinInterArrival);
+}
+
+RtaResult analyze(const std::vector<RtaTask>& tasks, Duration faultMinInterArrival) {
+  RtaResult result;
+  result.schedulable = true;
+  result.responseTimes.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto response = fixedPoint(tasks, i, faultMinInterArrival);
+    if (response && *response <= tasks[i].deadline) {
+      result.responseTimes[i] = *response;
+    } else {
+      result.schedulable = false;
+      result.responseTimes[i] = response.value_or(Duration::microseconds(-1));
+    }
+  }
+  return result;
+}
+
+double utilization(const std::vector<RtaTask>& tasks) {
+  double total = 0.0;
+  for (const RtaTask& task : tasks) {
+    if (task.period <= Duration{}) throw std::invalid_argument("RTA: non-positive period");
+    total += static_cast<double>(task.wcet.us()) / static_cast<double>(task.period.us());
+  }
+  return total;
+}
+
+RtaTask temTask(Duration singleCopy, Duration checkOverhead, Duration period, Duration deadline,
+                int priority) {
+  RtaTask task;
+  task.wcet = singleCopy * 2 + checkOverhead;
+  task.recovery = singleCopy + checkOverhead;
+  task.period = period;
+  task.deadline = deadline;
+  task.priority = priority;
+  return task;
+}
+
+}  // namespace nlft::rt

@@ -1,0 +1,68 @@
+// Response-time analysis (RTA) for fixed-priority preemptive scheduling,
+// including the fault-tolerant extension the paper relies on (Section 2.8):
+// slack must be reserved a priori so that a failed critical task can
+// re-execute (the third TEM copy) without causing any deadline miss.
+//
+// Classic RTA (Joseph & Pandya):
+//   R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+//
+// Fault-tolerant RTA (Burns, Davis & Punnekkat 1996):
+//   R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+//             + ceil(R_i / T_F) * max_{k in hep(i)} F_k
+// where T_F is the minimum inter-arrival time of faults and F_k the
+// recovery cost (re-execution time) of task k.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nlft::rt {
+
+using util::Duration;
+
+/// A task as seen by the analysis. `wcet` is the total per-job demand in the
+/// fault-free case (for TEM tasks: two copies plus comparison overhead);
+/// `recovery` is the extra demand when one fault hits the job (the third
+/// copy plus the vote).
+struct RtaTask {
+  Duration wcet{};
+  Duration period{};
+  Duration deadline{};
+  int priority = 0;
+  Duration recovery{};
+};
+
+struct RtaResult {
+  bool schedulable = false;
+  std::vector<Duration> responseTimes;  // parallel to the input task vector
+};
+
+/// Worst-case response time of tasks[index] ignoring faults.
+/// Returns std::nullopt if the recurrence diverges past the deadline.
+[[nodiscard]] std::optional<Duration> responseTime(const std::vector<RtaTask>& tasks,
+                                                   std::size_t index);
+
+/// Worst-case response time with faults arriving at most every
+/// `faultMinInterArrival` (T_F). Pass zero recovery costs to recover the
+/// classic analysis.
+[[nodiscard]] std::optional<Duration> responseTimeWithFaults(const std::vector<RtaTask>& tasks,
+                                                             std::size_t index,
+                                                             Duration faultMinInterArrival);
+
+/// Full task-set analysis; `faultMinInterArrival` zero means fault-free.
+[[nodiscard]] RtaResult analyze(const std::vector<RtaTask>& tasks,
+                                Duration faultMinInterArrival = Duration{});
+
+/// Total utilisation (sum of wcet/period) as a fraction.
+[[nodiscard]] double utilization(const std::vector<RtaTask>& tasks);
+
+/// Helper: the per-job demand of a TEM-protected task with a single-copy
+/// execution time `singleCopy` and comparison/vote overhead `checkOverhead`:
+/// fault-free demand is two copies + one comparison; recovery is one more
+/// copy + one more comparison (the majority vote).
+[[nodiscard]] RtaTask temTask(Duration singleCopy, Duration checkOverhead, Duration period,
+                              Duration deadline, int priority);
+
+}  // namespace nlft::rt

@@ -1,0 +1,37 @@
+#include "rtkernel/watchdog.hpp"
+
+#include <stdexcept>
+
+namespace nlft::rt {
+
+Watchdog::Watchdog(sim::Simulator& simulator, Duration timeout, std::function<void()> onExpire)
+    : simulator_{simulator}, timeout_{timeout}, onExpire_{std::move(onExpire)} {
+  if (timeout <= Duration{}) throw std::invalid_argument("Watchdog: bad timeout");
+  arm();
+}
+
+Watchdog::~Watchdog() { disable(); }
+
+void Watchdog::arm() {
+  pending_ = simulator_.scheduleAfter(timeout_, [this] {
+    pending_ = sim::EventId{};
+    expired_ = true;
+    enabled_ = false;
+    if (onExpire_) onExpire_();
+  }, sim::EventPriority::Hardware);
+}
+
+void Watchdog::kick() {
+  if (!enabled_) return;
+  ++kicks_;
+  simulator_.cancel(pending_);
+  arm();
+}
+
+void Watchdog::disable() {
+  enabled_ = false;
+  simulator_.cancel(pending_);
+  pending_ = sim::EventId{};
+}
+
+}  // namespace nlft::rt

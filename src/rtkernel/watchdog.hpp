@@ -1,0 +1,48 @@
+// Hardware watchdog timer.
+//
+// Fail-silent behaviour must hold even when the KERNEL itself hangs (a
+// control-flow error looping inside kernel code produces no output — but
+// also no error report). A hardware watchdog enforces it: the kernel kicks
+// the watchdog on every job release; if no kick arrives within the timeout,
+// the watchdog hardware silences the node. This closes the detection gap
+// behind the paper's Section 2.2 strategy 3.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace nlft::rt {
+
+using util::Duration;
+
+class Watchdog {
+ public:
+  /// `onExpire` fires when the watchdog is not kicked for `timeout`.
+  Watchdog(sim::Simulator& simulator, Duration timeout, std::function<void()> onExpire);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Restarts the countdown (the kernel's periodic liveness signal).
+  void kick();
+
+  /// Stops the watchdog (node intentionally shut down).
+  void disable();
+
+  [[nodiscard]] bool expired() const { return expired_; }
+  [[nodiscard]] std::uint64_t kicks() const { return kicks_; }
+
+ private:
+  void arm();
+
+  sim::Simulator& simulator_;
+  Duration timeout_;
+  std::function<void()> onExpire_;
+  sim::EventId pending_{};
+  bool expired_ = false;
+  bool enabled_ = true;
+  std::uint64_t kicks_ = 0;
+};
+
+}  // namespace nlft::rt

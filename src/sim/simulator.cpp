@@ -1,0 +1,72 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace nlft::sim {
+
+EventId Simulator::scheduleAt(SimTime at, Callback cb, EventPriority priority) {
+  if (at < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  const std::uint64_t id = nextId_++;
+  queue_.push(Entry{at, static_cast<int>(priority), nextSeq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+EventId Simulator::scheduleAfter(Duration delay, Callback cb, EventPriority priority) {
+  if (delay < Duration{}) throw std::invalid_argument("Simulator: negative delay");
+  return scheduleAt(now_ + delay, std::move(cb), priority);
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (const auto cancelledIt = cancelled_.find(entry.id); cancelledIt != cancelled_.end()) {
+      cancelled_.erase(cancelledIt);
+      continue;
+    }
+    const auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // defensive; should not happen
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.at;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::purgeCancelledTop() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+void Simulator::runUntil(SimTime limit) {
+  for (;;) {
+    purgeCancelledTop();
+    if (queue_.empty() || queue_.top().at > limit) break;
+    if (!step()) break;
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Simulator::runAll() {
+  while (step()) {
+  }
+}
+
+}  // namespace nlft::sim

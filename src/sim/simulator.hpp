@@ -1,0 +1,102 @@
+// Discrete-event simulation core.
+//
+// A single Simulator instance owns the simulated clock and an event queue.
+// Events are callbacks scheduled at absolute times; ties are broken first by
+// an explicit priority (lower value runs first) and then by insertion order,
+// which makes every run fully deterministic.
+//
+// The real-time kernel, the TDMA bus and the fault injector all share one
+// Simulator, so cross-component ordering (e.g. "fault strikes during the
+// second task copy") is exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nlft::sim {
+
+using util::Duration;
+using util::SimTime;
+
+/// Handle for a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Tie-break priorities for events scheduled at the same instant.
+/// Lower runs first.
+enum class EventPriority : int {
+  FaultInjection = 0,  // faults strike "just before" anything else at t
+  Hardware = 1,
+  Kernel = 2,
+  Network = 3,
+  Application = 4,
+  Observer = 9,
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (must not be in the past).
+  EventId scheduleAt(SimTime at, Callback cb, EventPriority priority = EventPriority::Application);
+  /// Schedules `cb` after a non-negative delay from now.
+  EventId scheduleAfter(Duration delay, Callback cb,
+                        EventPriority priority = EventPriority::Application);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled (safe to call either way).
+  bool cancel(EventId id);
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+  /// Runs events until the queue is empty or `limit` is reached; the clock
+  /// ends at exactly `limit` even if no event fires there.
+  void runUntil(SimTime limit);
+  /// Runs all events (use only for workloads that are known to terminate).
+  void runAll();
+
+  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t processedEvents() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    int priority;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void purgeCancelledTop();
+
+  SimTime now_;
+  std::uint64_t nextId_ = 1;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace nlft::sim

@@ -1,0 +1,194 @@
+#include "sysmodel/montecarlo.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nlft::sys {
+
+namespace {
+
+enum class NodeState : std::uint8_t { Up, DownTemporary, DownPermanent };
+
+struct NodeRuntime {
+  NodeState state = NodeState::Up;
+  int group = 0;
+  double nextEventAt = 0.0;  ///< next fault (Up) or repair completion (DownTemporary)
+};
+
+/// Draws what happens when an activated fault hits an up node.
+/// Returns true if the system fails outright (undetected error).
+struct FaultEffect {
+  bool systemFailure = false;
+  bool nodeDown = false;
+  bool permanent = false;
+  double repairRate = 0.0;
+};
+
+FaultEffect resolveFault(const SystemSpec& spec, util::Rng& rng) {
+  const NodeParameters& p = spec.params;
+  FaultEffect effect;
+
+  const double lambda = p.lambdaPermanent + p.lambdaTransient;
+  const bool permanentFault = rng.bernoulli(p.lambdaPermanent / lambda);
+
+  // Pessimistic assumption of the paper: every non-covered error is fatal
+  // for the entire system.
+  if (!rng.bernoulli(p.coverage)) {
+    effect.systemFailure = true;
+    return effect;
+  }
+
+  if (permanentFault) {
+    // Detected permanent fault: the node is taken down for good (repair of
+    // permanent faults is outside the model's scope).
+    effect.nodeDown = true;
+    effect.permanent = true;
+    return effect;
+  }
+
+  // Detected transient fault.
+  if (spec.behavior == NodeBehavior::FailSilent) {
+    // The node always restarts: down for ~Exp(muRestart).
+    effect.nodeDown = true;
+    effect.repairRate = p.muRestart;
+    return effect;
+  }
+
+  // NLFT node: mask / omission / fail-silent split.
+  const double u = rng.uniform01();
+  if (u < p.pMask) {
+    return effect;  // masked by TEM: no visible effect at all
+  }
+  if (u < p.pMask + p.pOmission) {
+    effect.nodeDown = true;
+    effect.repairRate = p.muOmissionRepair;
+    return effect;
+  }
+  effect.nodeDown = true;
+  effect.repairRate = p.muRestart;
+  return effect;
+}
+
+}  // namespace
+
+double simulateLifetime(const SystemSpec& spec, double horizonHours, util::Rng& rng) {
+  if (spec.groups.empty()) throw std::invalid_argument("simulateLifetime: no groups");
+  const double lambda = spec.params.lambdaPermanent + spec.params.lambdaTransient;
+
+  std::vector<NodeRuntime> nodes;
+  std::vector<int> upCount(spec.groups.size(), 0);
+  std::vector<int> required(spec.groups.size(), 0);
+  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+    const GroupSpec& group = spec.groups[g];
+    if (group.requiredUp < 0 || group.requiredUp > group.nodes)
+      throw std::invalid_argument("simulateLifetime: bad group requirement");
+    required[g] = group.requiredUp;
+    upCount[g] = group.nodes;
+    for (int n = 0; n < group.nodes; ++n) {
+      NodeRuntime node;
+      node.group = static_cast<int>(g);
+      node.nextEventAt = rng.exponential(lambda);
+      nodes.push_back(node);
+    }
+  }
+
+  double now = 0.0;
+  for (;;) {
+    // Next event over all nodes (faults of up nodes, repairs of down ones).
+    std::size_t nextIndex = nodes.size();
+    double nextAt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].state == NodeState::DownPermanent) continue;
+      if (nodes[i].nextEventAt < nextAt) {
+        nextAt = nodes[i].nextEventAt;
+        nextIndex = i;
+      }
+    }
+    if (nextAt >= horizonHours || nextIndex == nodes.size()) return horizonHours;
+    now = nextAt;
+    NodeRuntime& node = nodes[nextIndex];
+
+    if (node.state == NodeState::DownTemporary) {
+      // Repair completed: the node reintegrates.
+      node.state = NodeState::Up;
+      ++upCount[node.group];
+      node.nextEventAt = now + rng.exponential(lambda);
+      continue;
+    }
+
+    // An activated fault on an up node (possibly correlated across its
+    // whole group — an extension over the paper's independence assumption).
+    auto strike = [&](NodeRuntime& victim) -> bool /* system failed */ {
+      const FaultEffect effect = resolveFault(spec, rng);
+      if (effect.systemFailure) return true;
+      if (!effect.nodeDown) return false;  // masked
+      --upCount[victim.group];
+      if (upCount[victim.group] < required[victim.group]) return true;
+      if (effect.permanent) {
+        victim.state = NodeState::DownPermanent;
+      } else {
+        victim.state = NodeState::DownTemporary;
+        victim.nextEventAt = now + rng.exponential(effect.repairRate);
+      }
+      return false;
+    };
+
+    const bool correlated = spec.correlation.correlatedFraction > 0.0 &&
+                            rng.bernoulli(spec.correlation.correlatedFraction);
+    const int group = node.group;
+    if (strike(node)) return now;
+    if (node.state == NodeState::Up) node.nextEventAt = now + rng.exponential(lambda);
+
+    if (correlated) {
+      for (NodeRuntime& other : nodes) {
+        if (&other == &node || other.group != group) continue;
+        if (other.state != NodeState::Up) continue;
+        // The partner's own fault schedule is untouched (the correlated hit
+        // is extra; exponential memorylessness keeps this exact).
+        if (strike(other)) return now;
+      }
+    }
+  }
+}
+
+MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloConfig& config) {
+  if (config.checkpointHours.empty())
+    throw std::invalid_argument("estimateReliability: no checkpoints");
+  MonteCarloResult result;
+  result.trials = config.trials;
+  const double horizon =
+      *std::max_element(config.checkpointHours.begin(), config.checkpointHours.end());
+
+  std::vector<std::size_t> survivors(config.checkpointHours.size(), 0);
+  util::Rng rng{config.seed};
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const double failedAt = simulateLifetime(spec, horizon, rng);
+    if (failedAt < horizon) {
+      ++result.failuresWithinHorizon;
+      result.failureTimes.add(failedAt);
+    }
+    for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
+      if (failedAt >= config.checkpointHours[c]) ++survivors[c];
+    }
+  }
+  for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
+    ReliabilityEstimate estimate;
+    estimate.tHours = config.checkpointHours[c];
+    estimate.reliability = util::wilsonInterval(survivors[c], config.trials);
+    result.checkpoints.push_back(estimate);
+  }
+  return result;
+}
+
+util::RunningStats estimateMttf(const SystemSpec& spec, std::size_t trials, std::uint64_t seed) {
+  util::RunningStats stats;
+  util::Rng rng{seed};
+  const double effectivelyForever = std::numeric_limits<double>::infinity();
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    stats.add(simulateLifetime(spec, effectivelyForever, rng));
+  }
+  return stats;
+}
+
+}  // namespace nlft::sys

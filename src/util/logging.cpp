@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdarg>
+
+namespace nlft::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < g_level || g_level == LogLevel::Off) return;
+  std::fprintf(stderr, "[%-5s] %-10s ", levelName(level), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nlft::util

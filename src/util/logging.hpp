@@ -1,0 +1,31 @@
+// Minimal leveled logger.
+//
+// Logging defaults to Warn so that tests and benches stay quiet; examples
+// raise the level to show the interesting event flow. Not thread-safe by
+// design: the whole framework is a single-threaded discrete-event simulator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nlft::util {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Returns the process-wide minimum level that will be emitted.
+[[nodiscard]] LogLevel logLevel();
+
+/// Sets the process-wide minimum level.
+void setLogLevel(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void logf(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define NLFT_LOG_TRACE(component, ...) ::nlft::util::logf(::nlft::util::LogLevel::Trace, component, __VA_ARGS__)
+#define NLFT_LOG_DEBUG(component, ...) ::nlft::util::logf(::nlft::util::LogLevel::Debug, component, __VA_ARGS__)
+#define NLFT_LOG_INFO(component, ...) ::nlft::util::logf(::nlft::util::LogLevel::Info, component, __VA_ARGS__)
+#define NLFT_LOG_WARN(component, ...) ::nlft::util::logf(::nlft::util::LogLevel::Warn, component, __VA_ARGS__)
+#define NLFT_LOG_ERROR(component, ...) ::nlft::util::logf(::nlft::util::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace nlft::util

@@ -1,0 +1,77 @@
+#include "util/quadrature.hpp"
+
+#include <cmath>
+
+namespace nlft::util {
+
+namespace {
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptiveStep(const std::function<double(double)>& f, double a, double b, double fa,
+                    double fm, double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptiveStep(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+         adaptiveStep(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+
+}  // namespace
+
+double integrateAdaptive(const std::function<double(double)>& f, double a, double b, double tol,
+                         int maxDepth) {
+  if (a == b) return 0.0;
+  // Pre-subdivide into fixed panels so that narrow features away from the
+  // interval midpoint cannot be missed by the first Simpson estimate.
+  constexpr int kPanels = 16;
+  const double h = (b - a) / kPanels;
+  double total = 0.0;
+  double prevX = a;
+  double prevF = f(a);
+  for (int panel = 0; panel < kPanels; ++panel) {
+    const double x1 = (panel == kPanels - 1) ? b : a + h * (panel + 1);
+    const double xm = 0.5 * (prevX + x1);
+    const double fm = f(xm);
+    const double f1 = f(x1);
+    const double whole = simpson(prevF, fm, f1, prevX, x1);
+    total += adaptiveStep(f, prevX, x1, prevF, fm, f1, whole, tol / kPanels, maxDepth);
+    prevX = x1;
+    prevF = f1;
+  }
+  return total;
+}
+
+double integrateToInfinity(const std::function<double(double)>& f, double initialWindow,
+                           double tailTol) {
+  double total = 0.0;
+  double lo = 0.0;
+  double window = initialWindow;
+  for (int i = 0; i < 64; ++i) {
+    const double hi = lo + window;
+    // Scale the absolute tolerance to the magnitude of what has been (or is
+    // about to be) accumulated; a fixed tiny tolerance would force the
+    // adaptive subdivision down to function-evaluation noise.
+    const double roughScale =
+        std::abs(f(lo)) * window + std::abs(total);
+    const double tol = tailTol * std::max(roughScale, 1e-30);
+    const double piece = integrateAdaptive(f, lo, hi, tol);
+    total += piece;
+    if (i > 0 && std::abs(piece) <= tailTol * std::max(total, 1e-300)) break;
+    lo = hi;
+    window *= 2.0;
+  }
+  return total;
+}
+
+}  // namespace nlft::util

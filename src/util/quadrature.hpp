@@ -1,0 +1,21 @@
+// Adaptive numeric integration, used to compute the MTTF of composed
+// reliability models as the integral of R(t) over [0, inf).
+#pragma once
+
+#include <functional>
+
+namespace nlft::util {
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance tol.
+[[nodiscard]] double integrateAdaptive(const std::function<double(double)>& f, double a, double b,
+                                       double tol = 1e-10, int maxDepth = 40);
+
+/// Integral of a non-increasing, non-negative function over [0, inf).
+///
+/// Integrates over doubling windows until the window contribution falls
+/// below `tailTol` times the accumulated integral. Suited to reliability
+/// functions R(t), which decay (at least) exponentially.
+[[nodiscard]] double integrateToInfinity(const std::function<double(double)>& f,
+                                         double initialWindow, double tailTol = 1e-9);
+
+}  // namespace nlft::util

@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace nlft::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  std::uint64_t seed = next() ^ (label * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  return Rng{seed};
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = 0.0;
+  do { u1 = uniform01(); } while (u1 == 0.0);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform01();
+  while (product > limit) {
+    ++count;
+    product *= uniform01();
+  }
+  return count;
+}
+
+}  // namespace nlft::util

@@ -1,0 +1,70 @@
+// Streaming statistics and confidence intervals for Monte-Carlo estimation
+// and fault-injection campaigns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nlft::util {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Half-width of the normal-approximation confidence interval for the mean.
+  [[nodiscard]] double confidenceHalfWidth(double confidence = 0.95) const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Estimate of a binomial proportion with a Wilson score interval.
+struct ProportionEstimate {
+  double proportion = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at `confidence`.
+[[nodiscard]] ProportionEstimate wilsonInterval(std::size_t successes, std::size_t trials,
+                                                double confidence = 0.95);
+
+/// Inverse standard normal CDF (Acklam's approximation, ~1e-9 accuracy).
+[[nodiscard]] double inverseNormalCdf(double p);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for repair-time and response-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t binCount(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double binLow(std::size_t bin) const;
+  [[nodiscard]] double binHigh(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nlft::util

@@ -1,0 +1,30 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nlft::util {
+
+Duration Duration::fromSeconds(double s) {
+  return Duration::microseconds(static_cast<std::int64_t>(std::llround(s * 1e6)));
+}
+
+std::string Duration::toString() const {
+  char buf[48];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string SimTime::toString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", toSeconds());
+  return buf;
+}
+
+}  // namespace nlft::util

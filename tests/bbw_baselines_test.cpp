@@ -1,0 +1,98 @@
+// Baseline-architecture models beyond the paper's two: 2-of-3 voting
+// triplex, and availability variants with permanent-fault repair.
+#include <gtest/gtest.h>
+
+#include "bbw/markov_models.hpp"
+#include "util/time.hpp"
+
+namespace nlft::bbw {
+namespace {
+
+constexpr double kYear = nlft::util::kHoursPerYear;
+
+TEST(VotingTriplex, ClassicMissionTimeCrossoverAgainstFsDuplex) {
+  // Short missions favour the voting triplex (it masks even non-covered
+  // errors, which hit the FS duplex immediately); long missions favour the
+  // duplex (less exposure: two nodes instead of three, and its degraded
+  // state dies at lambda instead of 2*lambda).
+  const auto params = ReliabilityParameters::paperDefaults();
+  const auto triplex = votingTriplexChain(params);
+  const auto duplexFs = centralUnitChain(NodeType::FailSilent, params);
+  EXPECT_GT(triplex.reliability(100.0), duplexFs.reliability(100.0));
+  EXPECT_LT(triplex.reliability(kYear), duplexFs.reliability(kYear));
+  EXPECT_LT(triplex.meanTimeToFailure(), duplexFs.meanTimeToFailure());
+}
+
+TEST(VotingTriplex, NlftDuplexBeatsTriplexAtOneYearWithOneFewerNode) {
+  // The paper's pitch, sharpened: at automotive mission times the NLFT
+  // duplex is not merely competitive with the 2f+1 voting triplex — it is
+  // better, using one node fewer (masking without the third-node exposure).
+  const auto params = ReliabilityParameters::paperDefaults();
+  const double triplex = votingTriplexChain(params).reliability(kYear);
+  const double nlftDuplex = centralUnitChain(NodeType::Nlft, params).reliability(kYear);
+  EXPECT_GT(nlftDuplex, triplex);
+  // But the triplex still wins very short missions (no coverage gap at all).
+  EXPECT_GT(votingTriplexChain(params).reliability(10.0),
+            centralUnitChain(NodeType::FailSilent, params).reliability(10.0));
+}
+
+TEST(Availability, SteadyStateOrderedByNodeType) {
+  const auto params = ReliabilityParameters::paperDefaults();
+  const double muWorkshop = 1.0 / 24.0;  // permanent repair within a day
+  const double fs =
+      centralUnitChain(NodeType::FailSilent, params, muWorkshop).steadyStateAvailability();
+  const double nlft =
+      centralUnitChain(NodeType::Nlft, params, muWorkshop).steadyStateAvailability();
+  EXPECT_GT(fs, 0.99);
+  EXPECT_GT(nlft, fs);
+  EXPECT_LT(nlft, 1.0);
+}
+
+TEST(Availability, FasterWorkshopRepairRaisesAvailability) {
+  const auto params = ReliabilityParameters::paperDefaults();
+  const double slow =
+      centralUnitChain(NodeType::Nlft, params, 1.0 / 168.0).steadyStateAvailability();
+  const double fast =
+      centralUnitChain(NodeType::Nlft, params, 1.0 / 2.0).steadyStateAvailability();
+  EXPECT_GT(fast, slow);
+}
+
+TEST(Availability, WheelSubsystemChainsSupportRepairToo) {
+  const auto params = ReliabilityParameters::paperDefaults();
+  for (const NodeType type : {NodeType::FailSilent, NodeType::Nlft}) {
+    for (const FunctionalityMode mode :
+         {FunctionalityMode::Full, FunctionalityMode::Degraded}) {
+      const auto chain = wheelSubsystemChain(type, mode, params, 1.0 / 24.0);
+      const double availability = chain.steadyStateAvailability();
+      EXPECT_GT(availability, 0.9);
+      EXPECT_LT(availability, 1.0);
+    }
+  }
+}
+
+TEST(Availability, ZeroRepairRateKeepsReliabilitySemantics) {
+  // permanentRepairRate = 0 must reproduce the original absorbing chains.
+  const auto params = ReliabilityParameters::paperDefaults();
+  const auto original = centralUnitChain(NodeType::Nlft, params);
+  const auto explicitZero = centralUnitChain(NodeType::Nlft, params, 0.0);
+  for (double t : {100.0, kYear}) {
+    EXPECT_DOUBLE_EQ(original.reliability(t), explicitZero.reliability(t));
+  }
+  EXPECT_DOUBLE_EQ(original.meanTimeToFailure(), explicitZero.meanTimeToFailure());
+}
+
+TEST(Availability, WorkshopRepairExtendsFirstPassageTime) {
+  // Repairing permanently-down nodes (state 1 -> 0) postpones the first
+  // system failure: reliability(t) of the repairable chain dominates the
+  // absorbing chain at every t.
+  const auto params = ReliabilityParameters::paperDefaults();
+  const auto absorbing = centralUnitChain(NodeType::Nlft, params);
+  const auto repairable = centralUnitChain(NodeType::Nlft, params, 1.0 / 24.0);
+  for (double t : {500.0, kYear / 2, kYear}) {
+    EXPECT_GE(repairable.reliability(t) + 1e-12, absorbing.reliability(t)) << t;
+  }
+  EXPECT_GT(repairable.reliability(kYear), absorbing.reliability(kYear) + 0.01);
+}
+
+}  // namespace
+}  // namespace nlft::bbw

@@ -1,0 +1,76 @@
+// The end-to-end-protected wheel task: checksum correctness, stack usage,
+// and the coverage gain it buys a fail-silent node (Table 1, Section 2.6).
+#include <gtest/gtest.h>
+
+#include "bbw/control.hpp"
+#include "bbw/wheel_task.hpp"
+
+namespace nlft::bbw {
+namespace {
+
+TEST(CheckedWheelTask, GoldenRunProducesValidChecksum) {
+  const fi::TaskImage image = makeCheckedWheelTaskImage(800 * 256, 50, 600 * 256);
+  const fi::CopyRun run = fi::goldenRun(image);
+  ASSERT_EQ(run.end, fi::CopyRun::End::Output);
+  ASSERT_EQ(run.output.size(), 3u);
+  EXPECT_TRUE(fi::endToEndChecksumValid(run.output));
+  EXPECT_EQ(run.output[2], run.output[0] ^ run.output[1] ^ fi::kEndToEndSeed);
+}
+
+TEST(CheckedWheelTask, ControlLawUnchangedByTheChecksumVariant) {
+  for (int slip : {0, 20, 50, 80, 200}) {
+    const fi::CopyRun plain = fi::goldenRun(makeWheelTaskImage(800 * 256, slip, 600 * 256));
+    const fi::CopyRun checked =
+        fi::goldenRun(makeCheckedWheelTaskImage(800 * 256, slip, 600 * 256));
+    ASSERT_EQ(checked.output[0], plain.output[0]) << slip;
+    ASSERT_EQ(checked.output[1], plain.output[1]) << slip;
+  }
+}
+
+TEST(CheckedWheelTask, UsesTheStack) {
+  // The subroutine pushes/pops: a broken SP must crash the checked variant.
+  const fi::TaskImage image = makeCheckedWheelTaskImage(800 * 256, 50, 600 * 256);
+  fi::FaultSpec fault;
+  fault.location = fi::RegisterBitFlip{hw::kStackPointer, 31};  // SP -> wild
+  fault.afterInstructions = 2;
+  fault.targetCopy = 1;
+  EXPECT_EQ(fi::runFsExperiment(image, fault), fi::FsOutcome::FailSilent);
+}
+
+TEST(CheckedWheelTask, ChecksumValidatorRejectsCorruption) {
+  std::vector<std::uint32_t> output{10, 20, 10u ^ 20u ^ fi::kEndToEndSeed};
+  EXPECT_TRUE(fi::endToEndChecksumValid(output));
+  output[0] ^= 4;
+  EXPECT_FALSE(fi::endToEndChecksumValid(output));
+  EXPECT_FALSE(fi::endToEndChecksumValid({}));
+}
+
+TEST(CheckedWheelTask, EndToEndDetectionRaisesFsCoverage) {
+  fi::CampaignConfig config;
+  config.experiments = 4000;
+  config.seed = 555;
+  config.jobBudgetFactor = 3.8;
+  const fi::FsCampaignStats plain =
+      fi::runFsCampaign(makeWheelTaskImage(800 * 256, 50, 600 * 256), config);
+  const fi::FsCampaignStats checked =
+      fi::runFsCampaign(makeCheckedWheelTaskImage(800 * 256, 50, 600 * 256), config);
+  ASSERT_GT(plain.activated(), 200u);
+  ASSERT_GT(checked.activated(), 200u);
+  EXPECT_GT(checked.detectedByEndToEnd, 0u);
+  // The checksum catches a sizeable share of what used to escape silently.
+  EXPECT_GT(checked.coverage().proportion, plain.coverage().proportion + 0.05);
+}
+
+TEST(CheckedWheelTask, TemCampaignCountsIntegrityDetections) {
+  fi::CampaignConfig config;
+  config.experiments = 4000;
+  config.seed = 556;
+  config.jobBudgetFactor = 4.5;  // checksum rejections cost extra copies
+  const fi::TemCampaignStats stats =
+      fi::runTemCampaign(makeCheckedWheelTaskImage(800 * 256, 50, 600 * 256), config);
+  EXPECT_GT(stats.mechanisms.endToEndCheck, 0u);
+  EXPECT_GT(stats.coverage().proportion, 0.98);
+}
+
+}  // namespace
+}  // namespace nlft::bbw

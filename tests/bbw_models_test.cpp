@@ -1,0 +1,228 @@
+// Validates the reconstructed reliability models against every number the
+// paper quotes in Section 3.4, plus structural equivalences between the
+// different model representations (CTMC vs RBD vs fault tree).
+#include "bbw/markov_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/time.hpp"
+
+namespace nlft::bbw {
+namespace {
+
+constexpr double kOneYearHours = nlft::util::kHoursPerYear;
+
+class BbwModelsTest : public ::testing::Test {
+ protected:
+  ReliabilityParameters params = ReliabilityParameters::paperDefaults();
+  BbwStudy study{};
+};
+
+TEST_F(BbwModelsTest, PaperParameterValues) {
+  EXPECT_DOUBLE_EQ(params.lambdaPermanent, 1.82e-5);
+  EXPECT_DOUBLE_EQ(params.lambdaTransient, 1.82e-4);
+  EXPECT_DOUBLE_EQ(params.coverage, 0.99);
+  EXPECT_DOUBLE_EQ(params.pMask + params.pOmission + params.pFailSilent, 1.0);
+  EXPECT_DOUBLE_EQ(params.muRestart, 1.2e3);       // 3 s
+  EXPECT_DOUBLE_EQ(params.muOmissionRepair, 2.25e3);  // 1.6 s
+}
+
+// --- The paper's headline numbers (Section 3.4) ---
+
+TEST_F(BbwModelsTest, DegradedModeOneYearReliabilityMatchesPaper) {
+  const double fs = study.systemReliability(NodeType::FailSilent, FunctionalityMode::Degraded,
+                                            kOneYearHours);
+  const double nlft = study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded,
+                                              kOneYearHours);
+  // Paper: "the reliability increases by 55% (from 0.45 to 0.70)".
+  EXPECT_NEAR(fs, 0.45, 0.02);
+  EXPECT_NEAR(nlft, 0.70, 0.02);
+  const double improvement = (nlft - fs) / fs;
+  EXPECT_NEAR(improvement, 0.55, 0.05);
+}
+
+TEST_F(BbwModelsTest, DegradedModeMttfMatchesPaper) {
+  const double fsYears =
+      study.systemMttfHours(NodeType::FailSilent, FunctionalityMode::Degraded) / kOneYearHours;
+  const double nlftYears =
+      study.systemMttfHours(NodeType::Nlft, FunctionalityMode::Degraded) / kOneYearHours;
+  // Paper: "the MTTF increases by almost 60% (1.2 year to 1.9 year)".
+  EXPECT_NEAR(fsYears, 1.2, 0.1);
+  EXPECT_NEAR(nlftYears, 1.9, 0.1);
+  EXPECT_NEAR(nlftYears / fsYears, 1.6, 0.1);
+}
+
+TEST_F(BbwModelsTest, FullModeIsMuchLessReliableThanDegraded) {
+  for (NodeType type : {NodeType::FailSilent, NodeType::Nlft}) {
+    const double full = study.systemReliability(type, FunctionalityMode::Full, kOneYearHours);
+    const double degraded =
+        study.systemReliability(type, FunctionalityMode::Degraded, kOneYearHours);
+    EXPECT_LT(full, degraded);
+  }
+  // FS/full is dominated by 4*lambda exposure: essentially dead after a year.
+  EXPECT_LT(study.systemReliability(NodeType::FailSilent, FunctionalityMode::Full, kOneYearHours),
+            0.01);
+}
+
+TEST_F(BbwModelsTest, SubsystemReliabilitiesAtOneYear) {
+  // Values from the analytic hand-solution documented in DESIGN.md.
+  EXPECT_NEAR(study.centralUnitReliability(NodeType::FailSilent, kOneYearHours), 0.823, 0.01);
+  EXPECT_NEAR(study.centralUnitReliability(NodeType::Nlft, kOneYearHours), 0.927, 0.01);
+  EXPECT_NEAR(
+      study.wheelSubsystemReliability(NodeType::FailSilent, FunctionalityMode::Degraded, kOneYearHours),
+      0.564, 0.01);
+  EXPECT_NEAR(
+      study.wheelSubsystemReliability(NodeType::Nlft, FunctionalityMode::Degraded, kOneYearHours),
+      0.767, 0.01);
+}
+
+TEST_F(BbwModelsTest, WheelSubsystemIsTheBottleneck) {
+  // Paper: "The main reliability bottleneck is the wheel node subsystem."
+  for (NodeType type : {NodeType::FailSilent, NodeType::Nlft}) {
+    for (FunctionalityMode mode : {FunctionalityMode::Full, FunctionalityMode::Degraded}) {
+      EXPECT_LT(study.wheelSubsystemReliability(type, mode, kOneYearHours),
+                study.centralUnitReliability(type, kOneYearHours));
+    }
+  }
+}
+
+// --- Structural equivalences between representations ---
+
+TEST_F(BbwModelsTest, FullFsRbdEqualsEquivalentChain) {
+  const auto rbd = wheelSubsystemRbdFullFs(params);
+  const auto chain = wheelSubsystemChain(NodeType::FailSilent, FunctionalityMode::Full, params);
+  for (double t : {0.0, 100.0, 1000.0, kOneYearHours}) {
+    EXPECT_NEAR(rbd.reliability(t), chain.reliability(t), 1e-10) << "t=" << t;
+  }
+}
+
+TEST_F(BbwModelsTest, FullFsMatchesClosedForm) {
+  const double rate = 4.0 * params.lambdaTotal();
+  const auto chain = wheelSubsystemChain(NodeType::FailSilent, FunctionalityMode::Full, params);
+  for (double t : {10.0, 500.0, 4000.0}) {
+    EXPECT_NEAR(chain.reliability(t), std::exp(-rate * t), 1e-10);
+  }
+}
+
+TEST_F(BbwModelsTest, FaultTreeMatchesProductOfSubsystems) {
+  for (NodeType type : {NodeType::FailSilent, NodeType::Nlft}) {
+    for (FunctionalityMode mode : {FunctionalityMode::Full, FunctionalityMode::Degraded}) {
+      const auto tree = systemFaultTree(type, mode, params);
+      for (double t : {100.0, kOneYearHours / 2.0, kOneYearHours}) {
+        const double product = study.centralUnitReliability(type, t) *
+                               study.wheelSubsystemReliability(type, mode, t);
+        EXPECT_NEAR(tree.reliability(t), product, 1e-9);
+        EXPECT_NEAR(study.systemReliability(type, mode, t), product, 1e-9);
+      }
+    }
+  }
+}
+
+// --- Model-level properties ---
+
+TEST_F(BbwModelsTest, NlftDominatesFsAtAllTimes) {
+  for (FunctionalityMode mode : {FunctionalityMode::Full, FunctionalityMode::Degraded}) {
+    for (double t = 0.0; t <= kOneYearHours; t += kOneYearHours / 12.0) {
+      EXPECT_GE(study.systemReliability(NodeType::Nlft, mode, t) + 1e-12,
+                study.systemReliability(NodeType::FailSilent, mode, t))
+          << "mode=" << static_cast<int>(mode) << " t=" << t;
+    }
+  }
+}
+
+TEST_F(BbwModelsTest, ReliabilityIsMonotoneDecreasing) {
+  double prev = 1.0;
+  for (double t = 0.0; t <= kOneYearHours; t += kOneYearHours / 24.0) {
+    const double r = study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, t);
+    EXPECT_LE(r, prev + 1e-12);
+    prev = r;
+  }
+}
+
+TEST_F(BbwModelsTest, NlftWithNoMaskingReducesToFailSilent) {
+  // With P_T = 0 and P_FS = 1 the NLFT node behaves exactly like an FS node:
+  // every detected transient silences it and repairs at muR.
+  ReliabilityParameters noMask = params;
+  noMask.pMask = 0.0;
+  noMask.pOmission = 0.0;
+  noMask.pFailSilent = 1.0;
+  const BbwStudy degenerate{noMask};
+  for (double t : {100.0, kOneYearHours / 2.0, kOneYearHours}) {
+    EXPECT_NEAR(
+        degenerate.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, t),
+        degenerate.systemReliability(NodeType::FailSilent, FunctionalityMode::Degraded, t), 1e-9);
+  }
+}
+
+TEST_F(BbwModelsTest, PerfectCoverageAndMaskingLeavesOnlyPermanentFaults) {
+  ReliabilityParameters ideal = params;
+  ideal.coverage = 1.0;
+  ideal.pMask = 1.0;
+  ideal.pOmission = 0.0;
+  ideal.pFailSilent = 0.0;
+  const auto chain = wheelSubsystemChain(NodeType::Nlft, FunctionalityMode::Full, ideal);
+  const double t = 1000.0;
+  EXPECT_NEAR(chain.reliability(t), std::exp(-4.0 * ideal.lambdaPermanent * t), 1e-10);
+}
+
+TEST_F(BbwModelsTest, HigherCoverageImprovesReliability) {
+  ReliabilityParameters low = params;
+  low.coverage = 0.9;
+  ReliabilityParameters high = params;
+  high.coverage = 0.999;
+  const BbwStudy lowStudy{low};
+  const BbwStudy highStudy{high};
+  const double t = 5.0;  // the Fig. 14 horizon
+  for (NodeType type : {NodeType::FailSilent, NodeType::Nlft}) {
+    EXPECT_GT(highStudy.systemReliability(type, FunctionalityMode::Degraded, t),
+              lowStudy.systemReliability(type, FunctionalityMode::Degraded, t));
+  }
+}
+
+TEST_F(BbwModelsTest, NlftAdvantageGrowsWithTransientFaultRate) {
+  // Paper Fig. 14: "the reliability improvements of using NLFT increase for
+  // higher fault rates."
+  double previousGap = 0.0;
+  for (double scale : {1.0, 10.0, 100.0, 1000.0}) {
+    ReliabilityParameters p = params;
+    p.lambdaTransient = 1.82e-4 * scale;
+    const BbwStudy s{p};
+    const double gap = s.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, 5.0) -
+                       s.systemReliability(NodeType::FailSilent, FunctionalityMode::Degraded, 5.0);
+    EXPECT_GE(gap, previousGap - 1e-12) << "scale=" << scale;
+    previousGap = gap;
+  }
+}
+
+TEST_F(BbwModelsTest, FaultRateNegligibleWhileFarBelowRepairRate) {
+  // Paper Fig. 14: at the 5-hour horizon the reliability barely moves while
+  // lambda_T stays orders of magnitude below the repair rate.
+  ReliabilityParameters p10 = params;
+  p10.lambdaTransient *= 10.0;
+  const double base = study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, 5.0);
+  const double scaled =
+      BbwStudy{p10}.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, 5.0);
+  EXPECT_GT(base, 0.999);
+  EXPECT_NEAR(base, scaled, 1e-3);
+}
+
+TEST_F(BbwModelsTest, MttfConsistentWithReliabilityIntegral) {
+  // Kronecker-composed MTTF must equal the quadrature of R(t).
+  const double analytic = study.systemMttfHours(NodeType::Nlft, FunctionalityMode::Degraded);
+  const auto fn = [&](double t) {
+    return study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, t);
+  };
+  const double integral = rel::mttfByIntegration(fn, kOneYearHours);
+  EXPECT_NEAR(analytic, integral, analytic * 0.01);
+}
+
+TEST_F(BbwModelsTest, UnmaskedRateFormula) {
+  EXPECT_NEAR(params.unmaskedRate(),
+              params.lambdaPermanent + params.lambdaTransient * (1.0 - 0.99 * 0.9), 1e-18);
+  EXPECT_LT(params.unmaskedRate(), params.lambdaTotal());
+}
+
+}  // namespace
+}  // namespace nlft::bbw

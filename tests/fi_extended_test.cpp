@@ -1,0 +1,149 @@
+// Extended fault models: instruction-fetch upsets (illegal-instruction EDM)
+// and MMU-confined campaigns.
+#include <gtest/gtest.h>
+
+#include "bbw/wheel_task.hpp"
+#include "faults/campaign.hpp"
+
+namespace nlft::fi {
+namespace {
+
+TaskImage wheelImage(bool mmu) {
+  TaskImage image = bbw::makeWheelTaskImage(800 * 256, 50, 600 * 256);
+  image.enableMmu = mmu;
+  return image;
+}
+
+TEST(FetchFault, OpcodeBitFlipRaisesIllegalInstruction) {
+  // Flipping a high opcode bit of a low-opcode instruction produces an
+  // undefined opcode: the CPU's illegal-instruction EDM fires.
+  const TaskImage image = wheelImage(false);
+  hw::Machine machine{image.memBytes};
+  machine.loadWords(image.program.origin, image.program.words);
+  machine.loadWords(image.inputBase, image.input);
+  machine.cpu().pc = image.entry;
+  machine.cpu().setSp(image.stackTop);
+  machine.armFetchCorruption(31);  // top opcode bit
+  const auto result = machine.run(100);
+  EXPECT_EQ(result.reason, hw::StopReason::Exception);
+  EXPECT_EQ(result.exception.kind, hw::ExceptionKind::IllegalInstruction);
+}
+
+TEST(FetchFault, FetchCorruptionIsOneShot) {
+  hw::Machine machine{4096};
+  machine.loadWords(0, hw::assemble("nop\nnop\nhalt\n").words);
+  machine.cpu().setSp(4096);
+  machine.armFetchCorruption(0);  // nop (opcode 0) -> opcode still legal? bit 0 is imm
+  // Whatever the first instruction became, the remaining fetches are clean;
+  // re-arming is required for another corruption.
+  (void)machine.run(10);
+  machine.resume();
+  EXPECT_EQ(machine.cpu().pc % 4, 0u);
+}
+
+TEST(FetchFault, TemMasksFetchUpsets) {
+  const TaskImage image = wheelImage(false);
+  FaultSpec fault;
+  fault.location = FetchBitFlip{28};  // opcode field
+  fault.afterInstructions = 8;
+  fault.targetCopy = 1;
+  const TemOutcome outcome = runTemExperiment(image, fault);
+  // Either the decode stays legal (wrong computation -> vote) or it traps
+  // (replacement); both are masked. Never an undetected wrong output.
+  EXPECT_TRUE(outcome == TemOutcome::MaskedByVote || outcome == TemOutcome::MaskedByRestart ||
+              outcome == TemOutcome::NotActivated)
+      << static_cast<int>(outcome);
+}
+
+TEST(FetchFault, CampaignRegistersIllegalInstructionDetections) {
+  TaskImage image = wheelImage(false);
+  CampaignConfig config;
+  config.experiments = 3000;
+  config.seed = 31;
+  config.mix.fetchWeight = 0.6;  // concentrate on fetch faults
+  config.mix.registerWeight = 0.2;
+  config.mix.pcWeight = 0.1;
+  config.mix.memoryWeight = 0.1;
+  config.jobBudgetFactor = 3.8;
+  const TemCampaignStats stats = runTemCampaign(image, config);
+  EXPECT_GT(stats.mechanisms.illegalInstruction, 0u);
+  EXPECT_GT(stats.coverage().proportion, 0.97);
+}
+
+TEST(MmuCampaign, GoldenRunUnaffectedByProtection) {
+  const CopyRun open = goldenRun(wheelImage(false));
+  const CopyRun confined = goldenRun(wheelImage(true));
+  EXPECT_EQ(open.output, confined.output);
+  EXPECT_EQ(open.instructions, confined.instructions);
+}
+
+TEST(MmuCampaign, WildStoreRaisesMmuViolation) {
+  // A task whose address register is corrupted to point outside its regions
+  // must be stopped by the MMU, not corrupt foreign memory.
+  TaskImage image;
+  image.program = hw::assemble(R"(
+      ldi r1, 0xC00
+      ldi r2, 7
+      st  r2, [r1+0]
+      halt
+  )");
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = {0};
+  image.outputBase = 0xC00;
+  image.outputWords = 1;
+  image.enableMmu = true;
+  image.maxInstructionsPerCopy = 16;
+
+  hw::Machine machine{image.memBytes};
+  machine.loadWords(image.program.origin, image.program.words);
+  machine.mmu().addRegion({0, image.program.sizeBytes(), 1,
+                           hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Execute),
+                           "text"});
+  machine.mmu().addRegion({0xC00, 4, 1,
+                           hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Write),
+                           "output"});
+  machine.mmu().setActiveTask(1);
+  machine.mmu().setEnabled(true);
+  machine.cpu().pc = 0;
+  machine.cpu().setSp(0x4000);
+  machine.flipRegisterBit(1, 12);  // will corrupt r1 once loaded... flip after ldi instead
+  // Run: ldi r1 overwrites the flip; corrupt after the first instruction.
+  (void)machine.step();
+  machine.flipRegisterBit(1, 12);  // 0xC00 -> 0x1C00: outside every region
+  const auto result = machine.run(10);
+  EXPECT_EQ(result.reason, hw::StopReason::Exception);
+  EXPECT_EQ(result.exception.kind, hw::ExceptionKind::MmuViolation);
+}
+
+TEST(MmuCampaign, ConfinementShowsUpInMechanismCounts) {
+  TaskImage image = wheelImage(true);
+  CampaignConfig config;
+  config.experiments = 6000;
+  config.seed = 33;
+  config.jobBudgetFactor = 3.8;
+  const TemCampaignStats stats = runTemCampaign(image, config);
+  // With the MMU confining the task, some wild accesses that previously
+  // landed as address errors (or silent far stores) now raise violations.
+  EXPECT_GT(stats.mechanisms.mmuViolation, 0u);
+  EXPECT_GT(stats.coverage().proportion, 0.97);
+  EXPECT_GT(stats.pMask().proportion, 0.8);
+}
+
+TEST(MmuCampaign, CoverageAtLeastAsGoodAsUnprotected) {
+  CampaignConfig config;
+  config.experiments = 6000;
+  config.seed = 34;
+  config.jobBudgetFactor = 3.8;
+  const TemCampaignStats open = runTemCampaign(wheelImage(false), config);
+  const TemCampaignStats confined = runTemCampaign(wheelImage(true), config);
+  EXPECT_GE(confined.coverage().proportion + 0.01, open.coverage().proportion);
+}
+
+TEST(FetchFault, DescribeText) {
+  EXPECT_EQ(describe(FetchBitFlip{28}), "fetch bit 28");
+}
+
+}  // namespace
+}  // namespace nlft::fi

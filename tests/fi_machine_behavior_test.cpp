@@ -1,0 +1,117 @@
+// The interpreted wheel task running as a TEM-protected critical task on
+// the real-time kernel: the full vertical stack (ISA program -> machine ->
+// copy plans -> TEM -> kernel -> delivered results).
+#include "faults/machine_behavior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bbw/control.hpp"
+#include "bbw/wheel_task.hpp"
+#include "core/node.hpp"
+
+namespace nlft::fi {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct MachineBehaviorFixture : ::testing::Test {
+  sim::Simulator simulator;
+  tem::NlftNode node{simulator};
+  std::shared_ptr<MachineTaskPort> port;
+  rt::TaskId task{};
+  std::vector<std::vector<std::uint32_t>> results;
+
+  void addWheelTask() {
+    const TaskImage image = bbw::makeWheelTaskImage(0, 0, -1);  // inputs come from the port
+    port = std::make_shared<MachineTaskPort>(
+        std::vector<std::uint32_t>{800 * 256, 50, static_cast<std::uint32_t>(-1)});
+    rt::TaskConfig config;
+    config.name = "wheel-isa";
+    config.priority = 5;
+    config.period = Duration::milliseconds(10);
+    // WCET from the clock model: ~29 instructions * 2 cycles / 25 MHz ~ 3 us;
+    // give a small margin.
+    config.wcet = Duration::microseconds(5);
+    task = node.addCriticalTask(config, makeMachineBehavior(image, MachineClock{}, port));
+    node.setResultSink([this](const rt::JobResult& result) { results.push_back(result.data); });
+  }
+};
+
+TEST_F(MachineBehaviorFixture, FaultFreeJobsDeliverTheControlLaw) {
+  addWheelTask();
+  node.start();
+  simulator.runUntil(SimTime::fromUs(35'000));
+  ASSERT_EQ(results.size(), 4u);
+  std::int32_t limit = 0;
+  const std::int32_t torque = bbw::wheelControlFixedPoint(800 * 256, 50, -1, &limit);
+  for (const auto& result : results) {
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(static_cast<std::int32_t>(result[0]), torque);
+    EXPECT_EQ(static_cast<std::int32_t>(result[1]), limit);
+  }
+  EXPECT_EQ(node.temStats(task).deliveredCleanly, 4u);
+}
+
+TEST_F(MachineBehaviorFixture, InputPortFeedsEachJob) {
+  addWheelTask();
+  node.start();
+  simulator.scheduleAfter(Duration::milliseconds(15), [&] {
+    port->setInput({400 * 256, 10, static_cast<std::uint32_t>(-1)});
+  });
+  simulator.runUntil(SimTime::fromUs(35'000));
+  ASSERT_EQ(results.size(), 4u);
+  // Jobs 0,1 used the original input; jobs 2,3 the updated one.
+  EXPECT_EQ(static_cast<std::int32_t>(results[0][0]),
+            static_cast<std::int32_t>(results[1][0]));
+  EXPECT_EQ(static_cast<std::int32_t>(results[2][0]), 400 * 256);  // passthrough at low slip
+  EXPECT_NE(results[1][0], results[2][0]);
+}
+
+TEST_F(MachineBehaviorFixture, RegisterFaultInOneCopyIsMaskedByVote) {
+  addWheelTask();
+  node.start();
+  simulator.scheduleAfter(Duration::milliseconds(9), [&] {
+    FaultSpec fault;
+    fault.location = RegisterBitFlip{4, 6};  // anti-lock limit register
+    fault.afterInstructions = 12;
+    port->injectIntoNextCopy(fault);
+  });
+  simulator.runUntil(SimTime::fromUs(45'000));
+  ASSERT_EQ(results.size(), 5u);
+  const tem::TemStats& stats = node.temStats(task);
+  // The corrupted copy's result disagreed -> third copy -> vote; or the
+  // fault was latent in this copy. Either way all five results are correct.
+  std::int32_t limit = 0;
+  const std::int32_t torque = bbw::wheelControlFixedPoint(800 * 256, 50, -1, &limit);
+  for (const auto& result : results) {
+    EXPECT_EQ(static_cast<std::int32_t>(result[0]), torque);
+  }
+  EXPECT_EQ(stats.deliveredCleanly + stats.maskedByVote + stats.maskedByReplacement, 5u);
+}
+
+TEST_F(MachineBehaviorFixture, PcFaultTerminatesCopyEarlyAndTimeIsReclaimed) {
+  addWheelTask();
+  node.start();
+  simulator.scheduleAfter(Duration::milliseconds(9), [&] {
+    FaultSpec fault;
+    fault.location = PcBitFlip{1};  // misaligned fetch -> address error
+    fault.afterInstructions = 5;
+    port->injectIntoNextCopy(fault);
+  });
+  simulator.runUntil(SimTime::fromUs(45'000));
+  EXPECT_EQ(node.temStats(task).edmDetectedErrors, 1u);
+  EXPECT_EQ(node.temStats(task).maskedByReplacement, 1u);
+  EXPECT_EQ(node.taskStats(task).completions, 5u);
+}
+
+TEST_F(MachineBehaviorFixture, ExecutionTimeFollowsInstructionCount) {
+  const MachineClock clock;
+  EXPECT_EQ(clock.executionTime(0).us(), 1);  // rounding floor + 1
+  EXPECT_GT(clock.executionTime(1000), clock.executionTime(10));
+  // 25 MHz, 2 CPI: 1000 instructions = 80 us.
+  EXPECT_NEAR(static_cast<double>(clock.executionTime(1000).us()), 80.0, 1.5);
+}
+
+}  // namespace
+}  // namespace nlft::fi

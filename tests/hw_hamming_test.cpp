@@ -1,0 +1,86 @@
+#include "hw/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nlft::hw {
+namespace {
+
+TEST(Hamming, CleanRoundTrip) {
+  for (std::uint32_t word : {0u, 1u, 0xFFFFFFFFu, 0xDEADBEEFu, 0x80000001u}) {
+    const auto decoded = eccDecode(eccEncode(word));
+    EXPECT_EQ(decoded.status, EccStatus::Clean);
+    EXPECT_EQ(decoded.data, word);
+  }
+}
+
+TEST(Hamming, RandomWordsRoundTrip) {
+  util::Rng rng{77};
+  for (int i = 0; i < 2000; ++i) {
+    const auto word = static_cast<std::uint32_t>(rng.next());
+    const auto decoded = eccDecode(eccEncode(word));
+    ASSERT_EQ(decoded.status, EccStatus::Clean);
+    ASSERT_EQ(decoded.data, word);
+  }
+}
+
+// Exhaustive single-error correction over every codeword bit position.
+class HammingSingleBit : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingSingleBit, EverySingleBitFlipIsCorrected) {
+  const int bit = GetParam();
+  for (std::uint32_t word : {0u, 0xFFFFFFFFu, 0xA5A5A5A5u, 0x12345678u}) {
+    const std::uint64_t corrupted = eccEncode(word) ^ (1ULL << bit);
+    const auto decoded = eccDecode(corrupted);
+    EXPECT_EQ(decoded.status, EccStatus::Corrected) << "bit " << bit;
+    EXPECT_EQ(decoded.data, word) << "bit " << bit;
+    EXPECT_EQ(decoded.codeword, eccEncode(word)) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, HammingSingleBit, ::testing::Range(0, kEccCodewordBits));
+
+TEST(Hamming, EveryDoubleBitFlipIsDetected) {
+  const std::uint32_t word = 0xC001D00Du;
+  const std::uint64_t clean = eccEncode(word);
+  for (int i = 0; i < kEccCodewordBits; ++i) {
+    for (int j = i + 1; j < kEccCodewordBits; ++j) {
+      const auto decoded = eccDecode(clean ^ (1ULL << i) ^ (1ULL << j));
+      ASSERT_EQ(decoded.status, EccStatus::Uncorrectable) << i << "," << j;
+    }
+  }
+}
+
+TEST(Hamming, RandomDoubleFlipsNeverMiscorrect) {
+  util::Rng rng{78};
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng.next());
+    const std::uint64_t clean = eccEncode(word);
+    const int i = static_cast<int>(rng.uniformInt(kEccCodewordBits));
+    int j = static_cast<int>(rng.uniformInt(kEccCodewordBits));
+    while (j == i) j = static_cast<int>(rng.uniformInt(kEccCodewordBits));
+    const auto decoded = eccDecode(clean ^ (1ULL << i) ^ (1ULL << j));
+    // A double error must never be silently "corrected" into wrong data.
+    ASSERT_EQ(decoded.status, EccStatus::Uncorrectable);
+  }
+}
+
+TEST(Hamming, CodewordFitsIn39Bits) {
+  for (std::uint32_t word : {0xFFFFFFFFu, 0x0u, 0x55555555u}) {
+    EXPECT_EQ(eccEncode(word) >> kEccCodewordBits, 0u);
+  }
+}
+
+TEST(Hamming, DistinctWordsGetDistinctCodewords) {
+  util::Rng rng{79};
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    if (a == b) continue;
+    ASSERT_NE(eccEncode(a), eccEncode(b));
+  }
+}
+
+}  // namespace
+}  // namespace nlft::hw

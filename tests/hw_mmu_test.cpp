@@ -1,0 +1,89 @@
+#include "hw/mmu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nlft::hw {
+namespace {
+
+Mmu makeMmu() {
+  Mmu mmu;
+  mmu.addRegion({0x0000, 0x100, 1, accessMask(Access::Read) | accessMask(Access::Execute), "task1-text"});
+  mmu.addRegion({0x1000, 0x100, 1, accessMask(Access::Read) | accessMask(Access::Write), "task1-data"});
+  mmu.addRegion({0x2000, 0x100, 2, accessMask(Access::Read) | accessMask(Access::Write), "task2-data"});
+  mmu.setEnabled(true);
+  return mmu;
+}
+
+TEST(Mmu, AllowsOwnedRegionWithMatchingPermission) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  EXPECT_FALSE(mmu.check(0x0000, Access::Execute).has_value());
+  EXPECT_FALSE(mmu.check(0x0010, Access::Read).has_value());
+  EXPECT_FALSE(mmu.check(0x1004, Access::Write).has_value());
+}
+
+TEST(Mmu, DeniesWrongPermission) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  const auto violation = mmu.check(0x0000, Access::Write);  // text is read/execute only
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->address, 0x0000u);
+  EXPECT_EQ(violation->task, 1u);
+}
+
+TEST(Mmu, DeniesOtherTasksRegion) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  EXPECT_TRUE(mmu.check(0x2000, Access::Read).has_value());
+  mmu.setActiveTask(2);
+  EXPECT_FALSE(mmu.check(0x2000, Access::Read).has_value());
+  EXPECT_TRUE(mmu.check(0x1000, Access::Read).has_value());
+}
+
+TEST(Mmu, DeniesUnmappedAddress) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  EXPECT_TRUE(mmu.check(0x5000, Access::Read).has_value());
+}
+
+TEST(Mmu, RegionBoundsAreHalfOpen) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  EXPECT_FALSE(mmu.check(0x10FF & ~3u, Access::Read).has_value());  // last word inside
+  EXPECT_TRUE(mmu.check(0x1100, Access::Read).has_value());        // one past the end
+}
+
+TEST(Mmu, KernelBypassesProtection) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(kKernelTask);
+  EXPECT_FALSE(mmu.check(0x5000, Access::Write).has_value());
+}
+
+TEST(Mmu, DisabledMmuAllowsEverything) {
+  Mmu mmu = makeMmu();
+  mmu.setEnabled(false);
+  mmu.setActiveTask(1);
+  EXPECT_FALSE(mmu.check(0x2000, Access::Write).has_value());
+}
+
+TEST(Mmu, ViolationCounterAdvancesViaRecord) {
+  Mmu mmu = makeMmu();
+  mmu.setActiveTask(1);
+  EXPECT_EQ(mmu.violationCount(), 0u);
+  if (mmu.check(0x5000, Access::Read)) mmu.recordViolation();
+  EXPECT_EQ(mmu.violationCount(), 1u);
+}
+
+TEST(Mmu, OverlappingRegionsAnyPermittingRegionWins) {
+  Mmu mmu;
+  mmu.addRegion({0x0, 0x100, 1, accessMask(Access::Read), "ro"});
+  mmu.addRegion({0x0, 0x100, 1, accessMask(Access::Write), "wo"});
+  mmu.setEnabled(true);
+  mmu.setActiveTask(1);
+  EXPECT_FALSE(mmu.check(0x10, Access::Read).has_value());
+  EXPECT_FALSE(mmu.check(0x10, Access::Write).has_value());
+  EXPECT_TRUE(mmu.check(0x10, Access::Execute).has_value());
+}
+
+}  // namespace
+}  // namespace nlft::hw

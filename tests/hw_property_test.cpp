@@ -1,0 +1,204 @@
+// Property tests for the simulated hardware: encode/decode/disassemble/
+// assemble round trips over random instructions, and randomized memory
+// consistency against a reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "hw/assembler.hpp"
+#include "hw/isa.hpp"
+#include "hw/machine.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::hw {
+namespace {
+
+using util::Rng;
+
+Instruction randomInstruction(Rng& rng) {
+  Instruction instruction;
+  instruction.opcode = static_cast<Opcode>(rng.uniformInt(kMaxOpcode + 1));
+  instruction.rd = static_cast<int>(rng.uniformInt(kRegisterCount));
+  instruction.rs1 = static_cast<int>(rng.uniformInt(kRegisterCount));
+  instruction.rs2 = static_cast<int>(rng.uniformInt(kRegisterCount));
+  // imm18 signed range.
+  instruction.imm = static_cast<std::int32_t>(rng.uniformInt(1u << 18)) - (1 << 17);
+  return instruction;
+}
+
+/// Canonicalises an instruction for the text round trip: fields the opcode
+/// does not use are zeroed (the assembler cannot express them), and branch
+/// targets become valid non-negative code addresses.
+Instruction sanitizeForText(Instruction instruction, Rng& rng) {
+  switch (instruction.opcode) {
+    case Opcode::Nop:
+    case Opcode::Halt:
+    case Opcode::Rts:
+      instruction.rd = instruction.rs1 = instruction.rs2 = 0;
+      instruction.imm = 0;
+      break;
+    case Opcode::Ldi:
+      instruction.rs1 = instruction.rs2 = 0;
+      break;
+    case Opcode::Ld:
+    case Opcode::St:
+      instruction.rs2 = 0;
+      break;
+    case Opcode::Mov:
+      instruction.rs2 = 0;
+      instruction.imm = 0;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Divs:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      instruction.imm = 0;
+      break;
+    case Opcode::Shl:
+    case Opcode::Shr:
+      instruction.rs2 = 0;
+      instruction.imm &= 31;
+      break;
+    case Opcode::Addi:
+      instruction.rs2 = 0;
+      break;
+    case Opcode::Cmp:
+      instruction.rd = 0;
+      instruction.imm = 0;
+      break;
+    case Opcode::Cmpi:
+      instruction.rd = instruction.rs2 = 0;
+      break;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Jmp:
+    case Opcode::Jsr:
+      instruction.rd = instruction.rs1 = instruction.rs2 = 0;
+      instruction.imm = static_cast<std::int32_t>(rng.uniformInt(1 << 16)) & ~3;
+      break;
+    case Opcode::Push:
+    case Opcode::Pop:
+      instruction.rs1 = instruction.rs2 = 0;
+      instruction.imm = 0;
+      break;
+  }
+  return instruction;
+}
+
+class IsaRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsaRoundTrip, EncodeDecodeIsIdentityOnCanonicalFields) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const Instruction original = randomInstruction(rng);
+    const auto decoded = decode(encode(original));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->opcode, original.opcode);
+    // Every encoding decodes back to an instruction that re-encodes to the
+    // same word (fields not used by the opcode may normalise to zero).
+    EXPECT_EQ(encode(*decoded), encode(original));
+  }
+}
+
+TEST_P(IsaRoundTrip, DisassembleAssembleRoundTrip) {
+  Rng rng{GetParam() ^ 0xA5A5};
+  for (int i = 0; i < 100; ++i) {
+    const Instruction instruction = sanitizeForText(randomInstruction(rng), rng);
+    const std::uint32_t word = encode(instruction);
+    const auto decoded = decode(word);
+    ASSERT_TRUE(decoded.has_value());
+    const std::string text = disassemble(*decoded);
+    const Program reassembled = assemble(text + "\n");
+    ASSERT_EQ(reassembled.words.size(), 1u) << text;
+    EXPECT_EQ(reassembled.words[0], word) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTrip, ::testing::Range<std::uint64_t>(1, 9));
+
+class MemoryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryProperty, RandomOperationsMatchReferenceModel) {
+  Rng rng{GetParam() ^ 0x313};
+  EccMemory memory{1024};
+  std::map<std::uint32_t, std::uint32_t> reference;
+  std::map<std::uint32_t, int> pendingFlips;
+
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint32_t address = 4 * static_cast<std::uint32_t>(rng.uniformInt(256));
+    switch (rng.uniformInt(3)) {
+      case 0: {  // write
+        const auto value = static_cast<std::uint32_t>(rng.next());
+        memory.write(address, value);
+        reference[address] = value;
+        pendingFlips[address] = 0;
+        break;
+      }
+      case 1: {  // single-bit upset
+        if (pendingFlips[address] >= 2) break;  // keep it decodable territory
+        memory.flipBit(address, static_cast<int>(rng.uniformInt(kEccCodewordBits)));
+        ++pendingFlips[address];
+        break;
+      }
+      default: {  // read
+        const MemoryReadResult result = memory.read(address);
+        const int flips = pendingFlips[address];
+        if (flips <= 1) {
+          ASSERT_TRUE(result.ok);
+          ASSERT_EQ(result.value, reference.count(address) ? reference[address] : 0u);
+          pendingFlips[address] = 0;  // scrub-on-read heals single upsets
+        } else {
+          // Two pending flips: either they hit different bits (uncorrectable)
+          // or the same bit twice (cancels, reads clean).
+          if (result.ok) {
+            ASSERT_EQ(result.value, reference.count(address) ? reference[address] : 0u);
+            pendingFlips[address] = 0;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(MemoryProperty, InterpreterDeterminism) {
+  // Random (but halting) straight-line programs: two machines given the same
+  // program and inputs always agree on every architectural output.
+  Rng rng{GetParam() ^ 0x777};
+  std::ostringstream source;
+  for (int i = 0; i < 30; ++i) {
+    switch (rng.uniformInt(5)) {
+      case 0: source << "ldi r" << rng.uniformInt(13) << ", " << rng.uniformInt(1000) << "\n"; break;
+      case 1: source << "add r" << rng.uniformInt(13) << ", r" << rng.uniformInt(13) << ", r"
+                     << rng.uniformInt(13) << "\n"; break;
+      case 2: source << "mul r" << rng.uniformInt(13) << ", r" << rng.uniformInt(13) << ", r"
+                     << rng.uniformInt(13) << "\n"; break;
+      case 3: source << "xor r" << rng.uniformInt(13) << ", r" << rng.uniformInt(13) << ", r"
+                     << rng.uniformInt(13) << "\n"; break;
+      default: source << "st r" << rng.uniformInt(13) << ", [r0+" << 4 * (64 + rng.uniformInt(32))
+                      << "]\n"; break;
+    }
+  }
+  source << "halt\n";
+  const Program program = assemble(source.str());
+
+  auto runOnce = [&] {
+    Machine machine{8192};
+    machine.loadWords(0, program.words);
+    machine.cpu().setSp(8192);
+    (void)machine.run(1000);
+    return machine.readWords(256, 32);
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace nlft::hw

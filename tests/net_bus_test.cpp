@@ -1,0 +1,224 @@
+#include "net/bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nlft::net {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct BusFixture : ::testing::Test {
+  sim::Simulator simulator;
+  TdmaConfig config;
+  std::vector<std::tuple<NodeId, NodeId, std::vector<std::uint32_t>, std::int64_t>> received;
+
+  BusFixture() {
+    config.slotLength = Duration::milliseconds(1);
+    config.staticSchedule = {1, 2, 3};
+    config.dynamicMinislots = 4;
+    config.minislotLength = Duration::microseconds(250);
+  }
+
+  void attachRecorder(TdmaBus& bus, NodeId node) {
+    bus.attach(node, [this, node](const Frame& frame) {
+      received.emplace_back(node, frame.sender, frame.payload, simulator.now().us());
+    });
+  }
+};
+
+TEST_F(BusFixture, CycleLengthCoversStaticAndDynamicSegments) {
+  TdmaBus bus{simulator, config};
+  EXPECT_EQ(bus.cycleLength().us(), 3000 + 4 * 250);
+}
+
+TEST_F(BusFixture, StaticFrameDeliveredInOwnersSlot) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  attachRecorder(bus, 3);
+  bus.sendStatic(1, {0xAB});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(4000));
+  ASSERT_EQ(received.size(), 2u);  // both other nodes hear it
+  // Node 1 owns slot 0: delivery at the end of slot 0 = 1 ms.
+  EXPECT_EQ(std::get<3>(received[0]), 1000);
+  EXPECT_EQ(std::get<1>(received[0]), 1u);
+  EXPECT_EQ(std::get<2>(received[0]), (std::vector<std::uint32_t>{0xAB}));
+}
+
+TEST_F(BusFixture, SenderDoesNotHearItself) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 1);
+  bus.sendStatic(1, {1});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(4000));
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(BusFixture, SlotsAreOwnedOneFramePerCycle) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 3);
+  bus.sendStatic(1, {1});
+  bus.sendStatic(2, {2});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(std::get<3>(received[0]), 1000);  // node 1, slot 0
+  EXPECT_EQ(std::get<3>(received[1]), 2000);  // node 2, slot 1
+}
+
+TEST_F(BusFixture, FreshestValueReplacesPendingStaticFrame) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  bus.sendStatic(1, {1});
+  bus.sendStatic(1, {2});  // replaces the first before the slot opens
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::get<2>(received[0]), (std::vector<std::uint32_t>{2}));
+}
+
+TEST_F(BusFixture, EmptySlotTransmitsNothing) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(8000));
+  EXPECT_TRUE(received.empty());
+  EXPECT_GE(bus.cyclesCompleted(), 1u);
+}
+
+TEST_F(BusFixture, DynamicSegmentArbitratesByPriority) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 1);
+  bus.sendDynamic(3, 7, {30});
+  bus.sendDynamic(2, 2, {20});  // higher priority (lower value) wins
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(4000));
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(std::get<1>(received[0]), 2u);
+  EXPECT_EQ(std::get<1>(received[1]), 3u);
+}
+
+TEST_F(BusFixture, DynamicOverflowWaitsForNextCycle) {
+  config.dynamicMinislots = 1;
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 1);
+  bus.sendDynamic(2, 1, {1});
+  bus.sendDynamic(3, 2, {2});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3300));  // cycle 0 = 3.25 ms
+  ASSERT_EQ(received.size(), 1u);  // only the winner fits in cycle 0
+  simulator.runUntil(SimTime::fromUs(6500));
+  ASSERT_EQ(received.size(), 2u);  // the loser went out in cycle 1
+  EXPECT_EQ(std::get<1>(received[1]), 3u);
+}
+
+TEST_F(BusFixture, SilentNodeTransmitsNothing) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  bus.setNodeSilent(1, true);
+  bus.sendStatic(1, {1});
+  bus.sendDynamic(1, 0, {2});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(8000));
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(BusFixture, CorruptedFrameDroppedAtAllReceivers) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  attachRecorder(bus, 3);
+  bus.corruptNextFrame(1);
+  bus.sendStatic(1, {1});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(bus.framesDropped(), 1u);
+
+  // The corruption marker is one-shot: the next frame goes through.
+  bus.sendStatic(1, {2});
+  simulator.runUntil(SimTime::fromUs(7900));
+  EXPECT_EQ(received.size(), 2u);
+  EXPECT_EQ(bus.framesDelivered(), 1u);
+}
+
+TEST_F(BusFixture, CyclesRepeatIndefinitely) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 2);
+  bus.start();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    bus.sendStatic(1, {static_cast<std::uint32_t>(cycle)});
+    simulator.runUntil(SimTime::fromUs((cycle + 1) * 4000));
+  }
+  EXPECT_EQ(received.size(), 5u);
+  EXPECT_EQ(bus.cyclesCompleted(), 5u);
+}
+
+TEST_F(BusFixture, BabblingIdiotDestroysEverySlotWithoutGuardian) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 3);
+  bus.setBabbling(2, true);  // node 2 transmits everywhere
+  bus.sendStatic(1, {1});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  // Node 1's frame collided with node 2's babble in slot 0.
+  EXPECT_TRUE(received.empty());
+  EXPECT_GT(bus.babbleCollisions(), 0u);
+  EXPECT_EQ(bus.framesDropped(), 1u);
+}
+
+TEST_F(BusFixture, BusGuardianContainsTheBabbler) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 3);
+  bus.setBusGuardianEnabled(true);
+  bus.setBabbling(2, true);
+  bus.sendStatic(1, {1});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  // The guardian blocks node 2's out-of-slot transmissions: node 1's frame
+  // arrives untouched (fault containment at the network level).
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::get<2>(received[0]), (std::vector<std::uint32_t>{1}));
+  EXPECT_GT(bus.babbleBlocked(), 0u);
+  EXPECT_EQ(bus.babbleCollisions(), 0u);
+}
+
+TEST_F(BusFixture, BabblerStillOwnsItsOwnSlot) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 1);
+  bus.setBusGuardianEnabled(true);
+  bus.setBabbling(2, true);
+  bus.sendStatic(2, {22});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  // In ITS OWN slot the babbler's transmission is legitimate.
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::get<1>(received[0]), 2u);
+}
+
+TEST_F(BusFixture, SilencedBabblerStopsColliding) {
+  TdmaBus bus{simulator, config};
+  attachRecorder(bus, 3);
+  bus.setBabbling(2, true);
+  bus.setNodeSilent(2, true);  // the node was shut down (fail-silent)
+  bus.sendStatic(1, {1});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(bus.babbleCollisions(), 0u);
+}
+
+TEST_F(BusFixture, InvalidConfigRejected) {
+  TdmaConfig bad;
+  bad.staticSchedule = {};
+  EXPECT_THROW(TdmaBus(simulator, bad), std::invalid_argument);
+  bad.staticSchedule = {1};
+  bad.slotLength = Duration{};
+  EXPECT_THROW(TdmaBus(simulator, bad), std::invalid_argument);
+  TdmaBus bus{simulator, config};
+  bus.start();
+  EXPECT_THROW(bus.start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nlft::net

@@ -1,0 +1,92 @@
+// Membership under random churn: after an arbitrary sequence of node
+// deaths and restarts followed by a quiet period, every alive node's view
+// converges to exactly the set of alive nodes.
+#include <gtest/gtest.h>
+
+#include "net/membership.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::net {
+namespace {
+
+using util::Duration;
+using util::Rng;
+using util::SimTime;
+
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnProperty, ViewsConvergeAfterQuiescence) {
+  Rng rng{GetParam()};
+  sim::Simulator simulator;
+  TdmaConfig config;
+  config.slotLength = Duration::milliseconds(1);
+  const int nodeCount = 3 + static_cast<int>(rng.uniformInt(4));  // 3..6 nodes
+  for (int i = 1; i <= nodeCount; ++i) config.staticSchedule.push_back(i);
+
+  TdmaBus bus{simulator, config};
+  MembershipService membership{simulator, bus};
+  std::vector<bool> alive(nodeCount + 1, true);
+  for (int i = 1; i <= nodeCount; ++i) membership.addNode(i);
+  membership.start();
+
+  // Random churn for ~50 cycles.
+  const Duration cycle = bus.cycleLength();
+  const int churnEvents = 5 + static_cast<int>(rng.uniformInt(15));
+  for (int event = 0; event < churnEvents; ++event) {
+    const auto atUs = static_cast<std::int64_t>(rng.uniformInt(50 * cycle.us()));
+    const NodeId victim = 1 + static_cast<NodeId>(rng.uniformInt(nodeCount));
+    const bool makeAlive = rng.bernoulli(0.5);
+    simulator.scheduleAt(SimTime::fromUs(atUs), [&membership, &alive, victim, makeAlive] {
+      membership.setAlive(victim, makeAlive);
+      alive[victim] = makeAlive;
+    });
+  }
+
+  // Quiet period: enough cycles for every expulsion and reintegration.
+  simulator.runUntil(SimTime::fromUs(50 * cycle.us() + 10 * cycle.us()));
+
+  std::set<NodeId> aliveSet;
+  for (int i = 1; i <= nodeCount; ++i) {
+    if (alive[i]) aliveSet.insert(i);
+  }
+  for (int i = 1; i <= nodeCount; ++i) {
+    if (!alive[i]) {
+      EXPECT_TRUE(membership.membershipView(i).empty()) << "dead node " << i;
+      continue;
+    }
+    EXPECT_EQ(membership.membershipView(i), aliveSet) << "observer " << i;
+  }
+}
+
+TEST_P(ChurnProperty, ViewsNeverContainLongDeadNodes) {
+  // Even DURING churn, a node dead for > missTolerance+1 cycles must not be
+  // in anyone's view.
+  Rng rng{GetParam() ^ 0xD00D};
+  sim::Simulator simulator;
+  TdmaConfig config;
+  config.slotLength = Duration::milliseconds(1);
+  config.staticSchedule = {1, 2, 3, 4};
+  TdmaBus bus{simulator, config};
+  MembershipService membership{simulator, bus};
+  for (NodeId i = 1; i <= 4; ++i) membership.addNode(i);
+  membership.start();
+
+  const NodeId victim = 1 + static_cast<NodeId>(rng.uniformInt(4));
+  const auto deadAtUs = static_cast<std::int64_t>(4000 + rng.uniformInt(20'000));
+  simulator.scheduleAt(SimTime::fromUs(deadAtUs),
+                       [&membership, victim] { membership.setAlive(victim, false); });
+  // Check at several instants well after death.
+  const Duration cycle = bus.cycleLength();
+  for (int k = 3; k <= 6; ++k) {
+    simulator.runUntil(SimTime::fromUs(deadAtUs + k * cycle.us()));
+    for (NodeId observer = 1; observer <= 4; ++observer) {
+      if (observer == victim) continue;
+      EXPECT_FALSE(membership.isMember(observer, victim)) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace nlft::net

@@ -1,0 +1,136 @@
+#include "net/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nlft::net {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+constexpr Duration kResync = Duration::milliseconds(100);
+
+TEST(DriftingClock, ReadingFollowsRateAndOffset) {
+  DriftingClock clock{100.0, 500.0};  // +100 ppm, 500 us ahead
+  EXPECT_DOUBLE_EQ(clock.readAt(SimTime::zero()), 500.0);
+  // After 1 s of global time: 500 + 1e6 * 1.0001.
+  EXPECT_NEAR(clock.readAt(SimTime::fromUs(1'000'000)), 500.0 + 1'000'100.0, 1e-6);
+  clock.adjust(-500.0);
+  EXPECT_NEAR(clock.readAt(SimTime::zero()), 0.0, 1e-9);
+}
+
+TEST(ClockSync, DriftingClocksDivergeWithoutSync) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 0};
+  sync.addClock({+100.0, 0.0});
+  sync.addClock({-100.0, 0.0});
+  // start() never called: skew grows linearly (200 ppm * 10 s = 2000 us).
+  simulator.runUntil(SimTime::fromUs(10'000'000));
+  EXPECT_NEAR(sync.maxSkewUs(), 2000.0, 1.0);
+}
+
+TEST(ClockSync, ConvergesAndHoldsPrecisionBound) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 0};
+  util::Rng rng{7};
+  double maxDrift = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double drift = rng.uniform(-100.0, 100.0);
+    maxDrift = std::max(maxDrift, std::abs(drift));
+    sync.addClock({drift, rng.uniform(-300.0, 300.0)});
+  }
+  sync.start();
+  simulator.runUntil(SimTime::fromUs(5'000'000));
+  EXPECT_GT(sync.roundsCompleted(), 40u);
+  // Classic bound: skew <= ~2 * rho * R after convergence (plus margin).
+  const double bound = 2.0 * maxDrift * 1e-6 * static_cast<double>(kResync.us()) + 1.0;
+  EXPECT_LE(sync.maxSkewUs(), bound);
+}
+
+TEST(ClockSync, InitialOffsetsAreWipedOut) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 0};
+  sync.addClock({0.0, 10'000.0});  // 10 ms apart, no drift
+  sync.addClock({0.0, -10'000.0});
+  sync.addClock({0.0, 0.0});
+  sync.start();
+  simulator.runUntil(SimTime::fromUs(1'000'000));
+  EXPECT_LE(sync.maxSkewUs(), 1e-6);  // exact convergence without drift
+}
+
+TEST(ClockSync, ToleratesOneByzantineClock) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, /*faultyTolerated=*/1};
+  util::Rng rng{9};
+  double maxDrift = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double drift = rng.uniform(-50.0, 50.0);
+    maxDrift = std::max(maxDrift, std::abs(drift));
+    sync.addClock({drift, rng.uniform(-200.0, 200.0)});
+  }
+  const std::size_t traitor = sync.addClock({0.0, 0.0});
+  // The traitor reports wild, alternating readings.
+  int phase = 0;
+  sync.setByzantine(traitor, [&phase](double honest) {
+    return honest + ((phase++ % 2) ? 5e7 : -5e7);
+  });
+  sync.start();
+  simulator.runUntil(SimTime::fromUs(5'000'000));
+  const double bound = 2.0 * maxDrift * 1e-6 * static_cast<double>(kResync.us()) + 1.0;
+  EXPECT_LE(sync.maxSkewUs(), bound);  // honest clocks stay tight regardless
+}
+
+TEST(ClockSync, WithoutFtaTheByzantineClockWreaksHavoc) {
+  // Control experiment: k = 0 and the same traitor — the average chases the
+  // wild readings and the honest clocks are dragged apart or away.
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 0};
+  sync.addClock({10.0, 0.0});
+  sync.addClock({-10.0, 50.0});
+  const std::size_t traitor = sync.addClock({0.0, 0.0});
+  int phase = 0;
+  sync.setByzantine(traitor, [&phase](double honest) {
+    return honest + ((phase++ % 2) ? 5e7 : -5e7);
+  });
+  sync.start();
+  simulator.runUntil(SimTime::fromUs(2'000'000));
+  // The two honest clocks get identical corrections, so their mutual skew
+  // stays small — but their ABSOLUTE error explodes. Detect it against an
+  // ideal reference clock (drift 0, offset 0): reading should be ~ now.
+  const double ideal = static_cast<double>(simulator.now().us());
+  const double actual = sync.clock(0).readAt(simulator.now());
+  EXPECT_GT(std::abs(actual - ideal), 1e6);  // > 1 s off after 2 s!
+}
+
+TEST(ClockSync, TighterResyncGivesTighterPrecision) {
+  auto skewWithInterval = [](Duration interval) {
+    sim::Simulator simulator;
+    ClockSyncService sync{simulator, interval, 0};
+    sync.addClock({+80.0, 100.0});
+    sync.addClock({-80.0, -100.0});
+    sync.addClock({+20.0, 0.0});
+    sync.start();
+    // Measure mid-interval (4.199 s): the 400 ms service last resynced at
+    // 4.0 s and has accumulated ~199 ms of drift divergence; the 10 ms one
+    // at most 9 ms worth.
+    simulator.runUntil(SimTime::fromUs(4'199'000));
+    return sync.maxSkewUs();
+  };
+  EXPECT_LT(skewWithInterval(Duration::milliseconds(10)),
+            skewWithInterval(Duration::milliseconds(400)));
+}
+
+TEST(ClockSync, RejectsBadConfig) {
+  sim::Simulator simulator;
+  EXPECT_THROW(ClockSyncService(simulator, Duration{}, 0), std::invalid_argument);
+  EXPECT_THROW(ClockSyncService(simulator, kResync, -1), std::invalid_argument);
+  ClockSyncService sync{simulator, kResync, 1};
+  sync.addClock({0.0, 0.0});
+  sync.addClock({0.0, 0.0});
+  EXPECT_THROW(sync.start(), std::invalid_argument);  // need > 2k clocks
+}
+
+}  // namespace
+}  // namespace nlft::net

@@ -1,0 +1,141 @@
+#include "net/state_resync.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nlft::net {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct ResyncFixture : ::testing::Test {
+  sim::Simulator simulator;
+  TdmaConfig config;
+
+  ResyncFixture() {
+    config.slotLength = Duration::milliseconds(1);
+    config.staticSchedule = {1, 2};
+    config.dynamicMinislots = 4;
+    config.minislotLength = Duration::microseconds(250);
+  }
+};
+
+TEST_F(ResyncFixture, PartnerAnswersStateRequest) {
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  // Node 2 holds state 7; node 1 lost it.
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32 id) -> std::optional<std::vector<std::uint32_t>> {
+    if (id == 7) return std::vector<std::uint32_t>{0xAA, 0xBB};
+    return std::nullopt;
+  });
+
+  std::vector<std::uint32_t> recovered;
+  Duration latency{};
+  resync.setRecoveredHandler(1, [&](StateId32 id, const std::vector<std::uint32_t>& data,
+                                    Duration measured) {
+    EXPECT_EQ(id, 7u);
+    recovered = data;
+    latency = measured;
+  });
+
+  bus.start();
+  resync.requestState(1, 7);
+  simulator.runUntil(SimTime::fromUs(10'000));
+
+  EXPECT_EQ(recovered, (std::vector<std::uint32_t>{0xAA, 0xBB}));
+  EXPECT_GT(latency, Duration{});
+  // Request goes out in cycle 0's dynamic segment, the response in cycle
+  // 1's: latency is below two communication cycles.
+  EXPECT_LE(latency, bus.cycleLength() * 2);
+  EXPECT_EQ(resync.recoveries(), 1u);
+  EXPECT_EQ(resync.requestsSent(), 1u);
+  EXPECT_EQ(resync.responsesSent(), 1u);
+}
+
+TEST_F(ResyncFixture, NoHolderMeansNoRecovery) {
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32) { return std::nullopt; });
+  bus.start();
+  resync.requestState(1, 42);
+  simulator.runUntil(SimTime::fromUs(20'000));
+  EXPECT_EQ(resync.recoveries(), 0u);
+  EXPECT_EQ(resync.responsesSent(), 0u);
+}
+
+TEST_F(ResyncFixture, ResponseAddressedToRequesterOnly) {
+  config.staticSchedule = {1, 2, 3};
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32) { return std::vector<std::uint32_t>{5}; });
+  int bystanderRecoveries = 0;
+  resync.addNode(3, [](StateId32) { return std::nullopt; });
+  resync.setRecoveredHandler(3, [&](StateId32, const std::vector<std::uint32_t>&, Duration) {
+    ++bystanderRecoveries;
+  });
+  bool requesterRecovered = false;
+  resync.setRecoveredHandler(1, [&](StateId32, const std::vector<std::uint32_t>&, Duration) {
+    requesterRecovered = true;
+  });
+  bus.start();
+  resync.requestState(1, 1);
+  simulator.runUntil(SimTime::fromUs(20'000));
+  EXPECT_TRUE(requesterRecovered);
+  EXPECT_EQ(bystanderRecoveries, 0);
+}
+
+TEST_F(ResyncFixture, DuplicateResponsesIgnored) {
+  config.staticSchedule = {1, 2, 3};
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  // BOTH peers hold the state (duplex partner + warm spare).
+  resync.addNode(2, [](StateId32) { return std::vector<std::uint32_t>{1}; });
+  resync.addNode(3, [](StateId32) { return std::vector<std::uint32_t>{1}; });
+  int recoveries = 0;
+  resync.setRecoveredHandler(1, [&](StateId32, const std::vector<std::uint32_t>&, Duration) {
+    ++recoveries;
+  });
+  bus.start();
+  resync.requestState(1, 9);
+  simulator.runUntil(SimTime::fromUs(30'000));
+  EXPECT_EQ(recoveries, 1);  // first response wins, the duplicate is dropped
+  EXPECT_EQ(resync.responsesSent(), 2u);
+}
+
+TEST_F(ResyncFixture, SilentPeerCannotAnswer) {
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32) { return std::vector<std::uint32_t>{1}; });
+  bus.setNodeSilent(2, true);
+  bus.start();
+  resync.requestState(1, 1);
+  simulator.runUntil(SimTime::fromUs(20'000));
+  EXPECT_EQ(resync.recoveries(), 0u);
+}
+
+TEST_F(ResyncFixture, ConcurrentRequestsForDifferentStates) {
+  TdmaBus bus{simulator, config};
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32 id) -> std::optional<std::vector<std::uint32_t>> {
+    return std::vector<std::uint32_t>{id * 10};
+  });
+  std::map<StateId32, std::uint32_t> recovered;
+  resync.setRecoveredHandler(1, [&](StateId32 id, const std::vector<std::uint32_t>& data,
+                                    Duration) { recovered[id] = data[0]; });
+  bus.start();
+  resync.requestState(1, 1);
+  resync.requestState(1, 2);
+  simulator.runUntil(SimTime::fromUs(30'000));
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[1], 10u);
+  EXPECT_EQ(recovered[2], 20u);
+}
+
+}  // namespace
+}  // namespace nlft::net

@@ -1,0 +1,293 @@
+#include "reliability/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace nlft::rel {
+namespace {
+
+// Single component, rate lambda, absorbing failure: R(t) = exp(-lambda t).
+CtmcModel singleComponent(double lambda) {
+  CtmcModel m;
+  const StateId up = m.addState("up");
+  const StateId down = m.addState("down", /*failure=*/true);
+  m.addTransition(up, down, lambda);
+  return m;
+}
+
+TEST(Ctmc, SingleComponentMatchesClosedForm) {
+  const double lambda = 1e-3;
+  const CtmcModel m = singleComponent(lambda);
+  for (double t : {0.0, 10.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(m.reliability(t), std::exp(-lambda * t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Ctmc, SingleComponentMttf) {
+  const double lambda = 2.5e-4;
+  EXPECT_NEAR(singleComponent(lambda).meanTimeToFailure(), 1.0 / lambda, 1e-6);
+}
+
+TEST(Ctmc, TwoStageSeriesClosedForm) {
+  // 0 -a-> 1 -b-> F: P(F by t) = 1 - (b e^{-a t} - a e^{-b t})/(b - a).
+  const double a = 1e-3;
+  const double b = 4e-3;
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s1, a);
+  m.addTransition(s1, f, b);
+  for (double t : {100.0, 1000.0, 10000.0}) {
+    const double expected = (b * std::exp(-a * t) - a * std::exp(-b * t)) / (b - a);
+    EXPECT_NEAR(m.reliability(t), expected, 1e-10);
+  }
+  EXPECT_NEAR(m.meanTimeToFailure(), 1.0 / a + 1.0 / b, 1e-6);
+}
+
+TEST(Ctmc, StateProbabilitiesSumToOne) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId s2 = m.addState("2");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s1, 0.3);
+  m.addTransition(s1, s0, 5.0);
+  m.addTransition(s1, s2, 0.2);
+  m.addTransition(s2, f, 1.0);
+  m.addTransition(s0, f, 0.01);
+  for (double t : {0.1, 1.0, 10.0, 100.0}) {
+    const auto p = m.stateProbabilities(t);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(Ctmc, UniformizationAgreesWithPade) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s1, 0.8);
+  m.addTransition(s1, s0, 2.0);
+  m.addTransition(s1, f, 0.5);
+  m.addTransition(s0, f, 0.05);
+  for (double t : {0.5, 2.0, 8.0, 20.0}) {
+    const double pade = m.reliability(t, TransientMethod::PadeExpm);
+    const double unif = m.reliability(t, TransientMethod::Uniformization);
+    EXPECT_NEAR(pade, unif, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Ctmc, UniformizationAgreesOnStiffRepairChain) {
+  // Repair rate 6 orders of magnitude above fault rate, like the BBW study.
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s2 = m.addState("2");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s2, 2e-4);
+  m.addTransition(s2, s0, 1.2e3);
+  m.addTransition(s2, f, 2e-4);
+  const double t = 5.0;  // keep q*t moderate so uniformization stays cheap
+  EXPECT_NEAR(m.reliability(t, TransientMethod::PadeExpm),
+              m.reliability(t, TransientMethod::Uniformization), 1e-10);
+}
+
+TEST(Ctmc, RepairableComponentAvailability) {
+  // Up <-> Down (no absorbing state): availability
+  // A(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t}.
+  const double lambda = 0.2;
+  const double mu = 1.5;
+  CtmcModel m;
+  const StateId up = m.addState("up");
+  const StateId down = m.addState("down", /*failure=*/true);
+  m.addTransition(up, down, lambda);
+  m.addTransition(down, up, mu);
+  for (double t : {0.1, 1.0, 5.0}) {
+    const auto p = m.stateProbabilities(t);
+    const double expected = mu / (lambda + mu) + lambda / (lambda + mu) * std::exp(-(lambda + mu) * t);
+    EXPECT_NEAR(p[0], expected, 1e-10);
+  }
+}
+
+TEST(Ctmc, MttfOfParallelPairClosedForm) {
+  // Two active units, no repair: 0 -2l-> 1 -l-> F. MTTF = 1/(2l) + 1/l.
+  const double lambda = 1e-4;
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s1, 2.0 * lambda);
+  m.addTransition(s1, f, lambda);
+  EXPECT_NEAR(m.meanTimeToFailure(), 1.5 / lambda, 1e-4);
+}
+
+TEST(Ctmc, RepairRaisesMttf) {
+  const double lambda = 1e-3;
+  const double mu = 1.0;
+  CtmcModel noRepair;
+  {
+    const StateId s0 = noRepair.addState("0");
+    const StateId s1 = noRepair.addState("1");
+    const StateId f = noRepair.addState("F", true);
+    noRepair.addTransition(s0, s1, 2.0 * lambda);
+    noRepair.addTransition(s1, f, lambda);
+  }
+  CtmcModel withRepair;
+  {
+    const StateId s0 = withRepair.addState("0");
+    const StateId s1 = withRepair.addState("1");
+    const StateId f = withRepair.addState("F", true);
+    withRepair.addTransition(s0, s1, 2.0 * lambda);
+    withRepair.addTransition(s1, s0, mu);
+    withRepair.addTransition(s1, f, lambda);
+  }
+  EXPECT_GT(withRepair.meanTimeToFailure(), 100.0 * noRepair.meanTimeToFailure());
+}
+
+TEST(Ctmc, ExpectedVisitTimesMatchMttfDecomposition) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, s1, 0.5);
+  m.addTransition(s1, s0, 0.25);
+  m.addTransition(s1, f, 0.75);
+  const auto visits = m.expectedVisitTimes();
+  EXPECT_NEAR(visits[0] + visits[1], m.meanTimeToFailure(), 1e-12);
+  EXPECT_GT(visits[0], 0.0);
+  EXPECT_GT(visits[1], 0.0);
+}
+
+TEST(Ctmc, InitialDistributionRespected) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId f = m.addState("F", true);
+  m.addTransition(s0, f, 1.0);
+  m.addTransition(s1, f, 2.0);
+  m.setInitialProbability(s0, 0.5);
+  m.setInitialProbability(s1, 0.5);
+  const double t = 0.7;
+  EXPECT_NEAR(m.reliability(t), 0.5 * std::exp(-t) + 0.5 * std::exp(-2.0 * t), 1e-12);
+}
+
+TEST(Ctmc, InvalidUsageThrows) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId f = m.addState("F", true);
+  EXPECT_THROW(m.addTransition(s0, s0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.addTransition(s0, f, -1.0), std::invalid_argument);
+  EXPECT_THROW(m.addTransition(s0, StateId{99}, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.setInitialProbability(s0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)m.reliability(-1.0), std::invalid_argument);
+}
+
+TEST(Ctmc, StationaryDistributionTwoStateRepairable) {
+  const double lambda = 0.4;
+  const double mu = 2.5;
+  CtmcModel m;
+  const StateId up = m.addState("up");
+  const StateId down = m.addState("down", true);
+  m.addTransition(up, down, lambda);
+  m.addTransition(down, up, mu);
+  const auto pi = m.stationaryDistribution();
+  EXPECT_NEAR(pi[0], mu / (lambda + mu), 1e-12);
+  EXPECT_NEAR(pi[1], lambda / (lambda + mu), 1e-12);
+  EXPECT_NEAR(m.steadyStateAvailability(), mu / (lambda + mu), 1e-12);
+}
+
+TEST(Ctmc, StationaryDistributionBirthDeath) {
+  // Birth-death chain 0<->1<->2 with birth rate b, death rate d:
+  // pi_k proportional to (b/d)^k.
+  const double b = 1.0;
+  const double d = 3.0;
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1");
+  const StateId s2 = m.addState("2", true);
+  m.addTransition(s0, s1, b);
+  m.addTransition(s1, s2, b);
+  m.addTransition(s1, s0, d);
+  m.addTransition(s2, s1, d);
+  const auto pi = m.stationaryDistribution();
+  const double rho = b / d;
+  const double z = 1.0 + rho + rho * rho;
+  EXPECT_NEAR(pi[0], 1.0 / z, 1e-12);
+  EXPECT_NEAR(pi[1], rho / z, 1e-12);
+  EXPECT_NEAR(pi[2], rho * rho / z, 1e-12);
+  EXPECT_NEAR(m.steadyStateAvailability(), (1.0 + rho) / z, 1e-12);
+}
+
+TEST(Ctmc, StationaryMatchesLongRunTransient) {
+  CtmcModel m;
+  const StateId s0 = m.addState("0");
+  const StateId s1 = m.addState("1", true);
+  const StateId s2 = m.addState("2");
+  m.addTransition(s0, s1, 0.7);
+  m.addTransition(s1, s2, 1.3);
+  m.addTransition(s2, s0, 0.9);
+  m.addTransition(s0, s2, 0.2);
+  const auto pi = m.stationaryDistribution();
+  const auto pLong = m.stateProbabilities(500.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(pi[i], pLong[i], 1e-9);
+}
+
+TEST(Ctmc, StationaryDistributionRejectsAbsorbingChains) {
+  const CtmcModel m = singleComponent(1e-3);
+  EXPECT_THROW((void)m.stationaryDistribution(), std::logic_error);
+}
+
+TEST(IndependentSeries, ReliabilityIsProduct) {
+  const CtmcModel a = singleComponent(1e-3);
+  const CtmcModel b = singleComponent(3e-3);
+  const IndependentSeriesSystem system{a, b};
+  for (double t : {0.0, 100.0, 1000.0}) {
+    EXPECT_NEAR(system.reliability(t), a.reliability(t) * b.reliability(t), 1e-12);
+  }
+}
+
+TEST(IndependentSeries, MttfOfTwoExponentialsClosedForm) {
+  const double la = 1e-3;
+  const double lb = 3e-3;
+  const IndependentSeriesSystem system{singleComponent(la), singleComponent(lb)};
+  EXPECT_NEAR(system.meanTimeToFailure(), 1.0 / (la + lb), 1e-6);
+}
+
+TEST(IndependentSeries, MttfMatchesNumericIntegrationOnRichChains) {
+  // Cross-check the Kronecker composition against direct quadrature.
+  CtmcModel a;
+  {
+    const StateId s0 = a.addState("0");
+    const StateId s1 = a.addState("1");
+    const StateId f = a.addState("F", true);
+    a.addTransition(s0, s1, 2e-3);
+    a.addTransition(s1, s0, 0.1);
+    a.addTransition(s1, f, 5e-3);
+    a.addTransition(s0, f, 1e-4);
+  }
+  CtmcModel b;
+  {
+    const StateId s0 = b.addState("0");
+    const StateId s1 = b.addState("1");
+    const StateId f = b.addState("F", true);
+    b.addTransition(s0, s1, 1e-3);
+    b.addTransition(s1, f, 2e-3);
+  }
+  const IndependentSeriesSystem system{a, b};
+  const double analytic = system.meanTimeToFailure();
+  // Numeric integral of R(t) via reliability().
+  double integral = 0.0;
+  const double dt = 25.0;
+  double prev = system.reliability(0.0);
+  for (double t = dt; t < 4e4; t += dt) {
+    const double cur = system.reliability(t);
+    integral += 0.5 * (prev + cur) * dt;
+    prev = cur;
+  }
+  EXPECT_NEAR(analytic, integral, analytic * 0.01);
+}
+
+}  // namespace
+}  // namespace nlft::rel

@@ -1,0 +1,94 @@
+#include "reliability/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nlft::rel {
+namespace {
+
+TEST(Dot, ContainsStatesAndTransitions) {
+  CtmcModel m;
+  const StateId up = m.addState("up");
+  const StateId down = m.addState("down", true);
+  m.addTransition(up, down, 0.5);
+  m.addTransition(down, up, 2.0);
+  const std::string dot = toDot(m, "demo");
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"up\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"down\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // failure state marker
+  EXPECT_NE(dot.find("s0 -> s1 [label=\"0.5\"]"), std::string::npos);
+  EXPECT_NE(dot.find("s1 -> s0 [label=\"2\"]"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, OnlyFailureStatesDoubleCircled) {
+  CtmcModel m;
+  m.addState("a");
+  m.addState("b");
+  const std::string dot = toDot(m);
+  EXPECT_EQ(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(KOfNRepairable, OneOfOneIsSimpleExponential) {
+  const CtmcModel m = kOfNRepairableChain(1, 1, 2e-3, 0.0);
+  EXPECT_NEAR(m.reliability(500.0), std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(m.meanTimeToFailure(), 500.0, 1e-6);
+}
+
+TEST(KOfNRepairable, ParallelPairWithoutRepairClosedForm) {
+  // 1-of-2, no repair: MTTF = 1/(2l) + 1/l.
+  const double lambda = 1e-3;
+  const CtmcModel m = kOfNRepairableChain(2, 1, lambda, 0.0);
+  EXPECT_NEAR(m.meanTimeToFailure(), 1.5 / lambda, 1e-6);
+}
+
+TEST(KOfNRepairable, ParallelPairWithRepairClosedForm) {
+  // 1-of-2 with repair mu: MTTF = (3l + mu) / (2 l^2)  (standard result).
+  const double lambda = 1e-3;
+  const double mu = 0.1;
+  const CtmcModel m = kOfNRepairableChain(2, 1, lambda, mu);
+  EXPECT_NEAR(m.meanTimeToFailure(), (3.0 * lambda + mu) / (2.0 * lambda * lambda),
+              1.0);
+}
+
+TEST(KOfNRepairable, TwoOfThreeFailsOnSecondLoss) {
+  // 2-of-3, no repair: MTTF = 1/(3l) + 1/(2l).
+  const double lambda = 2e-3;
+  const CtmcModel m = kOfNRepairableChain(3, 2, lambda, 0.0);
+  EXPECT_NEAR(m.meanTimeToFailure(), 1.0 / (3.0 * lambda) + 1.0 / (2.0 * lambda), 1e-6);
+}
+
+TEST(KOfNRepairable, RepairExtendsLifetimeMonotonically) {
+  double previous = 0.0;
+  for (double mu : {0.0, 0.01, 0.1, 1.0}) {
+    const double mttf = kOfNRepairableChain(4, 3, 1e-3, mu).meanTimeToFailure();
+    EXPECT_GT(mttf, previous);
+    previous = mttf;
+  }
+}
+
+TEST(KOfNRepairable, NOfNIsSeries) {
+  // k = n: any failure kills the group; MTTF = 1/(n*lambda), repair useless.
+  const CtmcModel m = kOfNRepairableChain(4, 4, 1e-3, 10.0);
+  EXPECT_NEAR(m.meanTimeToFailure(), 250.0, 1e-6);
+}
+
+TEST(KOfNRepairable, RejectsBadArguments) {
+  EXPECT_THROW((void)kOfNRepairableChain(0, 1, 1e-3, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)kOfNRepairableChain(2, 3, 1e-3, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)kOfNRepairableChain(2, 1, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)kOfNRepairableChain(2, 1, 1e-3, -1.0), std::invalid_argument);
+}
+
+TEST(KOfNRepairable, DotExportOfPaperChainIsWellFormed) {
+  const CtmcModel m = kOfNRepairableChain(4, 3, 2e-4, 1.2e3);
+  const std::string dot = toDot(m, "wheel-nodes");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 down"), std::string::npos);
+  EXPECT_NE(dot.find("2 down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nlft::rel

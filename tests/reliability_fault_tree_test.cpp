@@ -1,0 +1,139 @@
+#include "reliability/fault_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nlft::rel {
+namespace {
+
+TEST(FaultTree, BasicEventFailureProbability) {
+  FaultTree tree;
+  tree.basicEvent("e", constantReliability(0.9));
+  EXPECT_NEAR(tree.failureProbability(1.0), 0.1, 1e-12);
+  EXPECT_NEAR(tree.reliability(1.0), 0.9, 1e-12);
+}
+
+TEST(FaultTree, OrGateFailsIfAnyInputFails) {
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto b = tree.basicEvent("b", constantReliability(0.8));
+  tree.setTop(tree.orGate({a, b}));
+  EXPECT_NEAR(tree.reliability(1.0), 0.72, 1e-12);  // both must survive
+}
+
+TEST(FaultTree, AndGateNeedsAllInputsToFail) {
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto b = tree.basicEvent("b", constantReliability(0.8));
+  tree.setTop(tree.andGate({a, b}));
+  EXPECT_NEAR(tree.failureProbability(1.0), 0.1 * 0.2, 1e-12);
+}
+
+TEST(FaultTree, KOfNGateMatchesEnumeration) {
+  const double r[] = {0.9, 0.8, 0.7};
+  FaultTree tree;
+  std::vector<GateId> events;
+  for (double ri : r) events.push_back(tree.basicEvent("e", constantReliability(ri)));
+  tree.setTop(tree.kOfNGate(2, events));  // fails when >= 2 of 3 fail
+
+  double expected = 0.0;
+  for (int mask = 0; mask < 8; ++mask) {
+    int failed = 0;
+    double prob = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      if (mask & (1 << i)) {
+        prob *= 1.0 - r[i];
+        ++failed;
+      } else {
+        prob *= r[i];
+      }
+    }
+    if (failed >= 2) expected += prob;
+  }
+  EXPECT_NEAR(tree.failureProbability(1.0), expected, 1e-12);
+}
+
+TEST(FaultTree, NestedGates) {
+  // Top = OR(AND(a, b), c): a duplex masked pair in series with c.
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto b = tree.basicEvent("b", constantReliability(0.9));
+  const auto c = tree.basicEvent("c", constantReliability(0.99));
+  tree.setTop(tree.orGate({tree.andGate({a, b}), c}));
+  const double duplexFailure = 0.1 * 0.1;
+  EXPECT_NEAR(tree.reliability(1.0), (1.0 - duplexFailure) * 0.99, 1e-12);
+}
+
+TEST(FaultTree, OrOfExponentialsMttf) {
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", exponentialReliability(1e-3));
+  const auto b = tree.basicEvent("b", exponentialReliability(3e-3));
+  tree.setTop(tree.orGate({a, b}));
+  EXPECT_NEAR(tree.mttf(100.0), 250.0, 0.5);  // 1/(1e-3+3e-3)
+}
+
+TEST(FaultTree, TimeDependenceFlowsThrough) {
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", exponentialReliability(2e-3));
+  tree.setTop(tree.orGate({a}));
+  EXPECT_NEAR(tree.reliability(500.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(tree.reliability(100.0), tree.reliability(1000.0));
+}
+
+TEST(FaultTree, BirnbaumImportanceClosedForms) {
+  // Series (OR of failures): I_i = product of other components' reliability.
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto b = tree.basicEvent("b", constantReliability(0.8));
+  tree.setTop(tree.orGate({a, b}));
+  EXPECT_NEAR(tree.birnbaumImportance(a, 1.0), 0.8, 1e-12);
+  EXPECT_NEAR(tree.birnbaumImportance(b, 1.0), 0.9, 1e-12);
+}
+
+TEST(FaultTree, BirnbaumImportanceParallel) {
+  // AND of failures: I_i = product of other components' failure probability.
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto b = tree.basicEvent("b", constantReliability(0.8));
+  tree.setTop(tree.andGate({a, b}));
+  EXPECT_NEAR(tree.birnbaumImportance(a, 1.0), 0.2, 1e-12);
+  EXPECT_NEAR(tree.birnbaumImportance(b, 1.0), 0.1, 1e-12);
+}
+
+TEST(FaultTree, BirnbaumIdentifiesTheBottleneck) {
+  // Weakest link in series carries the LOWER importance here? No: in series
+  // the importance of a component is the others' reliability, so the MOST
+  // reliable partner makes YOUR importance the largest. Bottleneck analysis
+  // uses importance x failure probability (criticality); check ordering.
+  FaultTree tree;
+  const auto weak = tree.basicEvent("weak", constantReliability(0.6));
+  const auto strong = tree.basicEvent("strong", constantReliability(0.99));
+  tree.setTop(tree.orGate({weak, strong}));
+  const double weakCriticality = tree.birnbaumImportance(weak, 1.0) * 0.4;
+  const double strongCriticality = tree.birnbaumImportance(strong, 1.0) * 0.01;
+  EXPECT_GT(weakCriticality, strongCriticality);
+}
+
+TEST(FaultTree, BirnbaumRejectsGateNodes) {
+  FaultTree tree;
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  const auto gate = tree.orGate({a});
+  tree.setTop(gate);
+  EXPECT_THROW((void)tree.birnbaumImportance(gate, 1.0), std::invalid_argument);
+}
+
+TEST(FaultTree, InvalidConstructionThrows) {
+  FaultTree tree;
+  EXPECT_THROW(tree.orGate({}), std::invalid_argument);
+  EXPECT_THROW(tree.andGate({}), std::invalid_argument);
+  const auto a = tree.basicEvent("a", constantReliability(0.9));
+  EXPECT_THROW(tree.kOfNGate(0, {a}), std::invalid_argument);
+  EXPECT_THROW(tree.kOfNGate(2, {a}), std::invalid_argument);
+  EXPECT_THROW(tree.setTop(GateId{42}), std::invalid_argument);
+  EXPECT_THROW(tree.basicEvent("bad", ReliabilityFn{}), std::invalid_argument);
+  EXPECT_THROW((void)FaultTree{}.reliability(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nlft::rel

@@ -1,0 +1,302 @@
+// Property-based tests of the reliability engine over randomly generated
+// models: solver agreement, conservation laws, and brute-force equivalence
+// for block diagrams and fault trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "reliability/ctmc.hpp"
+#include "reliability/fault_tree.hpp"
+#include "reliability/rbd.hpp"
+#include "util/quadrature.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::rel {
+namespace {
+
+using util::Rng;
+
+/// Random absorbing chain: `transientStates` transient states, one failure
+/// state, random rates; absorption reachable from every state.
+CtmcModel randomAbsorbingChain(Rng& rng, std::size_t transientStates) {
+  CtmcModel m;
+  std::vector<StateId> states;
+  for (std::size_t i = 0; i < transientStates; ++i) {
+    states.push_back(m.addState("s" + std::to_string(i)));
+  }
+  const StateId failure = m.addState("F", true);
+  for (std::size_t i = 0; i < transientStates; ++i) {
+    for (std::size_t j = 0; j < transientStates; ++j) {
+      if (i != j && rng.bernoulli(0.5)) {
+        m.addTransition(states[i], states[j], rng.uniform(0.05, 2.0));
+      }
+    }
+    // Guarantee absorption is reachable from everywhere.
+    m.addTransition(states[i], failure, rng.uniform(0.01, 0.5));
+  }
+  return m;
+}
+
+class CtmcProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CtmcProperty, ProbabilityIsConserved) {
+  Rng rng{GetParam()};
+  const CtmcModel m = randomAbsorbingChain(rng, 2 + rng.uniformInt(4));
+  for (double t : {0.1, 1.0, 5.0, 25.0}) {
+    const auto p = m.stateProbabilities(t);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9) << "t=" << t;
+    for (double probability : p) EXPECT_GE(probability, 0.0);
+  }
+}
+
+TEST_P(CtmcProperty, UniformizationAgreesWithPade) {
+  Rng rng{GetParam() ^ 0xABCDEF};
+  const CtmcModel m = randomAbsorbingChain(rng, 2 + rng.uniformInt(4));
+  for (double t : {0.3, 2.0, 10.0}) {
+    EXPECT_NEAR(m.reliability(t, TransientMethod::PadeExpm),
+                m.reliability(t, TransientMethod::Uniformization), 1e-8)
+        << "t=" << t;
+  }
+}
+
+TEST_P(CtmcProperty, ReliabilityIsMonotoneDecreasing) {
+  Rng rng{GetParam() ^ 0x123456};
+  const CtmcModel m = randomAbsorbingChain(rng, 2 + rng.uniformInt(4));
+  double previous = 1.0;
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    const double r = m.reliability(t);
+    EXPECT_LE(r, previous + 1e-10);
+    previous = r;
+  }
+}
+
+TEST_P(CtmcProperty, MttfEqualsIntegralOfReliability) {
+  Rng rng{GetParam() ^ 0x777};
+  const CtmcModel m = randomAbsorbingChain(rng, 2 + rng.uniformInt(3));
+  const double mttf = m.meanTimeToFailure();
+  const double integral =
+      util::integrateToInfinity([&m](double t) { return m.reliability(t); }, 5.0, 1e-8);
+  EXPECT_NEAR(mttf, integral, std::max(1e-6, mttf * 1e-4));
+}
+
+TEST_P(CtmcProperty, VisitTimesDecomposeMttf) {
+  Rng rng{GetParam() ^ 0x999};
+  const CtmcModel m = randomAbsorbingChain(rng, 2 + rng.uniformInt(4));
+  const auto visits = m.expectedVisitTimes();
+  for (double v : visits) EXPECT_GE(v, -1e-12);
+  EXPECT_NEAR(std::accumulate(visits.begin(), visits.end(), 0.0), m.meanTimeToFailure(), 1e-8);
+}
+
+TEST_P(CtmcProperty, SeriesCompositionIsProduct) {
+  Rng rng{GetParam() ^ 0x31415};
+  const CtmcModel a = randomAbsorbingChain(rng, 2 + rng.uniformInt(3));
+  const CtmcModel b = randomAbsorbingChain(rng, 2 + rng.uniformInt(3));
+  const IndependentSeriesSystem system{a, b};
+  for (double t : {0.5, 3.0, 12.0}) {
+    EXPECT_NEAR(system.reliability(t), a.reliability(t) * b.reliability(t), 1e-9);
+  }
+  const double mttf = system.meanTimeToFailure();
+  const double integral = util::integrateToInfinity(
+      [&](double t) { return system.reliability(t); }, 5.0, 1e-8);
+  EXPECT_NEAR(mttf, integral, std::max(1e-6, mttf * 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtmcProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+// --- RBD vs brute force over an explicit expression tree ---
+
+/// Our own structural mirror of a block diagram, so the same random tree can
+/// be evaluated (a) by the Rbd engine and (b) by brute-force enumeration of
+/// component up/down states.
+struct Expr {
+  enum class Kind { Component, Series, Parallel, KOfN } kind;
+  std::size_t componentIndex = 0;
+  std::size_t k = 0;
+  std::vector<std::size_t> children;  // indices into the expression pool
+};
+
+struct RandomDiagram {
+  std::vector<Expr> pool;
+  std::size_t root = 0;
+  std::vector<double> componentReliability;
+};
+
+RandomDiagram randomDiagram(Rng& rng, std::size_t count) {
+  RandomDiagram d;
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < count; ++i) {
+    d.componentReliability.push_back(rng.uniform(0.1, 0.99));
+    d.pool.push_back(Expr{Expr::Kind::Component, i, 0, {}});
+    live.push_back(d.pool.size() - 1);
+  }
+  while (live.size() > 1) {
+    const std::size_t groupSize =
+        std::min<std::size_t>(live.size(), 2 + rng.uniformInt(2));
+    Expr combined;
+    for (std::size_t i = 0; i < groupSize; ++i) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      combined.children.push_back(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    switch (rng.uniformInt(3)) {
+      case 0: combined.kind = Expr::Kind::Series; break;
+      case 1: combined.kind = Expr::Kind::Parallel; break;
+      default:
+        combined.kind = Expr::Kind::KOfN;
+        combined.k = 1 + rng.uniformInt(combined.children.size());
+        break;
+    }
+    d.pool.push_back(std::move(combined));
+    live.push_back(d.pool.size() - 1);
+  }
+  d.root = live[0];
+  return d;
+}
+
+BlockId buildRbd(Rbd& rbd, const RandomDiagram& d, std::size_t node) {
+  const Expr& e = d.pool[node];
+  if (e.kind == Expr::Kind::Component) {
+    return rbd.component("c", constantReliability(d.componentReliability[e.componentIndex]));
+  }
+  std::vector<BlockId> children;
+  for (std::size_t child : e.children) children.push_back(buildRbd(rbd, d, child));
+  switch (e.kind) {
+    case Expr::Kind::Series: return rbd.series(children);
+    case Expr::Kind::Parallel: return rbd.parallel(children);
+    default: return rbd.kOfN(e.k, children);
+  }
+}
+
+bool evaluateExpr(const RandomDiagram& d, std::size_t node, std::size_t upMask) {
+  const Expr& e = d.pool[node];
+  switch (e.kind) {
+    case Expr::Kind::Component:
+      return (upMask >> e.componentIndex) & 1u;
+    case Expr::Kind::Series: {
+      for (std::size_t child : e.children)
+        if (!evaluateExpr(d, child, upMask)) return false;
+      return true;
+    }
+    case Expr::Kind::Parallel: {
+      for (std::size_t child : e.children)
+        if (evaluateExpr(d, child, upMask)) return true;
+      return false;
+    }
+    case Expr::Kind::KOfN: {
+      std::size_t up = 0;
+      for (std::size_t child : e.children) up += evaluateExpr(d, child, upMask);
+      return up >= e.k;
+    }
+  }
+  return false;
+}
+
+double bruteForce(const RandomDiagram& d) {
+  const std::size_t n = d.componentReliability.size();
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    if (!evaluateExpr(d, d.root, mask)) continue;
+    double probability = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      probability *= (mask >> i) & 1u ? d.componentReliability[i]
+                                      : 1.0 - d.componentReliability[i];
+    }
+    total += probability;
+  }
+  return total;
+}
+
+class RbdProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RbdProperty, RandomDiagramMatchesBruteForce) {
+  Rng rng{GetParam() ^ 0xBEEF};
+  const std::size_t count = 3 + rng.uniformInt(6);  // up to 8 components
+  const RandomDiagram d = randomDiagram(rng, count);
+  Rbd rbd;
+  rbd.setRoot(buildRbd(rbd, d, d.root));
+  EXPECT_NEAR(rbd.reliability(1.0), bruteForce(d), 1e-10);
+}
+
+TEST_P(RbdProperty, CoherentStructureBounds) {
+  Rng rng{GetParam() ^ 0x5EED};
+  const std::size_t count = 3 + rng.uniformInt(5);
+  const RandomDiagram d = randomDiagram(rng, count);
+  Rbd rbd;
+  rbd.setRoot(buildRbd(rbd, d, d.root));
+  const double r = rbd.reliability(1.0);
+  // Series of everything lower-bounds, parallel of everything upper-bounds
+  // any coherent structure over the same (single-use) components.
+  double series = 1.0;
+  double parallelFail = 1.0;
+  for (double component : d.componentReliability) {
+    series *= component;
+    parallelFail *= 1.0 - component;
+  }
+  EXPECT_GE(r + 1e-12, series);
+  EXPECT_LE(r - 1e-12, 1.0 - parallelFail);
+}
+
+TEST_P(RbdProperty, FaultTreeDualityOfSeriesParallel) {
+  // A series RBD fails iff the OR fault tree fires; a parallel RBD fails iff
+  // the AND fault tree fires — for random component sets.
+  Rng rng{GetParam() ^ 0xF00D};
+  const std::size_t count = 2 + rng.uniformInt(5);
+  std::vector<double> reliabilities;
+  for (std::size_t i = 0; i < count; ++i) reliabilities.push_back(rng.uniform(0.05, 0.99));
+
+  Rbd seriesRbd;
+  Rbd parallelRbd;
+  FaultTree orTree;
+  FaultTree andTree;
+  std::vector<BlockId> seriesBlocks, parallelBlocks;
+  std::vector<GateId> orEvents, andEvents;
+  for (double r : reliabilities) {
+    seriesBlocks.push_back(seriesRbd.component("c", constantReliability(r)));
+    parallelBlocks.push_back(parallelRbd.component("c", constantReliability(r)));
+    orEvents.push_back(orTree.basicEvent("e", constantReliability(r)));
+    andEvents.push_back(andTree.basicEvent("e", constantReliability(r)));
+  }
+  seriesRbd.setRoot(seriesRbd.series(seriesBlocks));
+  parallelRbd.setRoot(parallelRbd.parallel(parallelBlocks));
+  orTree.setTop(orTree.orGate(orEvents));
+  andTree.setTop(andTree.andGate(andEvents));
+
+  EXPECT_NEAR(seriesRbd.reliability(1.0), orTree.reliability(1.0), 1e-12);
+  EXPECT_NEAR(parallelRbd.reliability(1.0), andTree.reliability(1.0), 1e-12);
+}
+
+TEST_P(RbdProperty, KOfNMatchesBruteForceEnumeration) {
+  Rng rng{GetParam() ^ 0xC0FFEE};
+  const std::size_t n = 2 + rng.uniformInt(7);
+  const std::size_t k = 1 + rng.uniformInt(n);
+  std::vector<double> reliabilities;
+  Rbd rbd;
+  std::vector<BlockId> blocks;
+  for (std::size_t i = 0; i < n; ++i) {
+    reliabilities.push_back(rng.uniform(0.05, 0.99));
+    blocks.push_back(rbd.component("c", constantReliability(reliabilities.back())));
+  }
+  rbd.setRoot(rbd.kOfN(k, blocks));
+
+  double expected = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    std::size_t up = 0;
+    double probability = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        probability *= reliabilities[i];
+        ++up;
+      } else {
+        probability *= 1.0 - reliabilities[i];
+      }
+    }
+    if (up >= k) expected += probability;
+  }
+  EXPECT_NEAR(rbd.reliability(1.0), expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbdProperty, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace nlft::rel

@@ -1,0 +1,125 @@
+#include "reliability/rbd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nlft::rel {
+namespace {
+
+TEST(Rbd, SingleComponent) {
+  Rbd rbd;
+  rbd.component("c", exponentialReliability(1e-3));
+  EXPECT_NEAR(rbd.reliability(1000.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Rbd, SeriesMultipliesReliabilities) {
+  Rbd rbd;
+  const auto a = rbd.component("a", constantReliability(0.9));
+  const auto b = rbd.component("b", constantReliability(0.8));
+  rbd.setRoot(rbd.series({a, b}));
+  EXPECT_NEAR(rbd.reliability(1.0), 0.72, 1e-12);
+}
+
+TEST(Rbd, ParallelCombinesUnreliabilities) {
+  Rbd rbd;
+  const auto a = rbd.component("a", constantReliability(0.9));
+  const auto b = rbd.component("b", constantReliability(0.8));
+  rbd.setRoot(rbd.parallel({a, b}));
+  EXPECT_NEAR(rbd.reliability(1.0), 1.0 - 0.1 * 0.2, 1e-12);
+}
+
+TEST(Rbd, KOfNHomogeneousMatchesBinomial) {
+  // 2-of-3 with p = 0.9: 3 p^2 (1-p) + p^3.
+  Rbd rbd;
+  std::vector<BlockId> components;
+  for (int i = 0; i < 3; ++i) components.push_back(rbd.component("c", constantReliability(0.9)));
+  rbd.setRoot(rbd.kOfN(2, components));
+  EXPECT_NEAR(rbd.reliability(1.0), 3 * 0.81 * 0.1 + 0.729, 1e-12);
+}
+
+TEST(Rbd, KOfNHeterogeneousMatchesEnumeration) {
+  const double p[] = {0.9, 0.7, 0.6, 0.5};
+  Rbd rbd;
+  std::vector<BlockId> components;
+  for (double pi : p) components.push_back(rbd.component("c", constantReliability(pi)));
+  rbd.setRoot(rbd.kOfN(3, components));
+
+  // Brute force over all 16 subsets.
+  double expected = 0.0;
+  for (int mask = 0; mask < 16; ++mask) {
+    int working = 0;
+    double prob = 1.0;
+    for (int i = 0; i < 4; ++i) {
+      if (mask & (1 << i)) {
+        prob *= p[i];
+        ++working;
+      } else {
+        prob *= 1.0 - p[i];
+      }
+    }
+    if (working >= 3) expected += prob;
+  }
+  EXPECT_NEAR(rbd.reliability(1.0), expected, 1e-12);
+}
+
+TEST(Rbd, KOfNSpecialCasesEqualSeriesAndParallel) {
+  const double p[] = {0.9, 0.7, 0.6};
+  auto build = [&](auto combiner) {
+    Rbd rbd;
+    std::vector<BlockId> components;
+    for (double pi : p) components.push_back(rbd.component("c", constantReliability(pi)));
+    rbd.setRoot(combiner(rbd, components));
+    return rbd.reliability(1.0);
+  };
+  const double nOfN = build([](Rbd& r, auto& c) { return r.kOfN(3, c); });
+  const double series = build([](Rbd& r, auto& c) { return r.series(c); });
+  EXPECT_NEAR(nOfN, series, 1e-12);
+  const double oneOfN = build([](Rbd& r, auto& c) { return r.kOfN(1, c); });
+  const double parallel = build([](Rbd& r, auto& c) { return r.parallel(c); });
+  EXPECT_NEAR(oneOfN, parallel, 1e-12);
+}
+
+TEST(Rbd, NestedDiagram) {
+  // (a || b) in series with c.
+  Rbd rbd;
+  const auto a = rbd.component("a", constantReliability(0.9));
+  const auto b = rbd.component("b", constantReliability(0.9));
+  const auto c = rbd.component("c", constantReliability(0.95));
+  rbd.setRoot(rbd.series({rbd.parallel({a, b}), c}));
+  EXPECT_NEAR(rbd.reliability(1.0), (1.0 - 0.01) * 0.95, 1e-12);
+}
+
+TEST(Rbd, SeriesOfExponentialsMttf) {
+  // Series of independent exponentials is exponential with summed rates.
+  Rbd rbd;
+  const auto a = rbd.component("a", exponentialReliability(1e-3));
+  const auto b = rbd.component("b", exponentialReliability(2e-3));
+  rbd.setRoot(rbd.series({a, b}));
+  EXPECT_NEAR(rbd.mttf(100.0), 1.0 / 3e-3, 1.0);
+}
+
+TEST(Rbd, BlockReliabilityExposesSubsystems) {
+  Rbd rbd;
+  const auto a = rbd.component("a", constantReliability(0.9));
+  const auto b = rbd.component("b", constantReliability(0.8));
+  const auto s = rbd.series({a, b});
+  rbd.setRoot(s);
+  EXPECT_NEAR(rbd.blockReliability(a, 1.0), 0.9, 1e-12);
+  EXPECT_NEAR(rbd.blockReliability(s, 1.0), 0.72, 1e-12);
+}
+
+TEST(Rbd, InvalidConstructionThrows) {
+  Rbd rbd;
+  EXPECT_THROW(rbd.series({}), std::invalid_argument);
+  EXPECT_THROW(rbd.parallel({}), std::invalid_argument);
+  const auto a = rbd.component("a", constantReliability(0.9));
+  EXPECT_THROW(rbd.kOfN(0, {a}), std::invalid_argument);
+  EXPECT_THROW(rbd.kOfN(2, {a}), std::invalid_argument);
+  EXPECT_THROW(rbd.setRoot(BlockId{42}), std::invalid_argument);
+  EXPECT_THROW(rbd.component("bad", ReliabilityFn{}), std::invalid_argument);
+  EXPECT_THROW((void)Rbd{}.reliability(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nlft::rel

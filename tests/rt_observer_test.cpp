@@ -1,0 +1,108 @@
+#include "rtkernel/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtkernel/rta.hpp"
+
+namespace nlft::rt {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct ObserverFixture : ::testing::Test {
+  sim::Simulator simulator;
+  Cpu cpu{simulator};
+  RtKernel kernel{simulator, cpu};
+  ResponseTimeObserver observer{kernel};
+
+  TaskId addTask(const char* name, int priority, Duration period, Duration wcet,
+                 Duration offset = Duration{}) {
+    TaskConfig config;
+    config.name = name;
+    config.priority = priority;
+    config.period = period;
+    config.wcet = wcet;
+    config.offset = offset;
+    const Duration work = wcet;
+    return kernel.addTask(config, [work](Job& job) {
+      job.runCopy(work, [&job](CopyStop) { job.complete({}); });
+    });
+  }
+};
+
+TEST_F(ObserverFixture, UncontendedTaskResponseEqualsWcet) {
+  const TaskId task = addTask("solo", 1, Duration::milliseconds(10), Duration::milliseconds(2));
+  kernel.start();
+  simulator.runUntil(SimTime::fromUs(55'000));
+  EXPECT_EQ(observer.stats(task).count(), 6u);
+  EXPECT_EQ(observer.worstCase(task).us(), 2000);
+  EXPECT_EQ(observer.jitter(task).us(), 0);
+}
+
+TEST_F(ObserverFixture, PreemptedTaskShowsJitter) {
+  const TaskId high =
+      addTask("high", 9, Duration::milliseconds(10), Duration::milliseconds(2));
+  const TaskId low =
+      addTask("low", 1, Duration::milliseconds(25), Duration::milliseconds(4));
+  kernel.start();
+  simulator.runUntil(SimTime::fromUs(200'000));
+
+  // High priority: always its WCET.
+  EXPECT_EQ(observer.worstCase(high).us(), 2000);
+  // Low priority: response varies with interference phase.
+  EXPECT_GT(observer.worstCase(low).us(), 4000);
+  EXPECT_GT(observer.jitter(low).us(), 0);
+
+  // Worst observed response never exceeds the RTA bound.
+  std::vector<RtaTask> analysis{
+      {Duration::milliseconds(2), Duration::milliseconds(10), Duration::milliseconds(10), 9, {}},
+      {Duration::milliseconds(4), Duration::milliseconds(25), Duration::milliseconds(25), 1, {}}};
+  const RtaResult rta = analyze(analysis);
+  ASSERT_TRUE(rta.schedulable);
+  EXPECT_LE(observer.worstCase(low).us(), rta.responseTimes[1].us());
+}
+
+TEST_F(ObserverFixture, OffsetTasksMeasuredFromTheirRelease) {
+  const TaskId task = addTask("offset", 1, Duration::milliseconds(10),
+                              Duration::milliseconds(1), Duration::milliseconds(3));
+  kernel.start();
+  simulator.runUntil(SimTime::fromUs(40'000));
+  EXPECT_EQ(observer.worstCase(task).us(), 1000);  // offset does not inflate response
+}
+
+TEST_F(ObserverFixture, SporadicReleasesUseNotedTimes) {
+  TaskConfig config;
+  config.name = "sporadic";
+  config.priority = 2;
+  config.relativeDeadline = Duration::milliseconds(20);
+  config.wcet = Duration::milliseconds(3);
+  const TaskId task = kernel.addTask(config, [](Job& job) {
+    job.runCopy(Duration::milliseconds(3), [&job](CopyStop) { job.complete({}); });
+  });
+  kernel.start();
+  simulator.scheduleAfter(Duration::milliseconds(7), [&] {
+    observer.noteRelease(task, 0, simulator.now());
+    kernel.releaseSporadic(task);
+  });
+  simulator.runUntil(SimTime::fromUs(30'000));
+  EXPECT_EQ(observer.stats(task).count(), 1u);
+  EXPECT_EQ(observer.worstCase(task).us(), 3000);
+}
+
+TEST_F(ObserverFixture, DownstreamSinkStillInvoked) {
+  int downstream = 0;
+  observer.setDownstream([&](const JobResult&) { ++downstream; });
+  addTask("t", 1, Duration::milliseconds(10), Duration::milliseconds(1));
+  kernel.start();
+  simulator.runUntil(SimTime::fromUs(35'000));
+  EXPECT_EQ(downstream, 4);
+}
+
+TEST_F(ObserverFixture, UnknownTaskGivesEmptyStats) {
+  EXPECT_EQ(observer.stats(TaskId{99}).count(), 0u);
+  EXPECT_EQ(observer.worstCase(TaskId{99}).us(), 0);
+}
+
+}  // namespace
+}  // namespace nlft::rt

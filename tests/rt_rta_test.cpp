@@ -1,0 +1,134 @@
+#include "rtkernel/rta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nlft::rt {
+namespace {
+
+using util::Duration;
+
+RtaTask task(std::int64_t wcetMs, std::int64_t periodMs, int priority,
+             std::int64_t recoveryMs = 0, std::int64_t deadlineMs = -1) {
+  RtaTask t;
+  t.wcet = Duration::milliseconds(wcetMs);
+  t.period = Duration::milliseconds(periodMs);
+  t.deadline = Duration::milliseconds(deadlineMs < 0 ? periodMs : deadlineMs);
+  t.priority = priority;
+  t.recovery = Duration::milliseconds(recoveryMs);
+  return t;
+}
+
+TEST(Rta, TextbookExample) {
+  // Burns & Wellings example: C/T = 3/7, 3/12, 5/20.
+  const std::vector<RtaTask> tasks{task(3, 7, 3), task(3, 12, 2), task(5, 20, 1)};
+  EXPECT_EQ(responseTime(tasks, 0)->us(), Duration::milliseconds(3).us());
+  EXPECT_EQ(responseTime(tasks, 1)->us(), Duration::milliseconds(6).us());
+  EXPECT_EQ(responseTime(tasks, 2)->us(), Duration::milliseconds(20).us());
+  const RtaResult result = analyze(tasks);
+  EXPECT_TRUE(result.schedulable);
+}
+
+TEST(Rta, UnschedulableSetDetected) {
+  // Utilisation over 1: cannot be schedulable.
+  const std::vector<RtaTask> tasks{task(5, 8, 2), task(5, 10, 1)};
+  EXPECT_GT(utilization(tasks), 1.0);
+  const RtaResult result = analyze(tasks);
+  EXPECT_FALSE(result.schedulable);
+  // The first-job recurrence still converges (R = 5 + 2*5 = 15) but misses
+  // the 10 ms deadline.
+  ASSERT_TRUE(responseTime(tasks, 1).has_value());
+  EXPECT_EQ(responseTime(tasks, 1)->us(), Duration::milliseconds(15).us());
+}
+
+TEST(Rta, HighestPriorityResponseIsItsWcet) {
+  const std::vector<RtaTask> tasks{task(4, 50, 10), task(10, 100, 1)};
+  EXPECT_EQ(responseTime(tasks, 0)->us(), Duration::milliseconds(4).us());
+}
+
+TEST(Rta, UtilizationComputed) {
+  const std::vector<RtaTask> tasks{task(1, 4, 2), task(2, 8, 1)};
+  EXPECT_DOUBLE_EQ(utilization(tasks), 0.5);
+}
+
+TEST(Rta, FaultRecoveryIncreasesResponse) {
+  std::vector<RtaTask> tasks{task(3, 7, 3, 2), task(3, 12, 2, 2), task(5, 20, 1, 3)};
+  const auto fault = responseTimeWithFaults(tasks, 2, Duration::milliseconds(100));
+  const auto faultFree = responseTime(tasks, 2);
+  ASSERT_TRUE(fault.has_value());
+  ASSERT_TRUE(faultFree.has_value());
+  EXPECT_GT(*fault, *faultFree);
+  // The textbook set has zero slack at the bottom: even one recovery per
+  // 100 ms pushes task 3 past its 20 ms deadline (hand value: 32 ms).
+  EXPECT_EQ(fault->us(), Duration::milliseconds(32).us());
+  EXPECT_FALSE(analyze(tasks, Duration::milliseconds(100)).schedulable);
+}
+
+TEST(Rta, FtRtaHandComputedExample) {
+  // Single task C=2, T=10, recovery=2, faults every 6 ms:
+  // R = 2 + ceil(R/6)*2 -> R=4: ceil(4/6)=1 -> 4. Fixed point at 4.
+  std::vector<RtaTask> tasks{task(2, 10, 1, 2)};
+  const auto r = responseTimeWithFaults(tasks, 0, Duration::milliseconds(6));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->us(), Duration::milliseconds(4).us());
+}
+
+TEST(Rta, FrequentFaultsCanMakeSetUnschedulable) {
+  // A set with real slack: tolerates sparse faults, collapses under bursts.
+  std::vector<RtaTask> tasks{task(1, 10, 3, 1), task(2, 25, 2, 2), task(3, 50, 1, 3)};
+  const RtaResult relaxed = analyze(tasks, Duration::milliseconds(1000));
+  const RtaResult harsh = analyze(tasks, Duration::milliseconds(2));
+  EXPECT_TRUE(relaxed.schedulable);
+  EXPECT_FALSE(harsh.schedulable);
+}
+
+TEST(Rta, RecoveryOfHigherPriorityTaskHurtsLowerOnes) {
+  // Only the high-priority task can fail; the low one still pays.
+  std::vector<RtaTask> withRecovery{task(3, 10, 2, 4), task(3, 30, 1, 0)};
+  std::vector<RtaTask> without{task(3, 10, 2, 0), task(3, 30, 1, 0)};
+  const auto hurt = responseTimeWithFaults(withRecovery, 1, Duration::milliseconds(50));
+  const auto fine = responseTimeWithFaults(without, 1, Duration::milliseconds(50));
+  ASSERT_TRUE(hurt.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_GT(*hurt, *fine);
+}
+
+TEST(Rta, ZeroFaultIntervalMeansFaultFree) {
+  std::vector<RtaTask> tasks{task(3, 7, 3, 2), task(5, 20, 1, 5)};
+  const RtaResult result = analyze(tasks, Duration{});
+  EXPECT_EQ(result.responseTimes[0], *responseTime(tasks, 0));
+  EXPECT_EQ(result.responseTimes[1], *responseTime(tasks, 1));
+}
+
+TEST(Rta, TemTaskDoublesDemandPlusCheck) {
+  const RtaTask t = temTask(Duration::milliseconds(2), Duration::microseconds(100),
+                            Duration::milliseconds(20), Duration::milliseconds(20), 5);
+  EXPECT_EQ(t.wcet.us(), 4100);
+  EXPECT_EQ(t.recovery.us(), 2100);
+  EXPECT_EQ(t.priority, 5);
+}
+
+TEST(Rta, TemSlackScenario) {
+  // A TEM task set that is schedulable fault-free AND with one fault per
+  // 50 ms, demonstrating the a-priori slack reservation of Section 2.8.
+  std::vector<RtaTask> tasks{
+      temTask(Duration::milliseconds(1), Duration::microseconds(50), Duration::milliseconds(10),
+              Duration::milliseconds(10), 3),
+      temTask(Duration::milliseconds(2), Duration::microseconds(50), Duration::milliseconds(25),
+              Duration::milliseconds(25), 2),
+  };
+  EXPECT_TRUE(analyze(tasks).schedulable);
+  EXPECT_TRUE(analyze(tasks, Duration::milliseconds(50)).schedulable);
+  // But not if every job suffers a fault burst (T_F = 2 ms).
+  EXPECT_FALSE(analyze(tasks, Duration::milliseconds(2)).schedulable);
+}
+
+TEST(Rta, InvalidInputsThrow) {
+  std::vector<RtaTask> zeroWcet{task(0, 10, 1)};
+  EXPECT_THROW((void)responseTime(zeroWcet, 0), std::invalid_argument);
+  std::vector<RtaTask> zeroPeriod{task(1, 10, 2), RtaTask{Duration::milliseconds(1), Duration{},
+                                                          Duration::milliseconds(5), 1, {}}};
+  EXPECT_THROW((void)utilization(zeroPeriod), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nlft::rt

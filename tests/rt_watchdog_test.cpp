@@ -1,0 +1,112 @@
+#include "rtkernel/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtkernel/kernel.hpp"
+
+namespace nlft::rt {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(Watchdog, ExpiresWithoutKicks) {
+  sim::Simulator simulator;
+  bool fired = false;
+  Watchdog watchdog{simulator, Duration::milliseconds(10), [&] { fired = true; }};
+  simulator.runUntil(SimTime::fromUs(9'999));
+  EXPECT_FALSE(fired);
+  simulator.runUntil(SimTime::fromUs(10'000));
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(watchdog.expired());
+}
+
+TEST(Watchdog, KicksKeepItQuiet) {
+  sim::Simulator simulator;
+  bool fired = false;
+  Watchdog watchdog{simulator, Duration::milliseconds(10), [&] { fired = true; }};
+  for (int i = 1; i <= 10; ++i) {
+    simulator.scheduleAt(SimTime::fromUs(i * 8000), [&] { watchdog.kick(); });
+  }
+  simulator.runUntil(SimTime::fromUs(85'000));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(watchdog.kicks(), 10u);
+  // Kicks stop: expiry 10 ms after the last one (at 80 ms).
+  simulator.runUntil(SimTime::fromUs(90'000));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Watchdog, DisablePreventsExpiry) {
+  sim::Simulator simulator;
+  bool fired = false;
+  Watchdog watchdog{simulator, Duration::milliseconds(10), [&] { fired = true; }};
+  watchdog.disable();
+  simulator.runUntil(SimTime::fromUs(50'000));
+  EXPECT_FALSE(fired);
+  watchdog.kick();  // kicking a disabled watchdog is a no-op
+  EXPECT_EQ(watchdog.kicks(), 0u);
+}
+
+TEST(Watchdog, RejectsBadTimeout) {
+  sim::Simulator simulator;
+  EXPECT_THROW(Watchdog(simulator, Duration{}, [] {}), std::invalid_argument);
+}
+
+TEST(Watchdog, EnforcesSilenceOnAHungKernel) {
+  // The kernel kicks the watchdog at every job release; when the release
+  // machinery dies (here: every task disabled, as a stand-in for a kernel
+  // hang), the watchdog silences the node from OUTSIDE the kernel.
+  sim::Simulator simulator;
+  Cpu cpu{simulator};
+  RtKernel kernel{simulator, cpu};
+  bool silencedByWatchdog = false;
+  Watchdog watchdog{simulator, Duration::milliseconds(25), [&] {
+    silencedByWatchdog = true;
+    kernel.stop();
+  }};
+  kernel.attachWatchdog(&watchdog);
+
+  TaskConfig config;
+  config.name = "heartbeat";
+  config.priority = 1;
+  config.period = Duration::milliseconds(10);
+  config.wcet = Duration::milliseconds(1);
+  const TaskId task = kernel.addTask(config, [](Job& job) {
+    job.runCopy(Duration::milliseconds(1), [&job](CopyStop) { job.complete({}); });
+  });
+  kernel.start();
+  simulator.scheduleAfter(Duration::milliseconds(35), [&] { kernel.disableTask(task); });
+  simulator.runUntil(SimTime::fromUs(100'000));
+
+  EXPECT_TRUE(silencedByWatchdog);
+  EXPECT_TRUE(kernel.stopped());
+  EXPECT_GE(watchdog.kicks(), 3u);  // releases at 0, 10, 20, 30 kicked it
+}
+
+TEST(Watchdog, IntentionalShutdownDoesNotTriggerIt) {
+  sim::Simulator simulator;
+  Cpu cpu{simulator};
+  RtKernel kernel{simulator, cpu};
+  bool fired = false;
+  Watchdog watchdog{simulator, Duration::milliseconds(25), [&] { fired = true; }};
+  kernel.attachWatchdog(&watchdog);
+
+  TaskConfig config;
+  config.name = "t";
+  config.priority = 1;
+  config.period = Duration::milliseconds(10);
+  config.wcet = Duration::milliseconds(1);
+  kernel.addTask(config, [](Job& job) {
+    job.runCopy(Duration::milliseconds(1), [&job](CopyStop) { job.complete({}); });
+  });
+  kernel.start();
+  simulator.scheduleAfter(Duration::milliseconds(30), [&] {
+    kernel.reportKernelError({ErrorEvent::Source::HardwareException, 0});
+  });
+  simulator.runUntil(SimTime::fromUs(200'000));
+  EXPECT_TRUE(kernel.stopped());
+  EXPECT_FALSE(fired);  // stop() disabled the watchdog with it
+}
+
+}  // namespace
+}  // namespace nlft::rt

@@ -1,0 +1,153 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nlft::sim {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.scheduleAt(SimTime::fromUs(300), [&] { order.push_back(3); });
+  simulator.scheduleAt(SimTime::fromUs(100), [&] { order.push_back(1); });
+  simulator.scheduleAt(SimTime::fromUs(200), [&] { order.push_back(2); });
+  simulator.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), SimTime::fromUs(300));
+}
+
+TEST(Simulator, TieBreakByPriorityThenInsertion) {
+  Simulator simulator;
+  std::vector<int> order;
+  const auto t = SimTime::fromUs(50);
+  simulator.scheduleAt(t, [&] { order.push_back(2); }, EventPriority::Application);
+  simulator.scheduleAt(t, [&] { order.push_back(1); }, EventPriority::FaultInjection);
+  simulator.scheduleAt(t, [&] { order.push_back(3); }, EventPriority::Application);
+  simulator.scheduleAt(t, [&] { order.push_back(4); }, EventPriority::Observer);
+  simulator.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesOnlyWhenEventsFire) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), SimTime::zero());
+  simulator.scheduleAfter(Duration::milliseconds(5), [] {});
+  EXPECT_EQ(simulator.now(), SimTime::zero());
+  simulator.step();
+  EXPECT_EQ(simulator.now(), SimTime::fromUs(5000));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  const EventId id = simulator.scheduleAfter(Duration::milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.cancel(id));  // idempotent
+  simulator.runAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator simulator;
+  const EventId id = simulator.scheduleAfter(Duration::milliseconds(1), [] {});
+  simulator.runAll();
+  EXPECT_FALSE(simulator.cancel(id));
+}
+
+TEST(Simulator, EventsCanScheduleFurtherEvents) {
+  Simulator simulator;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) simulator.scheduleAfter(Duration::milliseconds(10), chain);
+  };
+  simulator.scheduleAfter(Duration::milliseconds(10), chain);
+  simulator.runAll();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(simulator.now(), SimTime::fromUs(50'000));
+}
+
+TEST(Simulator, RunUntilStopsAtLimitAndAdvancesClock) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.scheduleAt(SimTime::fromUs(100), [&] { order.push_back(1); });
+  simulator.scheduleAt(SimTime::fromUs(900), [&] { order.push_back(2); });
+  simulator.runUntil(SimTime::fromUs(500));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(simulator.now(), SimTime::fromUs(500));
+  simulator.runUntil(SimTime::fromUs(1000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtTheLimit) {
+  Simulator simulator;
+  bool ran = false;
+  simulator.scheduleAt(SimTime::fromUs(500), [&] { ran = true; });
+  simulator.runUntil(SimTime::fromUs(500));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilNotConfusedByCancelledEventAtTop) {
+  // Regression: a cancelled event before the limit must not make runUntil
+  // execute a live event beyond the limit.
+  Simulator simulator;
+  bool lateRan = false;
+  const EventId cancelled = simulator.scheduleAt(SimTime::fromUs(100), [] {});
+  simulator.scheduleAt(SimTime::fromUs(900), [&] { lateRan = true; });
+  simulator.cancel(cancelled);
+  simulator.runUntil(SimTime::fromUs(500));
+  EXPECT_FALSE(lateRan);
+  EXPECT_EQ(simulator.now(), SimTime::fromUs(500));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator simulator;
+  simulator.scheduleAt(SimTime::fromUs(100), [] {});
+  simulator.runAll();
+  EXPECT_THROW(simulator.scheduleAt(SimTime::fromUs(50), [] {}), std::invalid_argument);
+  EXPECT_THROW(simulator.scheduleAfter(Duration::microseconds(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, PendingAndProcessedCounts) {
+  Simulator simulator;
+  const EventId a = simulator.scheduleAfter(Duration::milliseconds(1), [] {});
+  simulator.scheduleAfter(Duration::milliseconds(2), [] {});
+  EXPECT_EQ(simulator.pendingEvents(), 2u);
+  simulator.cancel(a);
+  EXPECT_EQ(simulator.pendingEvents(), 1u);
+  simulator.runAll();
+  EXPECT_EQ(simulator.pendingEvents(), 0u);
+  EXPECT_EQ(simulator.processedEvents(), 1u);
+}
+
+TEST(Simulator, CancellingFromWithinAnEvent) {
+  Simulator simulator;
+  bool secondRan = false;
+  EventId second{};
+  second = simulator.scheduleAt(SimTime::fromUs(200), [&] { secondRan = true; });
+  simulator.scheduleAt(SimTime::fromUs(100), [&] { simulator.cancel(second); });
+  simulator.runAll();
+  EXPECT_FALSE(secondRan);
+}
+
+TEST(Simulator, SameTimeCancellationHonoursPriority) {
+  // A fault-injection event at time t can cancel an application event at the
+  // same instant, because fault injection runs first.
+  Simulator simulator;
+  bool appRan = false;
+  const auto t = SimTime::fromUs(10);
+  const EventId app = simulator.scheduleAt(t, [&] { appRan = true; },
+                                           EventPriority::Application);
+  simulator.scheduleAt(t, [&] { simulator.cancel(app); }, EventPriority::FaultInjection);
+  simulator.runAll();
+  EXPECT_FALSE(appRan);
+}
+
+}  // namespace
+}  // namespace nlft::sim

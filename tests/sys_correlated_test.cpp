@@ -1,0 +1,74 @@
+// Correlated-fault extension of the Monte-Carlo model (the paper excludes
+// correlated faults; this quantifies what that assumption is worth).
+#include <gtest/gtest.h>
+
+#include "bbw/markov_models.hpp"
+#include "sysmodel/montecarlo.hpp"
+
+namespace nlft::sys {
+namespace {
+
+constexpr double kYear = 8760.0;
+
+SystemSpec duplexSpec(NodeBehavior behavior, double correlatedFraction) {
+  SystemSpec spec;
+  spec.behavior = behavior;
+  spec.groups = {{"cu", 2, 1}};
+  spec.correlation.correlatedFraction = correlatedFraction;
+  return spec;
+}
+
+double oneYearReliability(const SystemSpec& spec, std::uint64_t seed) {
+  MonteCarloConfig config;
+  config.trials = 30000;
+  config.seed = seed;
+  config.checkpointHours = {kYear};
+  return estimateReliability(spec, config).checkpoints[0].reliability.proportion;
+}
+
+TEST(CorrelatedFaults, ZeroCorrelationRecoversIndependentModel) {
+  const double mc = oneYearReliability(duplexSpec(NodeBehavior::Nlft, 0.0), 41);
+  const auto chain = bbw::centralUnitChain(bbw::NodeType::Nlft,
+                                           bbw::ReliabilityParameters::paperDefaults());
+  EXPECT_NEAR(mc, chain.reliability(kYear), 0.012);
+}
+
+TEST(CorrelatedFaults, CorrelationHurtsDuplexReliability) {
+  const double independent = oneYearReliability(duplexSpec(NodeBehavior::FailSilent, 0.0), 42);
+  const double correlated = oneYearReliability(duplexSpec(NodeBehavior::FailSilent, 0.5), 42);
+  EXPECT_LT(correlated, independent - 0.01);
+}
+
+TEST(CorrelatedFaults, ReliabilityMonotoneInCorrelation) {
+  double previous = 1.0;
+  for (double fraction : {0.0, 0.2, 0.5, 1.0}) {
+    const double r = oneYearReliability(duplexSpec(NodeBehavior::FailSilent, fraction), 43);
+    EXPECT_LE(r, previous + 0.01) << fraction;
+    previous = r;
+  }
+}
+
+TEST(CorrelatedFaults, NlftMasksItsShareOfCorrelatedHits) {
+  // A correlated transient hits both CU nodes, but each NLFT node still
+  // masks its copy with probability P_T: with P_T = 0.9 most correlated
+  // hits are survived, whereas FS duplexes lose both channels at once.
+  const double fs = oneYearReliability(duplexSpec(NodeBehavior::FailSilent, 0.3), 44);
+  const double nlft = oneYearReliability(duplexSpec(NodeBehavior::Nlft, 0.3), 44);
+  EXPECT_GT(nlft, fs + 0.05);
+}
+
+TEST(CorrelatedFaults, NlftAdvantageGrowsWithCorrelation) {
+  const double gapIndependent =
+      oneYearReliability(duplexSpec(NodeBehavior::Nlft, 0.0), 45) -
+      oneYearReliability(duplexSpec(NodeBehavior::FailSilent, 0.0), 45);
+  const double gapCorrelated =
+      oneYearReliability(duplexSpec(NodeBehavior::Nlft, 0.5), 45) -
+      oneYearReliability(duplexSpec(NodeBehavior::FailSilent, 0.5), 45);
+  // The paper argues NLFT "improves the robustness of the system when both
+  // nodes are affected by correlated or near-coincident transient faults"
+  // (Section 1) — quantified here.
+  EXPECT_GT(gapCorrelated, gapIndependent);
+}
+
+}  // namespace
+}  // namespace nlft::sys

@@ -1,0 +1,186 @@
+// Monte-Carlo vs analytic Markov cross-validation. The simulation and the
+// CTMC models encode the same stochastic assumptions, so the MC estimates
+// must agree with the analytic results within sampling error — this is the
+// repository's substitute for validation against the SHARPE tool.
+#include "sysmodel/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbw/markov_models.hpp"
+
+namespace nlft::sys {
+namespace {
+
+constexpr double kYear = 8760.0;
+
+NodeParameters paperParams() { return {}; }  // defaults match the paper
+
+SystemSpec spec(NodeBehavior behavior, std::vector<GroupSpec> groups) {
+  SystemSpec s;
+  s.behavior = behavior;
+  s.params = paperParams();
+  s.groups = std::move(groups);
+  return s;
+}
+
+bbw::ReliabilityParameters bbwParams() { return bbw::ReliabilityParameters::paperDefaults(); }
+
+TEST(MonteCarlo, SingleFsNodeMatchesExponential) {
+  const SystemSpec s = spec(NodeBehavior::FailSilent, {{"solo", 1, 1}});
+  MonteCarloConfig config;
+  config.trials = 30000;
+  config.seed = 11;
+  config.checkpointHours = {kYear / 4, kYear};
+  const MonteCarloResult result = estimateReliability(s, config);
+  const double lambda = s.params.lambdaPermanent + s.params.lambdaTransient;
+  for (const auto& checkpoint : result.checkpoints) {
+    const double expected = std::exp(-lambda * checkpoint.tHours);
+    EXPECT_NEAR(checkpoint.reliability.proportion, expected, 0.01) << checkpoint.tHours;
+  }
+}
+
+TEST(MonteCarlo, SingleNlftNodeMatchesUnmaskedRate) {
+  const SystemSpec s = spec(NodeBehavior::Nlft, {{"solo", 1, 1}});
+  MonteCarloConfig config;
+  config.trials = 30000;
+  config.seed = 12;
+  config.checkpointHours = {kYear};
+  const MonteCarloResult result = estimateReliability(s, config);
+  const double rate =
+      s.params.lambdaPermanent + s.params.lambdaTransient * (1.0 - 0.99 * 0.9);
+  EXPECT_NEAR(result.checkpoints[0].reliability.proportion, std::exp(-rate * kYear), 0.01);
+}
+
+TEST(MonteCarlo, CentralUnitDuplexMatchesMarkovChain) {
+  for (const auto behavior : {NodeBehavior::FailSilent, NodeBehavior::Nlft}) {
+    const SystemSpec s = spec(behavior, {{"cu", 2, 1}});
+    MonteCarloConfig config;
+    config.trials = 30000;
+    config.seed = 13;
+    config.checkpointHours = {kYear / 2, kYear};
+    const MonteCarloResult result = estimateReliability(s, config);
+    const auto chain = bbw::centralUnitChain(
+        behavior == NodeBehavior::FailSilent ? bbw::NodeType::FailSilent : bbw::NodeType::Nlft,
+        bbwParams());
+    for (const auto& checkpoint : result.checkpoints) {
+      const double analytic = chain.reliability(checkpoint.tHours);
+      EXPECT_NEAR(checkpoint.reliability.proportion, analytic, 0.012)
+          << "behavior=" << static_cast<int>(behavior) << " t=" << checkpoint.tHours;
+    }
+  }
+}
+
+TEST(MonteCarlo, WheelSubsystemDegradedMatchesMarkovChain) {
+  for (const auto behavior : {NodeBehavior::FailSilent, NodeBehavior::Nlft}) {
+    const SystemSpec s = spec(behavior, {{"wns", 4, 3}});
+    MonteCarloConfig config;
+    config.trials = 30000;
+    config.seed = 14;
+    config.checkpointHours = {kYear};
+    const MonteCarloResult result = estimateReliability(s, config);
+    const auto chain = bbw::wheelSubsystemChain(
+        behavior == NodeBehavior::FailSilent ? bbw::NodeType::FailSilent : bbw::NodeType::Nlft,
+        bbw::FunctionalityMode::Degraded, bbwParams());
+    EXPECT_NEAR(result.checkpoints[0].reliability.proportion, chain.reliability(kYear), 0.012)
+        << "behavior=" << static_cast<int>(behavior);
+  }
+}
+
+TEST(MonteCarlo, WheelSubsystemFullMatchesMarkovChain) {
+  const SystemSpec s = spec(NodeBehavior::Nlft, {{"wns", 4, 4}});
+  MonteCarloConfig config;
+  config.trials = 30000;
+  config.seed = 15;
+  config.checkpointHours = {kYear / 2};
+  const MonteCarloResult result = estimateReliability(s, config);
+  const auto chain =
+      bbw::wheelSubsystemChain(bbw::NodeType::Nlft, bbw::FunctionalityMode::Full, bbwParams());
+  EXPECT_NEAR(result.checkpoints[0].reliability.proportion, chain.reliability(kYear / 2), 0.012);
+}
+
+TEST(MonteCarlo, FullBbwSystemMatchesAnalyticProduct) {
+  for (const auto behavior : {NodeBehavior::FailSilent, NodeBehavior::Nlft}) {
+    const SystemSpec s = spec(behavior, {{"cu", 2, 1}, {"wns", 4, 3}});
+    MonteCarloConfig config;
+    config.trials = 30000;
+    config.seed = 16;
+    config.checkpointHours = {kYear};
+    const MonteCarloResult result = estimateReliability(s, config);
+    const bbw::BbwStudy study{bbwParams()};
+    const double analytic = study.systemReliability(
+        behavior == NodeBehavior::FailSilent ? bbw::NodeType::FailSilent : bbw::NodeType::Nlft,
+        bbw::FunctionalityMode::Degraded, kYear);
+    EXPECT_NEAR(result.checkpoints[0].reliability.proportion, analytic, 0.012)
+        << "behavior=" << static_cast<int>(behavior);
+  }
+}
+
+TEST(MonteCarlo, MttfMatchesKroneckerComposition) {
+  const SystemSpec s = spec(NodeBehavior::Nlft, {{"cu", 2, 1}, {"wns", 4, 3}});
+  const util::RunningStats stats = estimateMttf(s, 6000, 17);
+  const bbw::BbwStudy study{bbwParams()};
+  const double analytic =
+      study.systemMttfHours(bbw::NodeType::Nlft, bbw::FunctionalityMode::Degraded);
+  EXPECT_NEAR(stats.mean(), analytic, analytic * 0.06);
+  // The analytic value must lie inside the MC confidence interval.
+  EXPECT_LE(std::abs(stats.mean() - analytic), 3.0 * stats.confidenceHalfWidth(0.95));
+}
+
+TEST(MonteCarlo, NlftBeatsFailSilent) {
+  MonteCarloConfig config;
+  config.trials = 20000;
+  config.seed = 18;
+  config.checkpointHours = {kYear};
+  const auto fs = estimateReliability(
+      spec(NodeBehavior::FailSilent, {{"cu", 2, 1}, {"wns", 4, 3}}), config);
+  const auto nlft =
+      estimateReliability(spec(NodeBehavior::Nlft, {{"cu", 2, 1}, {"wns", 4, 3}}), config);
+  EXPECT_GT(nlft.checkpoints[0].reliability.low, fs.checkpoints[0].reliability.high);
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  const SystemSpec s = spec(NodeBehavior::Nlft, {{"cu", 2, 1}});
+  MonteCarloConfig config;
+  config.trials = 2000;
+  config.seed = 19;
+  config.checkpointHours = {kYear};
+  const auto a = estimateReliability(s, config);
+  const auto b = estimateReliability(s, config);
+  EXPECT_EQ(a.checkpoints[0].reliability.successes, b.checkpoints[0].reliability.successes);
+  EXPECT_EQ(a.failuresWithinHorizon, b.failuresWithinHorizon);
+}
+
+TEST(MonteCarlo, LifetimeIsCappedAtHorizon) {
+  const SystemSpec s = spec(NodeBehavior::Nlft, {{"solo", 1, 1}});
+  util::Rng rng{20};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(simulateLifetime(s, 100.0, rng), 100.0);
+  }
+}
+
+TEST(MonteCarlo, ZeroRequirementNeverFailsFromDowntime) {
+  // requiredUp = 0: only undetected errors can kill the system.
+  SystemSpec s = spec(NodeBehavior::FailSilent, {{"spares", 2, 0}});
+  s.params.coverage = 1.0;  // and they never happen
+  util::Rng rng{21};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(simulateLifetime(s, 1000.0, rng), 1000.0);
+  }
+}
+
+TEST(MonteCarlo, InvalidInputThrows) {
+  SystemSpec empty;
+  util::Rng rng{22};
+  EXPECT_THROW((void)simulateLifetime(empty, 1.0, rng), std::invalid_argument);
+  SystemSpec bad = spec(NodeBehavior::Nlft, {{"g", 1, 2}});
+  EXPECT_THROW((void)simulateLifetime(bad, 1.0, rng), std::invalid_argument);
+  MonteCarloConfig config;
+  config.checkpointHours = {};
+  EXPECT_THROW((void)estimateReliability(spec(NodeBehavior::Nlft, {{"g", 1, 1}}), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nlft::sys

@@ -1,0 +1,251 @@
+// Voting, end-to-end integrity and control-flow monitoring units.
+#include <gtest/gtest.h>
+
+#include "core/control_flow.hpp"
+#include "core/end_to_end.hpp"
+#include "core/policies.hpp"
+#include "core/result.hpp"
+
+namespace nlft::tem {
+namespace {
+
+// --- majority voting ---
+
+TEST(Voter, TwoMatchingOfThree) {
+  const TaskResult a{1, 2, 3};
+  const TaskResult b{9, 9, 9};
+  const std::vector<TaskResult> abb{a, b, b};
+  const std::vector<TaskResult> bab{b, a, b};
+  const std::vector<TaskResult> bba{b, b, a};
+  EXPECT_EQ(majorityVote(abb), b);
+  EXPECT_EQ(majorityVote(bab), b);
+  EXPECT_EQ(majorityVote(bba), b);
+}
+
+TEST(Voter, AllThreeDifferentFails) {
+  const std::vector<TaskResult> all{{1}, {2}, {3}};
+  EXPECT_FALSE(majorityVote(all).has_value());
+}
+
+TEST(Voter, AllEqualSucceeds) {
+  const std::vector<TaskResult> all{{7, 7}, {7, 7}, {7, 7}};
+  EXPECT_EQ(majorityVote(all), (TaskResult{7, 7}));
+}
+
+TEST(Voter, TwoResultsBehaveLikeComparison) {
+  const std::vector<TaskResult> match{{5}, {5}};
+  const std::vector<TaskResult> differ{{5}, {6}};
+  EXPECT_TRUE(majorityVote(match).has_value());
+  EXPECT_FALSE(majorityVote(differ).has_value());
+}
+
+TEST(Voter, EmptyAndSingleCandidateFail) {
+  const std::vector<TaskResult> none{};
+  const std::vector<TaskResult> one{{1}};
+  EXPECT_FALSE(majorityVote(none).has_value());
+  EXPECT_FALSE(majorityVote(one).has_value());
+}
+
+TEST(Voter, LengthMismatchIsAMismatch) {
+  EXPECT_FALSE(resultsMatch({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(resultsMatch({}, {}));
+}
+
+// Exhaustive sweep: every placement of one corrupted result among three must
+// still deliver the good value.
+class VoterPlacement : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoterPlacement, SingleCorruptionAlwaysMasked) {
+  const TaskResult good{0xAA, 0xBB};
+  const TaskResult bad{0xAA, 0xFF};
+  std::vector<TaskResult> candidates{good, good, good};
+  candidates[GetParam()] = bad;
+  const auto voted = majorityVote(candidates);
+  ASSERT_TRUE(voted.has_value());
+  EXPECT_EQ(*voted, good);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, VoterPlacement, ::testing::Values(0, 1, 2));
+
+// --- end-to-end integrity ---
+
+TEST(CrcRecord, RoundTrip) {
+  CrcProtectedRecord record;
+  const std::uint32_t data[] = {1, 2, 3, 4};
+  record.write(data);
+  const auto back = record.read();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(CrcRecord, DetectsEverySingleBitCorruption) {
+  CrcProtectedRecord record;
+  const std::uint32_t data[] = {0xDEADBEEF, 0x12345678};
+  for (std::size_t word = 0; word < 2; ++word) {
+    for (int bit = 0; bit < 32; ++bit) {
+      record.write(data);
+      record.corruptWord(word, bit);
+      EXPECT_FALSE(record.read().has_value()) << word << ":" << bit;
+    }
+  }
+}
+
+TEST(CrcRecord, DetectsChecksumCorruption) {
+  CrcProtectedRecord record;
+  const std::uint32_t data[] = {5};
+  record.write(data);
+  record.corruptChecksum(17);
+  EXPECT_FALSE(record.read().has_value());
+}
+
+TEST(CrcRecord, RewriteHeals) {
+  CrcProtectedRecord record;
+  const std::uint32_t data[] = {5};
+  record.write(data);
+  record.corruptWord(0, 3);
+  record.write(data);
+  EXPECT_TRUE(record.read().has_value());
+}
+
+TEST(CrcRecord, EmptyRecordReadsEmpty) {
+  CrcProtectedRecord record;
+  const auto back = record.read();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(CrcRecord, CorruptOutOfRangeThrows) {
+  CrcProtectedRecord record;
+  EXPECT_THROW(record.corruptWord(0, 0), std::out_of_range);
+  EXPECT_THROW(record.corruptChecksum(32), std::out_of_range);
+}
+
+TEST(DuplicatedValue, DetectsDivergence) {
+  DuplicatedValue value;
+  value.write(100);
+  EXPECT_EQ(value.read(), 100u);
+  value.corruptCopy(0, 2);
+  EXPECT_FALSE(value.read().has_value());
+}
+
+TEST(DuplicatedValue, MatchingCorruptionInBothCopiesEscapes) {
+  // Documented limitation: identical corruption of both copies is silent.
+  DuplicatedValue value;
+  value.write(100);
+  value.corruptCopy(0, 2);
+  value.corruptCopy(1, 2);
+  EXPECT_EQ(value.read(), 100u ^ 4u);
+}
+
+TEST(TriplicatedValue, MasksSingleCopyCorruption) {
+  for (int copy = 0; copy < 3; ++copy) {
+    TriplicatedValue value;
+    value.write(0xCAFE);
+    value.corruptCopy(copy, 7);
+    EXPECT_EQ(value.read(), 0xCAFEu) << "copy " << copy;
+  }
+}
+
+TEST(TriplicatedValue, ThreeWayDivergenceDetected) {
+  TriplicatedValue value;
+  value.write(10);
+  value.corruptCopy(0, 0);
+  value.corruptCopy(1, 1);
+  EXPECT_FALSE(value.read().has_value());
+}
+
+TEST(TriplicatedValue, TwoIdenticallyCorruptedCopiesOutvoteTheGoodOne) {
+  // Documented limitation of triplication without diversity.
+  TriplicatedValue value;
+  value.write(10);
+  value.corruptCopy(0, 4);
+  value.corruptCopy(1, 4);
+  EXPECT_EQ(value.read(), 10u ^ 16u);
+}
+
+// --- control-flow monitoring ---
+
+TEST(SignatureMonitor, LegalPathAccepted) {
+  SignatureMonitor monitor;
+  monitor.addLegalPath({1, 2, 3, 4});
+  monitor.begin();
+  for (std::uint32_t block : {1u, 2u, 3u, 4u}) monitor.enterBlock(block);
+  EXPECT_TRUE(monitor.finishAndCheck());
+}
+
+TEST(SignatureMonitor, SkippedBlockDetected) {
+  SignatureMonitor monitor;
+  monitor.addLegalPath({1, 2, 3, 4});
+  monitor.begin();
+  for (std::uint32_t block : {1u, 3u, 4u}) monitor.enterBlock(block);  // jumped over 2
+  EXPECT_FALSE(monitor.finishAndCheck());
+}
+
+TEST(SignatureMonitor, WrongOrderDetected) {
+  SignatureMonitor monitor;
+  monitor.addLegalPath({1, 2, 3});
+  monitor.begin();
+  for (std::uint32_t block : {2u, 1u, 3u}) monitor.enterBlock(block);
+  EXPECT_FALSE(monitor.finishAndCheck());
+}
+
+TEST(SignatureMonitor, MultipleLegalPaths) {
+  SignatureMonitor monitor;
+  monitor.addLegalPath({1, 2, 4});  // branch taken
+  monitor.addLegalPath({1, 3, 4});  // branch not taken
+  monitor.begin();
+  for (std::uint32_t block : {1u, 3u, 4u}) monitor.enterBlock(block);
+  EXPECT_TRUE(monitor.finishAndCheck());
+  monitor.begin();
+  for (std::uint32_t block : {1u, 2u, 4u}) monitor.enterBlock(block);
+  EXPECT_TRUE(monitor.finishAndCheck());
+}
+
+TEST(SignatureMonitor, BeginResetsState) {
+  SignatureMonitor monitor;
+  monitor.addLegalPath({1, 2});
+  monitor.begin();
+  monitor.enterBlock(1);
+  monitor.begin();
+  for (std::uint32_t block : {1u, 2u}) monitor.enterBlock(block);
+  EXPECT_TRUE(monitor.finishAndCheck());
+}
+
+TEST(DeliveryGuard, NormalVoteThenDeliver) {
+  DeliveryGuard guard;
+  const std::uint32_t checksum = 0x1234;
+  const std::uint64_t token = guard.armAfterVote(checksum);
+  EXPECT_TRUE(guard.authorizeDelivery(token, checksum));
+  EXPECT_EQ(guard.bypassAttempts(), 0u);
+}
+
+TEST(DeliveryGuard, DeliveryWithoutVoteRejected) {
+  DeliveryGuard guard;
+  EXPECT_FALSE(guard.authorizeDelivery(0xABCDE, 0x1234));
+  EXPECT_EQ(guard.bypassAttempts(), 1u);
+}
+
+TEST(DeliveryGuard, TokenCannotBeReused) {
+  DeliveryGuard guard;
+  const std::uint64_t token = guard.armAfterVote(1);
+  EXPECT_TRUE(guard.authorizeDelivery(token, 1));
+  EXPECT_FALSE(guard.authorizeDelivery(token, 1));  // replay
+}
+
+TEST(DeliveryGuard, TokenBoundToResultChecksum) {
+  DeliveryGuard guard;
+  const std::uint64_t token = guard.armAfterVote(1);
+  // A control-flow error jumps to the output code with a DIFFERENT result.
+  EXPECT_FALSE(guard.authorizeDelivery(token, 2));
+}
+
+TEST(DeliveryGuard, StaleTokenFromEarlierJobRejected) {
+  DeliveryGuard guard;
+  const std::uint64_t oldToken = guard.armAfterVote(1);
+  (void)guard.authorizeDelivery(oldToken, 1);
+  (void)guard.armAfterVote(1);
+  EXPECT_FALSE(guard.authorizeDelivery(oldToken, 1));
+}
+
+}  // namespace
+}  // namespace nlft::tem

@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nlft::util {
+namespace {
+
+struct LogLevelGuard {
+  LogLevel saved = logLevel();
+  ~LogLevelGuard() { setLogLevel(saved); }
+};
+
+TEST(Logging, DefaultLevelIsWarn) {
+  const LogLevelGuard guard;
+  EXPECT_EQ(logLevel(), LogLevel::Warn);
+}
+
+TEST(Logging, SetLevelRoundTrips) {
+  const LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    setLogLevel(level);
+    EXPECT_EQ(logLevel(), level);
+  }
+}
+
+TEST(Logging, EmitsToStderrWhenEnabled) {
+  const LogLevelGuard guard;
+  setLogLevel(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  NLFT_LOG_INFO("test", "value=%d", 42);
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+  EXPECT_NE(output.find("test"), std::string::npos);
+  EXPECT_NE(output.find("value=42"), std::string::npos);
+}
+
+TEST(Logging, FiltersBelowThreshold) {
+  const LogLevelGuard guard;
+  setLogLevel(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  NLFT_LOG_INFO("test", "hidden");
+  NLFT_LOG_WARN("test", "also hidden");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Logging, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  setLogLevel(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  NLFT_LOG_ERROR("test", "even errors");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace nlft::util

@@ -1,0 +1,59 @@
+#include "util/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nlft::util {
+namespace {
+
+TEST(IntegrateAdaptive, Polynomial) {
+  const double v = integrateAdaptive([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 8.0, 1e-10);
+}
+
+TEST(IntegrateAdaptive, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(integrateAdaptive([](double) { return 1.0; }, 1.0, 1.0), 0.0);
+}
+
+TEST(IntegrateAdaptive, OscillatoryFunction) {
+  const double v = integrateAdaptive([](double x) { return std::sin(x); }, 0.0, M_PI);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(IntegrateAdaptive, SharpPeakResolved) {
+  // Narrow Gaussian centered off the midpoint: naive Simpson would miss it.
+  const double sigma = 1e-3;
+  const double v = integrateAdaptive(
+      [sigma](double x) {
+        const double d = (x - 0.3) / sigma;
+        return std::exp(-0.5 * d * d);
+      },
+      0.0, 1.0, 1e-12, 60);
+  EXPECT_NEAR(v, sigma * std::sqrt(2.0 * M_PI), 1e-8);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  // MTTF of exp(-lambda t) is 1/lambda — the exact use case in the repo.
+  const double lambda = 2.002e-4;  // per hour, the BBW node fault rate
+  const double v = integrateToInfinity([lambda](double t) { return std::exp(-lambda * t); },
+                                       1000.0);
+  EXPECT_NEAR(v, 1.0 / lambda, 1.0 / lambda * 1e-6);
+}
+
+TEST(IntegrateToInfinity, FastDecay) {
+  const double v = integrateToInfinity([](double t) { return std::exp(-t); }, 0.5);
+  EXPECT_NEAR(v, 1.0, 1e-7);
+}
+
+TEST(IntegrateToInfinity, ProductOfExponentials) {
+  // R1*R2 composition mirrors the fault-tree MTTF path.
+  const double a = 1e-4;
+  const double b = 3e-4;
+  const double v = integrateToInfinity(
+      [a, b](double t) { return std::exp(-a * t) * std::exp(-b * t); }, 1000.0);
+  EXPECT_NEAR(v, 1.0 / (a + b), 1e-2);
+}
+
+}  // namespace
+}  // namespace nlft::util

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace nlft::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1{7};
+  Rng parent2{7};
+  Rng childA = parent1.fork(1);
+  Rng childB = parent2.fork(1);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(childA.next(), childB.next());
+
+  Rng parent3{7};
+  Rng other = parent3.fork(2);
+  int equal = 0;
+  Rng childC = Rng{7}.fork(1);
+  for (int i = 0; i < 64; ++i) equal += childC.next() == other.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng{4};
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedOverSmallRange) {
+  Rng rng{5};
+  constexpr int n = 60000;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < n; ++i) ++counts[rng.uniformInt(3)];
+  for (int c : counts) EXPECT_NEAR(c, n / 3, n / 50);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng{6};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniformInt(7), 7u);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng{8};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng{9};
+  constexpr int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.2);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{10};
+  constexpr int n = 200000;
+  const double rate = 4.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.005);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng{11};
+  constexpr int n = 200000;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng{12};
+  constexpr int n = 100000;
+  const double mean = 2.5;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 0.05);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng{14};
+  constexpr int n = 20000;
+  const double mean = 400.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 1.5);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  // Regression anchors: these values must never change, or every seeded
+  // experiment in the repo silently changes.
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(second, 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace nlft::util

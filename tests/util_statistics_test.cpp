@@ -1,0 +1,108 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nlft::util {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.confidenceHalfWidth(), 0.0);
+}
+
+TEST(RunningStats, ConfidenceIntervalCoversTrueMean) {
+  // Property: a 95% CI over repeated experiments covers the true mean about
+  // 95% of the time.
+  Rng rng{21};
+  int covered = 0;
+  constexpr int experiments = 400;
+  for (int e = 0; e < experiments; ++e) {
+    RunningStats s;
+    for (int i = 0; i < 200; ++i) s.add(rng.normal(10.0, 3.0));
+    const double half = s.confidenceHalfWidth(0.95);
+    covered += std::abs(s.mean() - 10.0) <= half;
+  }
+  EXPECT_GE(covered, experiments * 90 / 100);
+  EXPECT_LE(covered, experiments * 99 / 100);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(inverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(inverseNormalCdf(0.8413447461), 1.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, RejectsOutOfDomain) {
+  EXPECT_THROW((void)inverseNormalCdf(0.0), std::invalid_argument);
+  EXPECT_THROW((void)inverseNormalCdf(1.0), std::invalid_argument);
+}
+
+TEST(WilsonInterval, BracketsPointEstimate) {
+  const auto est = wilsonInterval(90, 100);
+  EXPECT_DOUBLE_EQ(est.proportion, 0.9);
+  EXPECT_LT(est.low, 0.9);
+  EXPECT_GT(est.high, 0.9);
+  EXPECT_GT(est.low, 0.8);
+  EXPECT_LT(est.high, 0.96);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsEmptyEstimate) {
+  const auto est = wilsonInterval(0, 0);
+  EXPECT_EQ(est.trials, 0u);
+  EXPECT_DOUBLE_EQ(est.proportion, 0.0);
+}
+
+TEST(WilsonInterval, ExtremesStayInUnitInterval) {
+  const auto all = wilsonInterval(50, 50);
+  EXPECT_LE(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  const auto none = wilsonInterval(0, 50);
+  EXPECT_GE(none.low, 0.0);
+  EXPECT_GT(none.high, 0.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  const auto small = wilsonInterval(9, 10);
+  const auto large = wilsonInterval(900, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.binCount(0), 2u);
+  EXPECT_EQ(h.binCount(2), 1u);
+  EXPECT_EQ(h.binCount(4), 2u);
+  EXPECT_DOUBLE_EQ(h.binLow(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(2), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nlft::util
