@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fault_injection_coverage"
+  "../bench/fault_injection_coverage.pdb"
+  "CMakeFiles/fault_injection_coverage.dir/fault_injection_coverage.cpp.o"
+  "CMakeFiles/fault_injection_coverage.dir/fault_injection_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

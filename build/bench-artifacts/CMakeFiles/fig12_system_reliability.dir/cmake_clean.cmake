@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_system_reliability"
+  "../bench/fig12_system_reliability.pdb"
+  "CMakeFiles/fig12_system_reliability.dir/fig12_system_reliability.cpp.o"
+  "CMakeFiles/fig12_system_reliability.dir/fig12_system_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_system_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

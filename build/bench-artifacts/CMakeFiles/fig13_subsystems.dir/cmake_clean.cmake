@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_subsystems"
+  "../bench/fig13_subsystems.pdb"
+  "CMakeFiles/fig13_subsystems.dir/fig13_subsystems.cpp.o"
+  "CMakeFiles/fig13_subsystems.dir/fig13_subsystems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_subsystems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mechanism_ablation"
+  "../bench/mechanism_ablation.pdb"
+  "CMakeFiles/mechanism_ablation.dir/mechanism_ablation.cpp.o"
+  "CMakeFiles/mechanism_ablation.dir/mechanism_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/montecarlo_vs_markov"
+  "../bench/montecarlo_vs_markov.pdb"
+  "CMakeFiles/montecarlo_vs_markov.dir/montecarlo_vs_markov.cpp.o"
+  "CMakeFiles/montecarlo_vs_markov.dir/montecarlo_vs_markov.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_vs_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for montecarlo_vs_markov.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/mttf_table.cpp" "bench-artifacts/CMakeFiles/mttf_table.dir/mttf_table.cpp.o" "gcc" "bench-artifacts/CMakeFiles/mttf_table.dir/mttf_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_bbw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_rtkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

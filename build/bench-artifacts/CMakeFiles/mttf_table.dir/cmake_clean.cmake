@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mttf_table"
+  "../bench/mttf_table.pdb"
+  "CMakeFiles/mttf_table.dir/mttf_table.cpp.o"
+  "CMakeFiles/mttf_table.dir/mttf_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mttf_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/schedulability_slack"
+  "../bench/schedulability_slack.pdb"
+  "CMakeFiles/schedulability_slack.dir/schedulability_slack.cpp.o"
+  "CMakeFiles/schedulability_slack.dir/schedulability_slack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/slack_to_reliability"
+  "../bench/slack_to_reliability.pdb"
+  "CMakeFiles/slack_to_reliability.dir/slack_to_reliability.cpp.o"
+  "CMakeFiles/slack_to_reliability.dir/slack_to_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_to_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stopping_distance_distribution"
+  "../bench/stopping_distance_distribution.pdb"
+  "CMakeFiles/stopping_distance_distribution.dir/stopping_distance_distribution.cpp.o"
+  "CMakeFiles/stopping_distance_distribution.dir/stopping_distance_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stopping_distance_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tem_overhead"
+  "../bench/tem_overhead.pdb"
+  "CMakeFiles/tem_overhead.dir/tem_overhead.cpp.o"
+  "CMakeFiles/tem_overhead.dir/tem_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_closed_loop.dir/bbw_closed_loop.cpp.o"
+  "CMakeFiles/bbw_closed_loop.dir/bbw_closed_loop.cpp.o.d"
+  "bbw_closed_loop"
+  "bbw_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_sync_demo.dir/clock_sync_demo.cpp.o"
+  "CMakeFiles/clock_sync_demo.dir/clock_sync_demo.cpp.o.d"
+  "clock_sync_demo"
+  "clock_sync_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_sync_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_gantt.dir/tem_gantt.cpp.o"
+  "CMakeFiles/tem_gantt.dir/tem_gantt.cpp.o.d"
+  "tem_gantt"
+  "tem_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

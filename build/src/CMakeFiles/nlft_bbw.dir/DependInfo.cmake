@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bbw/control.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/control.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/control.cpp.o.d"
+  "/root/repo/src/bbw/cu_task.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/cu_task.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/cu_task.cpp.o.d"
+  "/root/repo/src/bbw/markov_models.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/markov_models.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/markov_models.cpp.o.d"
+  "/root/repo/src/bbw/system_sim.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/system_sim.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/system_sim.cpp.o.d"
+  "/root/repo/src/bbw/vehicle.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/vehicle.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/vehicle.cpp.o.d"
+  "/root/repo/src/bbw/wheel_task.cpp" "src/CMakeFiles/nlft_bbw.dir/bbw/wheel_task.cpp.o" "gcc" "src/CMakeFiles/nlft_bbw.dir/bbw/wheel_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_rtkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

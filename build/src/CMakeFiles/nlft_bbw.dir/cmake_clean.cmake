@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_bbw.dir/bbw/control.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/control.cpp.o.d"
+  "CMakeFiles/nlft_bbw.dir/bbw/cu_task.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/cu_task.cpp.o.d"
+  "CMakeFiles/nlft_bbw.dir/bbw/markov_models.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/markov_models.cpp.o.d"
+  "CMakeFiles/nlft_bbw.dir/bbw/system_sim.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/system_sim.cpp.o.d"
+  "CMakeFiles/nlft_bbw.dir/bbw/vehicle.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/vehicle.cpp.o.d"
+  "CMakeFiles/nlft_bbw.dir/bbw/wheel_task.cpp.o"
+  "CMakeFiles/nlft_bbw.dir/bbw/wheel_task.cpp.o.d"
+  "libnlft_bbw.a"
+  "libnlft_bbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_bbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

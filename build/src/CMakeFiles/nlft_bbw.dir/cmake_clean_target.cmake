@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnlft_bbw.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_flow.cpp" "src/CMakeFiles/nlft_core.dir/core/control_flow.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/control_flow.cpp.o.d"
+  "/root/repo/src/core/end_to_end.cpp" "src/CMakeFiles/nlft_core.dir/core/end_to_end.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/end_to_end.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/nlft_core.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/nlft_core.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/CMakeFiles/nlft_core.dir/core/replication.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/replication.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/CMakeFiles/nlft_core.dir/core/result.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/result.cpp.o.d"
+  "/root/repo/src/core/tem.cpp" "src/CMakeFiles/nlft_core.dir/core/tem.cpp.o" "gcc" "src/CMakeFiles/nlft_core.dir/core/tem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_rtkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_core.dir/core/control_flow.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/control_flow.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/end_to_end.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/end_to_end.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/node.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/node.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/policies.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/policies.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/replication.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/replication.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/result.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/result.cpp.o.d"
+  "CMakeFiles/nlft_core.dir/core/tem.cpp.o"
+  "CMakeFiles/nlft_core.dir/core/tem.cpp.o.d"
+  "libnlft_core.a"
+  "libnlft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

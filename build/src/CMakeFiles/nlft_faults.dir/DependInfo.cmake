@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/campaign.cpp" "src/CMakeFiles/nlft_faults.dir/faults/campaign.cpp.o" "gcc" "src/CMakeFiles/nlft_faults.dir/faults/campaign.cpp.o.d"
+  "/root/repo/src/faults/fault_model.cpp" "src/CMakeFiles/nlft_faults.dir/faults/fault_model.cpp.o" "gcc" "src/CMakeFiles/nlft_faults.dir/faults/fault_model.cpp.o.d"
+  "/root/repo/src/faults/machine_behavior.cpp" "src/CMakeFiles/nlft_faults.dir/faults/machine_behavior.cpp.o" "gcc" "src/CMakeFiles/nlft_faults.dir/faults/machine_behavior.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_rtkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_faults.dir/faults/campaign.cpp.o"
+  "CMakeFiles/nlft_faults.dir/faults/campaign.cpp.o.d"
+  "CMakeFiles/nlft_faults.dir/faults/fault_model.cpp.o"
+  "CMakeFiles/nlft_faults.dir/faults/fault_model.cpp.o.d"
+  "CMakeFiles/nlft_faults.dir/faults/machine_behavior.cpp.o"
+  "CMakeFiles/nlft_faults.dir/faults/machine_behavior.cpp.o.d"
+  "libnlft_faults.a"
+  "libnlft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

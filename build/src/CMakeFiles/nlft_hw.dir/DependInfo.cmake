@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/assembler.cpp" "src/CMakeFiles/nlft_hw.dir/hw/assembler.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/assembler.cpp.o.d"
+  "/root/repo/src/hw/cpu.cpp" "src/CMakeFiles/nlft_hw.dir/hw/cpu.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/cpu.cpp.o.d"
+  "/root/repo/src/hw/hamming.cpp" "src/CMakeFiles/nlft_hw.dir/hw/hamming.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/hamming.cpp.o.d"
+  "/root/repo/src/hw/isa.cpp" "src/CMakeFiles/nlft_hw.dir/hw/isa.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/isa.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/nlft_hw.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/CMakeFiles/nlft_hw.dir/hw/memory.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/memory.cpp.o.d"
+  "/root/repo/src/hw/mmu.cpp" "src/CMakeFiles/nlft_hw.dir/hw/mmu.cpp.o" "gcc" "src/CMakeFiles/nlft_hw.dir/hw/mmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

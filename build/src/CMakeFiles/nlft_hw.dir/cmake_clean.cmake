@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_hw.dir/hw/assembler.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/assembler.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/cpu.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/cpu.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/hamming.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/hamming.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/isa.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/isa.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/machine.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/machine.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/memory.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/memory.cpp.o.d"
+  "CMakeFiles/nlft_hw.dir/hw/mmu.cpp.o"
+  "CMakeFiles/nlft_hw.dir/hw/mmu.cpp.o.d"
+  "libnlft_hw.a"
+  "libnlft_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bus.cpp" "src/CMakeFiles/nlft_net.dir/net/bus.cpp.o" "gcc" "src/CMakeFiles/nlft_net.dir/net/bus.cpp.o.d"
+  "/root/repo/src/net/clock_sync.cpp" "src/CMakeFiles/nlft_net.dir/net/clock_sync.cpp.o" "gcc" "src/CMakeFiles/nlft_net.dir/net/clock_sync.cpp.o.d"
+  "/root/repo/src/net/membership.cpp" "src/CMakeFiles/nlft_net.dir/net/membership.cpp.o" "gcc" "src/CMakeFiles/nlft_net.dir/net/membership.cpp.o.d"
+  "/root/repo/src/net/state_resync.cpp" "src/CMakeFiles/nlft_net.dir/net/state_resync.cpp.o" "gcc" "src/CMakeFiles/nlft_net.dir/net/state_resync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

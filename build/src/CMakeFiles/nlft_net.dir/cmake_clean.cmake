@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_net.dir/net/bus.cpp.o"
+  "CMakeFiles/nlft_net.dir/net/bus.cpp.o.d"
+  "CMakeFiles/nlft_net.dir/net/clock_sync.cpp.o"
+  "CMakeFiles/nlft_net.dir/net/clock_sync.cpp.o.d"
+  "CMakeFiles/nlft_net.dir/net/membership.cpp.o"
+  "CMakeFiles/nlft_net.dir/net/membership.cpp.o.d"
+  "CMakeFiles/nlft_net.dir/net/state_resync.cpp.o"
+  "CMakeFiles/nlft_net.dir/net/state_resync.cpp.o.d"
+  "libnlft_net.a"
+  "libnlft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

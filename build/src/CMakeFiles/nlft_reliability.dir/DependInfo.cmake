@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/ctmc.cpp" "src/CMakeFiles/nlft_reliability.dir/reliability/ctmc.cpp.o" "gcc" "src/CMakeFiles/nlft_reliability.dir/reliability/ctmc.cpp.o.d"
+  "/root/repo/src/reliability/export.cpp" "src/CMakeFiles/nlft_reliability.dir/reliability/export.cpp.o" "gcc" "src/CMakeFiles/nlft_reliability.dir/reliability/export.cpp.o.d"
+  "/root/repo/src/reliability/fault_tree.cpp" "src/CMakeFiles/nlft_reliability.dir/reliability/fault_tree.cpp.o" "gcc" "src/CMakeFiles/nlft_reliability.dir/reliability/fault_tree.cpp.o.d"
+  "/root/repo/src/reliability/rbd.cpp" "src/CMakeFiles/nlft_reliability.dir/reliability/rbd.cpp.o" "gcc" "src/CMakeFiles/nlft_reliability.dir/reliability/rbd.cpp.o.d"
+  "/root/repo/src/reliability/reliability_fn.cpp" "src/CMakeFiles/nlft_reliability.dir/reliability/reliability_fn.cpp.o" "gcc" "src/CMakeFiles/nlft_reliability.dir/reliability/reliability_fn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

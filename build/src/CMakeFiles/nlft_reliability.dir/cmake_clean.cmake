@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_reliability.dir/reliability/ctmc.cpp.o"
+  "CMakeFiles/nlft_reliability.dir/reliability/ctmc.cpp.o.d"
+  "CMakeFiles/nlft_reliability.dir/reliability/export.cpp.o"
+  "CMakeFiles/nlft_reliability.dir/reliability/export.cpp.o.d"
+  "CMakeFiles/nlft_reliability.dir/reliability/fault_tree.cpp.o"
+  "CMakeFiles/nlft_reliability.dir/reliability/fault_tree.cpp.o.d"
+  "CMakeFiles/nlft_reliability.dir/reliability/rbd.cpp.o"
+  "CMakeFiles/nlft_reliability.dir/reliability/rbd.cpp.o.d"
+  "CMakeFiles/nlft_reliability.dir/reliability/reliability_fn.cpp.o"
+  "CMakeFiles/nlft_reliability.dir/reliability/reliability_fn.cpp.o.d"
+  "libnlft_reliability.a"
+  "libnlft_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

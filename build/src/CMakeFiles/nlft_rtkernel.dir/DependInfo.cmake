@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtkernel/cpu.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/cpu.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/cpu.cpp.o.d"
+  "/root/repo/src/rtkernel/kernel.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/kernel.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/kernel.cpp.o.d"
+  "/root/repo/src/rtkernel/observer.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/observer.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/observer.cpp.o.d"
+  "/root/repo/src/rtkernel/rta.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/rta.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/rta.cpp.o.d"
+  "/root/repo/src/rtkernel/trace.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/trace.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/trace.cpp.o.d"
+  "/root/repo/src/rtkernel/watchdog.cpp" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/watchdog.cpp.o" "gcc" "src/CMakeFiles/nlft_rtkernel.dir/rtkernel/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/cpu.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/cpu.cpp.o.d"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/kernel.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/kernel.cpp.o.d"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/observer.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/observer.cpp.o.d"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/rta.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/rta.cpp.o.d"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/trace.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/trace.cpp.o.d"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/watchdog.cpp.o"
+  "CMakeFiles/nlft_rtkernel.dir/rtkernel/watchdog.cpp.o.d"
+  "libnlft_rtkernel.a"
+  "libnlft_rtkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_rtkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

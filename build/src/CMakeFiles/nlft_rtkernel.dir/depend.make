@@ -1,0 +1,2 @@
+# Empty dependencies file for nlft_rtkernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/nlft_sim.dir/sim/simulator.cpp.o.d"
+  "libnlft_sim.a"
+  "libnlft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_sysmodel.dir/sysmodel/montecarlo.cpp.o"
+  "CMakeFiles/nlft_sysmodel.dir/sysmodel/montecarlo.cpp.o.d"
+  "libnlft_sysmodel.a"
+  "libnlft_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc.cpp" "src/CMakeFiles/nlft_util.dir/util/crc.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/crc.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/nlft_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "src/CMakeFiles/nlft_util.dir/util/matrix.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/matrix.cpp.o.d"
+  "/root/repo/src/util/quadrature.cpp" "src/CMakeFiles/nlft_util.dir/util/quadrature.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/quadrature.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/nlft_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/CMakeFiles/nlft_util.dir/util/statistics.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/statistics.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/nlft_util.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/nlft_util.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlft_util.dir/util/crc.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/crc.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/logging.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/matrix.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/matrix.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/quadrature.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/quadrature.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/rng.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/statistics.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/statistics.cpp.o.d"
+  "CMakeFiles/nlft_util.dir/util/time.cpp.o"
+  "CMakeFiles/nlft_util.dir/util/time.cpp.o.d"
+  "libnlft_util.a"
+  "libnlft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

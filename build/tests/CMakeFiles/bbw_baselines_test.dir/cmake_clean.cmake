@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_baselines_test.dir/bbw_baselines_test.cpp.o"
+  "CMakeFiles/bbw_baselines_test.dir/bbw_baselines_test.cpp.o.d"
+  "bbw_baselines_test"
+  "bbw_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_checked_task_test.dir/bbw_checked_task_test.cpp.o"
+  "CMakeFiles/bbw_checked_task_test.dir/bbw_checked_task_test.cpp.o.d"
+  "bbw_checked_task_test"
+  "bbw_checked_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_checked_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

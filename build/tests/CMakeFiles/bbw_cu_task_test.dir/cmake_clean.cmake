@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_cu_task_test.dir/bbw_cu_task_test.cpp.o"
+  "CMakeFiles/bbw_cu_task_test.dir/bbw_cu_task_test.cpp.o.d"
+  "bbw_cu_task_test"
+  "bbw_cu_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_cu_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

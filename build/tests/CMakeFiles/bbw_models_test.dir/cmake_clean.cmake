@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_models_test.dir/bbw_models_test.cpp.o"
+  "CMakeFiles/bbw_models_test.dir/bbw_models_test.cpp.o.d"
+  "bbw_models_test"
+  "bbw_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_system_sim_test.dir/bbw_system_sim_test.cpp.o"
+  "CMakeFiles/bbw_system_sim_test.dir/bbw_system_sim_test.cpp.o.d"
+  "bbw_system_sim_test"
+  "bbw_system_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_system_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbw_vehicle_test.dir/bbw_vehicle_test.cpp.o"
+  "CMakeFiles/bbw_vehicle_test.dir/bbw_vehicle_test.cpp.o.d"
+  "bbw_vehicle_test"
+  "bbw_vehicle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbw_vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

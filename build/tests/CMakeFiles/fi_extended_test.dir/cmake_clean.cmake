@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_extended_test.dir/fi_extended_test.cpp.o"
+  "CMakeFiles/fi_extended_test.dir/fi_extended_test.cpp.o.d"
+  "fi_extended_test"
+  "fi_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_machine_behavior_test.dir/fi_machine_behavior_test.cpp.o"
+  "CMakeFiles/fi_machine_behavior_test.dir/fi_machine_behavior_test.cpp.o.d"
+  "fi_machine_behavior_test"
+  "fi_machine_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_machine_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_assembler_test.dir/hw_assembler_test.cpp.o"
+  "CMakeFiles/hw_assembler_test.dir/hw_assembler_test.cpp.o.d"
+  "hw_assembler_test"
+  "hw_assembler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_hamming_test.dir/hw_hamming_test.cpp.o"
+  "CMakeFiles/hw_hamming_test.dir/hw_hamming_test.cpp.o.d"
+  "hw_hamming_test"
+  "hw_hamming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_hamming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

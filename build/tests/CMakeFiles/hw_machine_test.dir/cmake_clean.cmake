@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_machine_test.dir/hw_machine_test.cpp.o"
+  "CMakeFiles/hw_machine_test.dir/hw_machine_test.cpp.o.d"
+  "hw_machine_test"
+  "hw_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

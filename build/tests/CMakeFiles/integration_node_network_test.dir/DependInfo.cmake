@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_node_network_test.cpp" "tests/CMakeFiles/integration_node_network_test.dir/integration_node_network_test.cpp.o" "gcc" "tests/CMakeFiles/integration_node_network_test.dir/integration_node_network_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_rtkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

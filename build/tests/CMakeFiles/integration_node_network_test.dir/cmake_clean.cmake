@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_node_network_test.dir/integration_node_network_test.cpp.o"
+  "CMakeFiles/integration_node_network_test.dir/integration_node_network_test.cpp.o.d"
+  "integration_node_network_test"
+  "integration_node_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_node_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_churn_property_test.dir/net_churn_property_test.cpp.o"
+  "CMakeFiles/net_churn_property_test.dir/net_churn_property_test.cpp.o.d"
+  "net_churn_property_test"
+  "net_churn_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_churn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

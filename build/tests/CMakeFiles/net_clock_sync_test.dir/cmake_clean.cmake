@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_clock_sync_test.dir/net_clock_sync_test.cpp.o"
+  "CMakeFiles/net_clock_sync_test.dir/net_clock_sync_test.cpp.o.d"
+  "net_clock_sync_test"
+  "net_clock_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_clock_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_membership_test.dir/net_membership_test.cpp.o"
+  "CMakeFiles/net_membership_test.dir/net_membership_test.cpp.o.d"
+  "net_membership_test"
+  "net_membership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_ctmc_test.dir/reliability_ctmc_test.cpp.o"
+  "CMakeFiles/reliability_ctmc_test.dir/reliability_ctmc_test.cpp.o.d"
+  "reliability_ctmc_test"
+  "reliability_ctmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_export_test.dir/reliability_export_test.cpp.o"
+  "CMakeFiles/reliability_export_test.dir/reliability_export_test.cpp.o.d"
+  "reliability_export_test"
+  "reliability_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_fault_tree_test.dir/reliability_fault_tree_test.cpp.o"
+  "CMakeFiles/reliability_fault_tree_test.dir/reliability_fault_tree_test.cpp.o.d"
+  "reliability_fault_tree_test"
+  "reliability_fault_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_fault_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

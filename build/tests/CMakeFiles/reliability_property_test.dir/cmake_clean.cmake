@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_property_test.dir/reliability_property_test.cpp.o"
+  "CMakeFiles/reliability_property_test.dir/reliability_property_test.cpp.o.d"
+  "reliability_property_test"
+  "reliability_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_cpu_test.dir/rt_cpu_test.cpp.o"
+  "CMakeFiles/rt_cpu_test.dir/rt_cpu_test.cpp.o.d"
+  "rt_cpu_test"
+  "rt_cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_kernel_test.dir/rt_kernel_test.cpp.o"
+  "CMakeFiles/rt_kernel_test.dir/rt_kernel_test.cpp.o.d"
+  "rt_kernel_test"
+  "rt_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

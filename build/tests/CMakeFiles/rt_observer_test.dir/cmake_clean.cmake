@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_observer_test.dir/rt_observer_test.cpp.o"
+  "CMakeFiles/rt_observer_test.dir/rt_observer_test.cpp.o.d"
+  "rt_observer_test"
+  "rt_observer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_rta_test.dir/rt_rta_test.cpp.o"
+  "CMakeFiles/rt_rta_test.dir/rt_rta_test.cpp.o.d"
+  "rt_rta_test"
+  "rt_rta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_rta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

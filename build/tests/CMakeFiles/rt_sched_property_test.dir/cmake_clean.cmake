@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sched_property_test.dir/rt_sched_property_test.cpp.o"
+  "CMakeFiles/rt_sched_property_test.dir/rt_sched_property_test.cpp.o.d"
+  "rt_sched_property_test"
+  "rt_sched_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sched_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

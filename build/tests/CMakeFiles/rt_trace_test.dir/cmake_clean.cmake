@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_trace_test.dir/rt_trace_test.cpp.o"
+  "CMakeFiles/rt_trace_test.dir/rt_trace_test.cpp.o.d"
+  "rt_trace_test"
+  "rt_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

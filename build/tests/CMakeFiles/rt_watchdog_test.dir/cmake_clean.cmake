@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_watchdog_test.dir/rt_watchdog_test.cpp.o"
+  "CMakeFiles/rt_watchdog_test.dir/rt_watchdog_test.cpp.o.d"
+  "rt_watchdog_test"
+  "rt_watchdog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_correlated_test.dir/sys_correlated_test.cpp.o"
+  "CMakeFiles/sys_correlated_test.dir/sys_correlated_test.cpp.o.d"
+  "sys_correlated_test"
+  "sys_correlated_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_correlated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

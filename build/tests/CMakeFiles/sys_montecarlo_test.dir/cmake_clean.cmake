@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_montecarlo_test.dir/sys_montecarlo_test.cpp.o"
+  "CMakeFiles/sys_montecarlo_test.dir/sys_montecarlo_test.cpp.o.d"
+  "sys_montecarlo_test"
+  "sys_montecarlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_montecarlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_exhaustive_test.dir/tem_exhaustive_test.cpp.o"
+  "CMakeFiles/tem_exhaustive_test.dir/tem_exhaustive_test.cpp.o.d"
+  "tem_exhaustive_test"
+  "tem_exhaustive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

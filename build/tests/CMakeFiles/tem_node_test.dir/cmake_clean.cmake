@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_node_test.dir/tem_node_test.cpp.o"
+  "CMakeFiles/tem_node_test.dir/tem_node_test.cpp.o.d"
+  "tem_node_test"
+  "tem_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_policies_test.dir/tem_policies_test.cpp.o"
+  "CMakeFiles/tem_policies_test.dir/tem_policies_test.cpp.o.d"
+  "tem_policies_test"
+  "tem_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_replication_test.dir/tem_replication_test.cpp.o"
+  "CMakeFiles/tem_replication_test.dir/tem_replication_test.cpp.o.d"
+  "tem_replication_test"
+  "tem_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

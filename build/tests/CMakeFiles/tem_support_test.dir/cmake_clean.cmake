@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_support_test.dir/tem_support_test.cpp.o"
+  "CMakeFiles/tem_support_test.dir/tem_support_test.cpp.o.d"
+  "tem_support_test"
+  "tem_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tem_test.dir/tem_test.cpp.o"
+  "CMakeFiles/tem_test.dir/tem_test.cpp.o.d"
+  "tem_test"
+  "tem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_crc_test.dir/util_crc_test.cpp.o"
+  "CMakeFiles/util_crc_test.dir/util_crc_test.cpp.o.d"
+  "util_crc_test"
+  "util_crc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_quadrature_test.dir/util_quadrature_test.cpp.o"
+  "CMakeFiles/util_quadrature_test.dir/util_quadrature_test.cpp.o.d"
+  "util_quadrature_test"
+  "util_quadrature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_quadrature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
