@@ -2,9 +2,14 @@
 // (Section 3.3: P_T = 0.9, P_OM = 0.05, C_D = 0.99 were taken from the
 // fault-injection studies [7][8]) plus a Table 1-style breakdown of WHICH
 // error-detection mechanism caught the injected faults.
+//
+// Campaigns run on the parallel engine (all hardware threads — statistics
+// are thread-count-independent); a scaling section times a sub-campaign at
+// 1/2/4/8 threads and appends to BENCH_parallel_scaling.json.
 #include <cstdio>
 
 #include "bbw/wheel_task.hpp"
+#include "scaling_report.hpp"
 
 using namespace nlft;
 
@@ -14,6 +19,7 @@ int main() {
   config.experiments = 20000;
   config.seed = 7;
   config.jobBudgetFactor = 3.8;
+  config.parallelism.threads = 0;  // all hardware threads; same statistics
 
   const fi::TemCampaignStats tem = fi::runTemCampaign(image, config);
   const fi::FsCampaignStats fs = fi::runFsCampaign(image, config);
@@ -59,5 +65,27 @@ int main() {
   std::printf("\nshape check: TEM coverage (%.4f) > fail-silent coverage (%.4f): %s\n",
               coverage.proportion, fsCoverage.proportion,
               coverage.proportion > fsCoverage.proportion ? "yes" : "NO");
-  return 0;
+
+  // Parallel scaling on a TEM sub-campaign; outcome counts must match the
+  // serial run at every thread count.
+  fi::CampaignConfig scalingConfig = config;
+  scalingConfig.experiments = 4000;
+  scalingConfig.parallelism.threads = 1;
+  const fi::TemCampaignStats serial = fi::runTemCampaign(image, scalingConfig);
+  bool identical = true;
+  const auto entries = benchutil::measureScaling(
+      "fault_injection_coverage", "tem_campaign_4k", scalingConfig.experiments,
+      [&](unsigned threads) {
+        scalingConfig.parallelism.threads = threads;
+        const fi::TemCampaignStats run = fi::runTemCampaign(image, scalingConfig);
+        if (run.notActivated != serial.notActivated || run.maskedByVote != serial.maskedByVote ||
+            run.maskedByRestart != serial.maskedByRestart || run.undetected != serial.undetected) {
+          identical = false;
+        }
+      });
+  benchutil::appendScalingEntries(entries);
+  std::printf("campaign statistics identical across thread counts: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("scaling entries appended to %s\n", benchutil::kScalingReportPath);
+  return identical ? 0 : 1;
 }

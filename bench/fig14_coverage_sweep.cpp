@@ -4,9 +4,18 @@
 //
 // Paper findings: coverage dominates; the fault rate barely matters while it
 // stays far below the repair rate; the NLFT advantage grows with the rate.
+//
+// A second section re-derives part of the sweep by Monte-Carlo simulation on
+// the parallel campaign engine, measures the sweep at 1/2/4/8 threads,
+// verifies the estimates are identical at every thread count, and appends
+// the timings to BENCH_parallel_scaling.json (the PR's >= 3x @ 8 threads
+// acceptance workload).
 #include <cstdio>
+#include <vector>
 
 #include "bbw/markov_models.hpp"
+#include "scaling_report.hpp"
+#include "sysmodel/montecarlo.hpp"
 
 using namespace nlft::bbw;
 
@@ -53,5 +62,59 @@ int main() {
                   reliabilityAt(NodeType::FailSilent, 1.0, 0.99),
               reliabilityAt(NodeType::Nlft, 10000.0, 0.99) -
                   reliabilityAt(NodeType::FailSilent, 10000.0, 0.99));
-  return 0;
+
+  // Monte-Carlo cross-check of one sweep column (C = 0.99, FS vs NLFT at
+  // three fault-rate scales), run on the parallel campaign engine. The same
+  // sweep executes at every scaling thread count; estimates must match the
+  // serial run exactly.
+  namespace sys = nlft::sys;
+  namespace benchutil = nlft::benchutil;
+  const std::vector<double> kScales{1.0, 100.0, 10000.0};
+  constexpr std::size_t kTrialsPerPoint = 40000;
+
+  const auto runSweep = [&](unsigned threads) {
+    std::vector<std::size_t> survivors;
+    for (const auto behavior : {sys::NodeBehavior::FailSilent, sys::NodeBehavior::Nlft}) {
+      for (double scale : kScales) {
+        sys::SystemSpec spec;
+        spec.behavior = behavior;
+        spec.params.lambdaTransient = kBaseRate * scale;
+        spec.params.coverage = 0.99;
+        spec.groups = {{"cu", 2, 1}, {"wns", 4, 3}};
+        sys::MonteCarloConfig config;
+        config.trials = kTrialsPerPoint;
+        config.seed = 1414;
+        config.checkpointHours = {kFiveHours};
+        config.parallelism.threads = threads;
+        survivors.push_back(
+            sys::estimateReliability(spec, config).checkpoints[0].reliability.successes);
+      }
+    }
+    return survivors;
+  };
+
+  const std::vector<std::size_t> serialSurvivors = runSweep(1);
+  bool identical = true;
+  const auto entries = benchutil::measureScaling(
+      "fig14_coverage_sweep", "mc_sweep_6pt_40k",
+      kTrialsPerPoint * kScales.size() * 2,
+      [&](unsigned threads) {
+        if (runSweep(threads) != serialSurvivors) identical = false;
+      });
+  benchutil::appendScalingEntries(entries);
+
+  std::printf("\nMonte-Carlo sweep (C=0.99, %zu trials/point) vs analytic:\n", kTrialsPerPoint);
+  std::size_t point = 0;
+  for (const auto& [type, typeName] : {std::pair{NodeType::FailSilent, "fail-silent"},
+                                      std::pair{NodeType::Nlft, "NLFT"}}) {
+    for (double scale : kScales) {
+      const double mc =
+          static_cast<double>(serialSurvivors[point++]) / static_cast<double>(kTrialsPerPoint);
+      std::printf("  %-11s x%-7.0f MC %.6f  analytic %.6f\n", typeName, scale, mc,
+                  reliabilityAt(type, scale, 0.99));
+    }
+  }
+  std::printf("estimates identical across thread counts: %s\n", identical ? "yes" : "NO");
+  std::printf("scaling entries appended to %s\n", benchutil::kScalingReportPath);
+  return identical ? 0 : 1;
 }

@@ -3,9 +3,16 @@
 // identical stochastic assumptions, so the analytic value must fall inside
 // the Monte-Carlo confidence interval — our substitute for validating
 // against the closed-source SHARPE tool the paper used.
+//
+// The estimation runs on the parallel campaign engine (all hardware
+// threads). A final section re-runs one configuration at 1/2/4/8 threads,
+// checks the estimates are byte-identical to the serial run, and appends the
+// timings to BENCH_parallel_scaling.json.
 #include <cstdio>
+#include <cstring>
 
 #include "bbw/markov_models.hpp"
+#include "scaling_report.hpp"
 #include "sysmodel/montecarlo.hpp"
 #include "util/time.hpp"
 
@@ -34,6 +41,7 @@ int main() {
       config.trials = 60000;
       config.seed = 99;
       config.checkpointHours = {kYear};
+      config.parallelism.threads = 0;  // all hardware threads; same estimates
       const sys::MonteCarloResult result = sys::estimateReliability(spec, config);
       const auto& estimate = result.checkpoints[0].reliability;
       const double analytic = study.systemReliability(type, mode, kYear);
@@ -53,6 +61,34 @@ int main() {
       study.systemMttfHours(bbw::NodeType::Nlft, bbw::FunctionalityMode::Degraded);
   std::printf("\nMTTF (NLFT degraded): analytic %.0f h, MC %.0f +/- %.0f h\n", analyticMttf,
               mttf.mean(), mttf.confidenceHalfWidth(0.95));
+
+  // Parallel-scaling section: the NLFT degraded configuration, re-estimated
+  // at each thread count. Every run must be byte-identical to the serial one
+  // (the engine's determinism contract), so only wall-clock changes.
+  sys::MonteCarloConfig scalingConfig;
+  scalingConfig.trials = 60000;
+  scalingConfig.seed = 99;
+  scalingConfig.checkpointHours = {kYear};
+
+  scalingConfig.parallelism.threads = 1;
+  const sys::MonteCarloResult serial = sys::estimateReliability(spec, scalingConfig);
+  bool identical = true;
+  const auto entries = benchutil::measureScaling(
+      "montecarlo_vs_markov", "mc_nlft_degraded_60k", scalingConfig.trials,
+      [&](unsigned threads) {
+        scalingConfig.parallelism.threads = threads;
+        const sys::MonteCarloResult run = sys::estimateReliability(spec, scalingConfig);
+        const auto& a = run.checkpoints[0].reliability;
+        const auto& b = serial.checkpoints[0].reliability;
+        if (std::memcmp(&a, &b, sizeof(a)) != 0 ||
+            run.failuresWithinHorizon != serial.failuresWithinHorizon) {
+          identical = false;
+        }
+      });
+  benchutil::appendScalingEntries(entries);
+  std::printf("estimates byte-identical across thread counts: %s\n", identical ? "yes" : "NO");
+  std::printf("scaling entries appended to %s\n", benchutil::kScalingReportPath);
+  if (!identical) ++failures;
 
   std::printf("\n%s\n", failures == 0 ? "VALIDATION PASSED: all analytic values inside MC CIs"
                                       : "VALIDATION FAILED");

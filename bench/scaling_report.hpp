@@ -1,0 +1,124 @@
+// Shared helper for the parallel-scaling benches: time a workload at several
+// thread counts and record the results in BENCH_parallel_scaling.json.
+//
+// The file holds one top-level JSON array; every bench run appends its
+// entries (read-modify-write of the closing bracket), so running several
+// benches — or the same bench repeatedly — accumulates a history:
+//
+//   [
+//     {"bench": "fig14_coverage_sweep", "workload": "mc_sweep", "threads": 1,
+//      "items": 120000, "seconds": 4.21, "items_per_second": 28503.6,
+//      "speedup_vs_serial": 1.0},
+//     ...
+//   ]
+//
+// "speedup_vs_serial" is relative to the threads=1 timing of the SAME bench
+// invocation, so entries are self-contained.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nlft::benchutil {
+
+inline constexpr const char* kScalingReportPath = "BENCH_parallel_scaling.json";
+
+struct ScalingEntry {
+  std::string bench;
+  std::string workload;
+  unsigned threads = 1;
+  std::size_t items = 0;
+  double seconds = 0.0;
+  double itemsPerSecond = 0.0;
+  double speedupVsSerial = 1.0;
+};
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double timeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Thread counts every scaling bench measures. Always includes the serial
+/// baseline and 8 threads (the acceptance target), whatever the host has.
+inline std::vector<unsigned> scalingThreadCounts() { return {1u, 2u, 4u, 8u}; }
+
+inline std::string toJson(const ScalingEntry& entry) {
+  std::ostringstream out;
+  out << "  {\"bench\": \"" << entry.bench << "\", \"workload\": \"" << entry.workload
+      << "\", \"threads\": " << entry.threads << ", \"items\": " << entry.items
+      << ", \"seconds\": " << entry.seconds << ", \"items_per_second\": " << entry.itemsPerSecond
+      << ", \"speedup_vs_serial\": " << entry.speedupVsSerial << "}";
+  return out.str();
+}
+
+/// Appends entries to the shared report, creating the file if needed.
+inline void appendScalingEntries(const std::vector<ScalingEntry>& entries,
+                                 const std::string& path = kScalingReportPath) {
+  if (entries.empty()) return;
+  std::string existing;
+  {
+    std::ifstream in{path};
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  // Splice into the existing top-level array, if any.
+  const std::size_t closing = existing.rfind(']');
+  std::ostringstream body;
+  bool first = true;
+  if (closing != std::string::npos) {
+    std::string head = existing.substr(0, closing);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
+    body << head;
+    first = head.find('{') == std::string::npos;  // previously empty array
+  } else {
+    body << "[";
+  }
+  for (const ScalingEntry& entry : entries) {
+    body << (first ? "\n" : ",\n") << toJson(entry);
+    first = false;
+  }
+  body << "\n]\n";
+  std::ofstream out{path, std::ios::trunc};
+  out << body.str();
+}
+
+/// Runs `workload(threads)` at every scaling thread count, prints a table and
+/// returns the entries (serial first). `items` is the per-run trial count.
+inline std::vector<ScalingEntry> measureScaling(
+    const std::string& bench, const std::string& workload, std::size_t items,
+    const std::function<void(unsigned threads)>& run) {
+  std::vector<ScalingEntry> entries;
+  std::printf("\nparallel scaling — %s (%zu items/run, host has %u hardware threads)\n",
+              workload.c_str(), items, std::thread::hardware_concurrency());
+  std::printf("%8s %10s %14s %10s\n", "threads", "seconds", "items/sec", "speedup");
+  double serialSeconds = 0.0;
+  for (unsigned threads : scalingThreadCounts()) {
+    ScalingEntry entry;
+    entry.bench = bench;
+    entry.workload = workload;
+    entry.threads = threads;
+    entry.items = items;
+    entry.seconds = timeSeconds([&] { run(threads); });
+    if (threads == 1) serialSeconds = entry.seconds;
+    entry.itemsPerSecond = entry.seconds > 0.0 ? static_cast<double>(items) / entry.seconds : 0.0;
+    entry.speedupVsSerial = entry.seconds > 0.0 ? serialSeconds / entry.seconds : 0.0;
+    std::printf("%8u %10.3f %14.0f %9.2fx\n", threads, entry.seconds, entry.itemsPerSecond,
+                entry.speedupVsSerial);
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace nlft::benchutil

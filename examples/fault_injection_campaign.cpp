@@ -7,7 +7,10 @@
 // outcome, and estimate P_T, P_OM and the coverage. The same campaign on a
 // single-copy fail-silent node shows the coverage gap TEM closes.
 //
-//   $ ./fault_injection_campaign [experiments]
+// The campaign runs on the parallel engine with live progress reporting;
+// the estimates are identical for every thread count (see docs/BENCHMARKS.md).
+//
+//   $ ./fault_injection_campaign [experiments] [threads]   (threads 0 = all cores)
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +20,8 @@ using namespace nlft;
 
 int main(int argc, char** argv) {
   const std::size_t experiments = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 0;
 
   const fi::TaskImage image = bbw::makeWheelTaskImage(800 * 256, 50, 600 * 256);
   const fi::CopyRun golden = fi::goldenRun(image);
@@ -28,8 +33,16 @@ int main(int argc, char** argv) {
   config.experiments = experiments;
   config.seed = 42;
   config.jobBudgetFactor = 3.8;
+  config.parallelism.threads = threads;
+  config.onProgress = [](const exec::ProgressSnapshot& p) {
+    std::fprintf(stderr, "\r  %zu/%zu experiments  %.0f/s  ETA %.1fs  (%zu workers)   ",
+                 p.completedItems, p.totalItems, p.itemsPerSecond, p.etaSeconds,
+                 p.perWorkerItems.size());
+    if (p.completedItems == p.totalItems) std::fprintf(stderr, "\n");
+  };
 
-  std::printf("\nTEM campaign (%zu experiments, one transient fault each):\n", experiments);
+  std::printf("\nTEM campaign (%zu experiments, one transient fault each, %u threads):\n",
+              experiments, config.parallelism.resolvedThreads());
   const fi::TemCampaignStats tem = fi::runTemCampaign(image, config);
   std::printf("  not activated          %6zu\n", tem.notActivated);
   std::printf("  masked by ECC          %6zu\n", tem.maskedByEcc);

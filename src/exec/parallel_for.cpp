@@ -1,0 +1,111 @@
+#include "exec/parallel_for.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace nlft::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Shared progress state; workers report completed chunks, the callback is
+/// rate-limited and serialized under a mutex.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t totalItems, unsigned workers, const ProgressOptions& options)
+      : options_{options}, start_{Clock::now()} {
+    snapshot_.totalItems = totalItems;
+    snapshot_.perWorkerItems.assign(workers, 0);
+  }
+
+  void chunkDone(std::size_t items, unsigned worker) {
+    if (!options_.callback) return;
+    std::lock_guard<std::mutex> lock{mutex_};
+    snapshot_.completedItems += items;
+    snapshot_.perWorkerItems[worker] += items;
+    // The very last chunk to finish always reports, so observers see 100%.
+    const bool finalReport = snapshot_.completedItems == snapshot_.totalItems;
+    const double elapsed = secondsSince(start_);
+    if (!finalReport && elapsed - lastReportAt_ < options_.minIntervalSeconds) return;
+    lastReportAt_ = elapsed;
+    snapshot_.elapsedSeconds = elapsed;
+    snapshot_.itemsPerSecond =
+        elapsed > 0.0 ? static_cast<double>(snapshot_.completedItems) / elapsed : 0.0;
+    const std::size_t remaining = snapshot_.totalItems - snapshot_.completedItems;
+    snapshot_.etaSeconds = snapshot_.itemsPerSecond > 0.0
+                               ? static_cast<double>(remaining) / snapshot_.itemsPerSecond
+                               : 0.0;
+    options_.callback(snapshot_);
+  }
+
+  [[nodiscard]] bool enabled() const { return static_cast<bool>(options_.callback); }
+
+ private:
+  ProgressOptions options_;
+  Clock::time_point start_;
+  std::mutex mutex_;
+  ProgressSnapshot snapshot_;
+  double lastReportAt_ = 0.0;
+};
+
+}  // namespace
+
+std::size_t Parallelism::resolvedChunkSize(std::size_t items) const {
+  if (chunkSize != 0) return chunkSize;
+  // Auto: ~256 chunks — enough granularity for dynamic load balancing and
+  // progress reporting, few enough that per-chunk RNG forks are free. A pure
+  // function of `items` so the item-to-substream mapping never depends on
+  // the thread count.
+  return std::max<std::size_t>(1, items / 256);
+}
+
+std::size_t chunkCount(std::size_t items, std::size_t chunkSize) {
+  return chunkSize == 0 ? 0 : (items + chunkSize - 1) / chunkSize;
+}
+
+std::size_t forEachChunk(std::size_t items, const Parallelism& parallelism,
+                         const std::function<void(const ChunkRange&, unsigned worker)>& body,
+                         CancellationToken* cancel, const ProgressOptions& progress) {
+  if (items == 0) return 0;
+  const std::size_t chunkSize = parallelism.resolvedChunkSize(items);
+  const std::size_t chunks = chunkCount(items, chunkSize);
+  const unsigned threads =
+      std::min<unsigned>(parallelism.resolvedThreads(), static_cast<unsigned>(chunks));
+
+  ProgressMeter meter{items, std::max(threads, 1u), progress};
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> processed{0};
+
+  const auto drainChunks = [&](unsigned worker) {
+    for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      const std::size_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      ChunkRange range;
+      range.begin = c * chunkSize;
+      range.end = std::min(items, range.begin + chunkSize);
+      range.index = c;
+      body(range, worker);
+      const std::size_t chunkItems = range.end - range.begin;
+      processed.fetch_add(chunkItems, std::memory_order_relaxed);
+      meter.chunkDone(chunkItems, worker);
+    }
+  };
+
+  if (threads <= 1) {
+    drainChunks(0);
+  } else {
+    ThreadPool pool{threads};
+    for (unsigned w = 0; w < threads; ++w) pool.submit(drainChunks);
+    pool.wait();
+  }
+  return processed.load();
+}
+
+}  // namespace nlft::exec

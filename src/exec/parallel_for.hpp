@@ -1,0 +1,89 @@
+// Deterministic chunked parallel execution.
+//
+// The contract that makes parallel Monte-Carlo and fault-injection campaigns
+// bit-identical to their serial runs, for ANY thread count:
+//
+//  1. [0, items) is split into chunks whose boundaries depend only on
+//     `items` and `Parallelism::chunkSize` — never on the thread count.
+//  2. The caller derives one independent RNG sub-stream per chunk (fork the
+//     root RNG in chunk order BEFORE running) and keeps one accumulator per
+//     chunk.
+//  3. After forEachChunk returns, per-chunk accumulators are merged in chunk
+//     order — completion order is irrelevant.
+//
+// Threads only decide WHO runs a chunk, never WHAT the chunk computes or how
+// results combine. `threads = 1` runs inline on the calling thread (no pool),
+// so default configs pay nothing for the machinery.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace nlft::exec {
+
+/// Degree of parallelism for a campaign or estimation run.
+struct Parallelism {
+  /// Worker threads; 1 = serial (default), 0 = all hardware threads.
+  unsigned threads = 1;
+  /// Items per chunk; 0 = auto. Results depend on the chunk size (it fixes
+  /// the item-to-RNG-substream mapping) but NOT on `threads`.
+  std::size_t chunkSize = 0;
+
+  [[nodiscard]] unsigned resolvedThreads() const { return resolveThreadCount(threads); }
+  [[nodiscard]] std::size_t resolvedChunkSize(std::size_t items) const;
+};
+
+/// Cooperative cancellation: workers observe the token between chunks, so a
+/// cancelled run stops after the chunks already in flight.
+class CancellationToken {
+ public:
+  void requestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Throughput snapshot passed to progress callbacks.
+struct ProgressSnapshot {
+  std::size_t completedItems = 0;
+  std::size_t totalItems = 0;
+  double elapsedSeconds = 0.0;
+  double itemsPerSecond = 0.0;  ///< average rate since the run started
+  double etaSeconds = 0.0;      ///< remaining work at the average rate
+  /// Items completed by each worker; uneven entries reveal load imbalance.
+  std::vector<std::size_t> perWorkerItems;
+};
+
+using ProgressFn = std::function<void(const ProgressSnapshot&)>;
+
+struct ProgressOptions {
+  ProgressFn callback;               ///< empty = no reporting
+  double minIntervalSeconds = 0.25;  ///< rate limit between callbacks
+};
+
+/// A contiguous slice of the item range: [begin, end), with its chunk index.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t index = 0;
+};
+
+/// Number of chunks [0, items) splits into for the given chunk size.
+[[nodiscard]] std::size_t chunkCount(std::size_t items, std::size_t chunkSize);
+
+/// Runs body(range, worker) over every chunk of [0, items). `body` may run
+/// concurrently on different chunks and must not throw; on a completed
+/// (uncancelled) run the progress callback, if configured, always fires one
+/// last time at 100%. Returns the number of items actually processed
+/// (< items only when cancelled).
+std::size_t forEachChunk(std::size_t items, const Parallelism& parallelism,
+                         const std::function<void(const ChunkRange&, unsigned worker)>& body,
+                         CancellationToken* cancel = nullptr,
+                         const ProgressOptions& progress = {});
+
+}  // namespace nlft::exec

@@ -1,0 +1,61 @@
+#include "exec/pool.hpp"
+
+namespace nlft::exec {
+
+unsigned resolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolveThreadCount(threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void(unsigned)> task) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop(unsigned index) {
+  for (;;) {
+    std::function<void(unsigned)> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      taskReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task(index);
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      --inFlight_;
+      if (inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace nlft::exec

@@ -1,0 +1,59 @@
+// Fixed-size worker-thread pool — the execution substrate for parallel
+// Monte-Carlo estimation and fault-injection campaigns.
+//
+// Design constraints (shared with parallel_for.hpp):
+//  * the pool is a dumb executor: all determinism guarantees live in the
+//    chunking layer on top (deterministic chunk boundaries + per-chunk RNG
+//    forks + chunk-ordered merges), never in scheduling order;
+//  * tasks receive their worker index so callers can keep per-worker
+//    accumulators and utilization counters without any sharing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nlft::exec {
+
+/// Worker threads to use for a requested count (0 = all hardware threads;
+/// always at least 1).
+[[nodiscard]] unsigned resolveThreadCount(unsigned requested);
+
+/// A fixed-size std::thread pool draining a FIFO task queue. Tasks are
+/// `void(unsigned worker)` with worker in [0, size()).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw: the pool has no channel to
+  /// report exceptions, so callers catch and encode failures themselves.
+  void submit(std::function<void(unsigned)> task);
+
+  /// Blocks until every submitted task has finished (queue empty and all
+  /// workers idle). The pool stays usable afterwards.
+  void wait();
+
+ private:
+  void workerLoop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(unsigned)>> queue_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace nlft::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/result.hpp"
 
@@ -289,47 +290,116 @@ FaultSpec sampleFault(const TaskImage& image, std::uint64_t goldenInstructions,
   return fault;
 }
 
-TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config) {
-  TemCampaignStats stats;
-  stats.experiments = config.experiments;
-  const CopyRun golden = goldenRun(image);
-  util::Rng rng{config.seed};
+namespace {
 
-  for (std::size_t i = 0; i < config.experiments; ++i) {
-    const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
-    switch (classifyTem(image, golden, normalize(fault, rng), config.jobBudgetFactor,
-                        &stats.mechanisms)) {
-      case TemOutcome::NotActivated: ++stats.notActivated; break;
-      case TemOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
-      case TemOutcome::MaskedByVote: ++stats.maskedByVote; break;
-      case TemOutcome::MaskedByRestart: ++stats.maskedByRestart; break;
-      case TemOutcome::OmissionVoteFailed: ++stats.omissionVoteFailed; break;
-      case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
-      case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
-    }
+/// One independent RNG sub-stream per chunk (forked in chunk order), so the
+/// experiment-to-randomness mapping is independent of the thread count.
+std::vector<util::Rng> forkChunkRngs(std::uint64_t seed, std::size_t chunks) {
+  util::Rng root{seed};
+  std::vector<util::Rng> rngs;
+  rngs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) rngs.push_back(root.fork(c));
+  return rngs;
+}
+
+/// Shared chunked-campaign driver: `runOne(rng, stats)` samples and
+/// classifies one experiment into a chunk-local Stats, which merge in chunk
+/// order afterwards.
+template <typename Stats, typename RunOne>
+Stats runChunkedCampaign(const CampaignConfig& config, const char* what, RunOne runOne) {
+  const std::size_t chunkSize = config.parallelism.resolvedChunkSize(config.experiments);
+  const std::size_t chunks = exec::chunkCount(config.experiments, chunkSize);
+  std::vector<util::Rng> chunkRngs = forkChunkRngs(config.seed, chunks);
+  std::vector<Stats> accumulators(chunks);
+
+  const std::size_t processed = exec::forEachChunk(
+      config.experiments, config.parallelism,
+      [&](const exec::ChunkRange& range, unsigned) {
+        util::Rng rng = chunkRngs[range.index];
+        Stats& stats = accumulators[range.index];
+        stats.experiments = range.end - range.begin;
+        for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats);
+      },
+      config.cancel, {config.onProgress, 0.25});
+  if (processed < config.experiments) {
+    throw std::runtime_error(std::string{what} + ": cancelled");
   }
+
+  Stats stats;
+  for (const Stats& chunk : accumulators) stats.merge(chunk);
   return stats;
 }
 
-FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config) {
-  FsCampaignStats stats;
-  stats.experiments = config.experiments;
-  const CopyRun golden = goldenRun(image);
-  util::Rng rng{config.seed};
+}  // namespace
 
-  for (std::size_t i = 0; i < config.experiments; ++i) {
-    const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
-    ExperimentFault experiment = normalize(fault, rng);
-    experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
-    switch (classifyFs(image, golden, experiment)) {
-      case FsOutcome::NotActivated: ++stats.notActivated; break;
-      case FsOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
-      case FsOutcome::FailSilent: ++stats.failSilent; break;
-      case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
-      case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
-    }
-  }
-  return stats;
+TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config) {
+  const CopyRun golden = goldenRun(image);
+  return runChunkedCampaign<TemCampaignStats>(
+      config, "runTemCampaign", [&](util::Rng& rng, TemCampaignStats& stats) {
+        const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+        switch (classifyTem(image, golden, normalize(fault, rng), config.jobBudgetFactor,
+                            &stats.mechanisms)) {
+          case TemOutcome::NotActivated: ++stats.notActivated; break;
+          case TemOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+          case TemOutcome::MaskedByVote: ++stats.maskedByVote; break;
+          case TemOutcome::MaskedByRestart: ++stats.maskedByRestart; break;
+          case TemOutcome::OmissionVoteFailed: ++stats.omissionVoteFailed; break;
+          case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
+          case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+        }
+      });
+}
+
+FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config) {
+  const CopyRun golden = goldenRun(image);
+  return runChunkedCampaign<FsCampaignStats>(
+      config, "runFsCampaign", [&](util::Rng& rng, FsCampaignStats& stats) {
+        const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+        ExperimentFault experiment = normalize(fault, rng);
+        experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
+        switch (classifyFs(image, golden, experiment)) {
+          case FsOutcome::NotActivated: ++stats.notActivated; break;
+          case FsOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+          case FsOutcome::FailSilent: ++stats.failSilent; break;
+          case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
+          case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+        }
+      });
+}
+
+void DetectionMechanismCounts::merge(const DetectionMechanismCounts& other) {
+  illegalInstruction += other.illegalInstruction;
+  addressError += other.addressError;
+  busError += other.busError;
+  divideByZero += other.divideByZero;
+  mmuViolation += other.mmuViolation;
+  stackOverflow += other.stackOverflow;
+  executionTimeMonitor += other.executionTimeMonitor;
+  outputUnreadable += other.outputUnreadable;
+  temComparison += other.temComparison;
+  eccCorrected += other.eccCorrected;
+  endToEndCheck += other.endToEndCheck;
+}
+
+void TemCampaignStats::merge(const TemCampaignStats& other) {
+  mechanisms.merge(other.mechanisms);
+  experiments += other.experiments;
+  notActivated += other.notActivated;
+  maskedByEcc += other.maskedByEcc;
+  maskedByVote += other.maskedByVote;
+  maskedByRestart += other.maskedByRestart;
+  omissionVoteFailed += other.omissionVoteFailed;
+  omissionNoBudget += other.omissionNoBudget;
+  undetected += other.undetected;
+}
+
+void FsCampaignStats::merge(const FsCampaignStats& other) {
+  experiments += other.experiments;
+  notActivated += other.notActivated;
+  maskedByEcc += other.maskedByEcc;
+  failSilent += other.failSilent;
+  detectedByEndToEnd += other.detectedByEndToEnd;
+  undetected += other.undetected;
 }
 
 util::ProportionEstimate TemCampaignStats::pMask() const {

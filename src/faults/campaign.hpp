@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/parallel_for.hpp"
 #include "faults/fault_model.hpp"
 #include "hw/assembler.hpp"
 #include "util/rng.hpp"
@@ -94,6 +95,9 @@ struct DetectionMechanismCounts {
   std::size_t temComparison = 0;  ///< caught only by the result comparison
   std::size_t eccCorrected = 0;   ///< corrected transparently (no error raised)
   std::size_t endToEndCheck = 0;  ///< output checksum failed (data integrity)
+
+  /// Adds another breakdown (pure counts: merging is exact and commutative).
+  void merge(const DetectionMechanismCounts& other);
 };
 
 struct TemCampaignStats {
@@ -106,6 +110,10 @@ struct TemCampaignStats {
   std::size_t omissionVoteFailed = 0;
   std::size_t omissionNoBudget = 0;
   std::size_t undetected = 0;
+
+  /// Adds another campaign's outcomes (used to combine per-chunk results of
+  /// a parallel campaign; exact and commutative).
+  void merge(const TemCampaignStats& other);
 
   [[nodiscard]] std::size_t activated() const {
     return experiments - notActivated - maskedByEcc;
@@ -125,6 +133,9 @@ struct FsCampaignStats {
   std::size_t failSilent = 0;
   std::size_t detectedByEndToEnd = 0;  ///< wrong output caught by the checksum
   std::size_t undetected = 0;
+
+  /// Adds another campaign's outcomes (exact and commutative).
+  void merge(const FsCampaignStats& other);
 
   [[nodiscard]] std::size_t activated() const {
     return experiments - notActivated - maskedByEcc;
@@ -150,6 +161,17 @@ struct CampaignConfig {
   /// Total instruction budget across all copies of one job, as a multiple of
   /// the golden single-copy cost (models the reserved TEM slack).
   double jobBudgetFactor = 3.5;
+  /// Worker threads and chunking. Experiments are split into chunks with one
+  /// RNG sub-stream each; chunk results merge in chunk order, so for a fixed
+  /// (seed, chunkSize) the campaign statistics are bit-identical for every
+  /// thread count. Each experiment runs on its own hw::Machine, so workers
+  /// share nothing but the read-only image and golden run.
+  exec::Parallelism parallelism{};
+  /// Optional throughput reporting (experiments/sec, ETA, per-worker counts).
+  exec::ProgressFn onProgress;
+  /// Optional cooperative cancellation. A cancelled campaign throws
+  /// std::runtime_error rather than returning truncated statistics.
+  exec::CancellationToken* cancel = nullptr;
 };
 
 /// Runs one copy of the task (optionally with a fault striking mid-run).

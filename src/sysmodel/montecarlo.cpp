@@ -152,6 +152,21 @@ double simulateLifetime(const SystemSpec& spec, double horizonHours, util::Rng& 
   }
 }
 
+namespace {
+
+/// One independent RNG sub-stream per chunk, forked from the root stream in
+/// chunk order. The mapping from trial to randomness therefore depends only
+/// on (seed, chunk layout) — never on the thread count.
+std::vector<util::Rng> forkChunkRngs(std::uint64_t seed, std::size_t chunks) {
+  util::Rng root{seed};
+  std::vector<util::Rng> rngs;
+  rngs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) rngs.push_back(root.fork(c));
+  return rngs;
+}
+
+}  // namespace
+
 MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloConfig& config) {
   if (config.checkpointHours.empty())
     throw std::invalid_argument("estimateReliability: no checkpoints");
@@ -160,17 +175,43 @@ MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloCon
   const double horizon =
       *std::max_element(config.checkpointHours.begin(), config.checkpointHours.end());
 
+  struct ChunkAccumulator {
+    std::vector<std::size_t> survivors;
+    std::size_t failures = 0;
+    util::RunningStats failureTimes;
+  };
+
+  const std::size_t chunkSize = config.parallelism.resolvedChunkSize(config.trials);
+  const std::size_t chunks = exec::chunkCount(config.trials, chunkSize);
+  std::vector<util::Rng> chunkRngs = forkChunkRngs(config.seed, chunks);
+  std::vector<ChunkAccumulator> accumulators(chunks);
+
+  const std::size_t processed = exec::forEachChunk(
+      config.trials, config.parallelism,
+      [&](const exec::ChunkRange& range, unsigned) {
+        ChunkAccumulator& acc = accumulators[range.index];
+        acc.survivors.assign(config.checkpointHours.size(), 0);
+        util::Rng rng = chunkRngs[range.index];
+        for (std::size_t trial = range.begin; trial < range.end; ++trial) {
+          const double failedAt = simulateLifetime(spec, horizon, rng);
+          if (failedAt < horizon) {
+            ++acc.failures;
+            acc.failureTimes.add(failedAt);
+          }
+          for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
+            if (failedAt >= config.checkpointHours[c]) ++acc.survivors[c];
+          }
+        }
+      },
+      config.cancel, {config.onProgress, 0.25});
+  if (processed < config.trials) throw std::runtime_error("estimateReliability: cancelled");
+
+  // Merge in chunk order: deterministic regardless of completion order.
   std::vector<std::size_t> survivors(config.checkpointHours.size(), 0);
-  util::Rng rng{config.seed};
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    const double failedAt = simulateLifetime(spec, horizon, rng);
-    if (failedAt < horizon) {
-      ++result.failuresWithinHorizon;
-      result.failureTimes.add(failedAt);
-    }
-    for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
-      if (failedAt >= config.checkpointHours[c]) ++survivors[c];
-    }
+  for (const ChunkAccumulator& acc : accumulators) {
+    result.failuresWithinHorizon += acc.failures;
+    result.failureTimes.merge(acc.failureTimes);
+    for (std::size_t c = 0; c < survivors.size(); ++c) survivors[c] += acc.survivors[c];
   }
   for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
     ReliabilityEstimate estimate;
@@ -181,13 +222,24 @@ MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloCon
   return result;
 }
 
-util::RunningStats estimateMttf(const SystemSpec& spec, std::size_t trials, std::uint64_t seed) {
-  util::RunningStats stats;
-  util::Rng rng{seed};
+util::RunningStats estimateMttf(const SystemSpec& spec, std::size_t trials, std::uint64_t seed,
+                                const exec::Parallelism& parallelism) {
   const double effectivelyForever = std::numeric_limits<double>::infinity();
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    stats.add(simulateLifetime(spec, effectivelyForever, rng));
-  }
+  const std::size_t chunkSize = parallelism.resolvedChunkSize(trials);
+  const std::size_t chunks = exec::chunkCount(trials, chunkSize);
+  std::vector<util::Rng> chunkRngs = forkChunkRngs(seed, chunks);
+  std::vector<util::RunningStats> accumulators(chunks);
+
+  exec::forEachChunk(trials, parallelism, [&](const exec::ChunkRange& range, unsigned) {
+    util::Rng rng = chunkRngs[range.index];
+    util::RunningStats& stats = accumulators[range.index];
+    for (std::size_t trial = range.begin; trial < range.end; ++trial) {
+      stats.add(simulateLifetime(spec, effectivelyForever, rng));
+    }
+  });
+
+  util::RunningStats stats;
+  for (const util::RunningStats& chunk : accumulators) stats.merge(chunk);
   return stats;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
 
@@ -89,6 +90,16 @@ struct MonteCarloConfig {
   std::size_t trials = 10000;
   std::uint64_t seed = 1;
   std::vector<double> checkpointHours{8760.0};
+  /// Worker threads and chunking. Trials are split into chunks, each chunk
+  /// draws from its own RNG sub-stream (`Rng::fork(chunkIndex)`), and chunk
+  /// results merge in chunk order — so for a fixed (seed, chunkSize) the
+  /// result is bit-identical for EVERY thread count, including 1.
+  exec::Parallelism parallelism{};
+  /// Optional throughput reporting (trials/sec, ETA, per-worker counts).
+  exec::ProgressFn onProgress;
+  /// Optional cooperative cancellation. A cancelled run throws
+  /// std::runtime_error rather than returning a truncated estimate.
+  exec::CancellationToken* cancel = nullptr;
 };
 
 /// Estimates R(t) at every checkpoint (horizon = max checkpoint).
@@ -97,6 +108,7 @@ struct MonteCarloConfig {
 
 /// Estimates the MTTF by simulating every trial to system failure.
 [[nodiscard]] util::RunningStats estimateMttf(const SystemSpec& spec, std::size_t trials,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              const exec::Parallelism& parallelism = {});
 
 }  // namespace nlft::sys

@@ -18,6 +18,23 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -93,6 +110,13 @@ void Histogram::add(double x) {
   bin = std::max<std::ptrdiff_t>(0, std::min<std::ptrdiff_t>(bin, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) counts_[bin] += other.counts_[bin];
+  total_ += other.total_;
 }
 
 double Histogram::binLow(std::size_t bin) const {

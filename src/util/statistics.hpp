@@ -8,10 +8,18 @@
 
 namespace nlft::util {
 
-/// Welford streaming mean/variance accumulator.
+/// Welford streaming mean/variance accumulator. Mergeable: independent
+/// accumulators (e.g. one per worker or chunk of a parallel campaign) can be
+/// combined with merge(); merging in a fixed order yields a deterministic
+/// result regardless of which thread filled which accumulator.
 class RunningStats {
  public:
   void add(double x);
+
+  /// Folds another accumulator into this one (Chan et al. pairwise update).
+  /// Exact for count/min/max; mean and variance agree with the sequential
+  /// equivalent up to floating-point rounding.
+  void merge(const RunningStats& other);
 
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const { return mean_; }
@@ -54,6 +62,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Adds another histogram's counts; ranges and bin counts must match.
+  void merge(const Histogram& other);
   [[nodiscard]] std::size_t binCount(std::size_t bin) const { return counts_[bin]; }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
