@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/analyzer.hpp"
 #include "bbw/wheel_task.hpp"
 
 using namespace nlft;
@@ -28,6 +29,19 @@ int main(int argc, char** argv) {
   std::printf("wheel task: %llu instructions per copy, output {%u, %u}\n",
               static_cast<unsigned long long>(golden.instructions), golden.output[0],
               golden.output[1]);
+
+  // The image's execution-time budget and MMU regions come from the static
+  // analyzer (src/analysis, `nlft-analyze wheel` prints the full report).
+  // Cross-check the machine against the analysis before trusting either: the
+  // fault-free PC trace must follow the statically derived CFG.
+  const analysis::ProgramAnalysis& analysis = bbw::wheelTaskAnalysis();
+  const fi::TracedRun traced = fi::runTracedCopy(image, std::nullopt);
+  const analysis::TraceCheck check = analysis::checkTrace(analysis.cfg, traced.pcTrace);
+  std::printf("static analysis: WCET %llu instr, budget %llu, %zu legal paths; "
+              "golden trace vs CFG: %s\n",
+              static_cast<unsigned long long>(analysis.timing.wcetInstructions),
+              static_cast<unsigned long long>(analysis.budgetInstructions),
+              analysis.paths.paths.size(), check.controlFlowIntact ? "ok" : "VIOLATED");
 
   fi::CampaignConfig config;
   config.experiments = experiments;

@@ -1,0 +1,142 @@
+#include "analysis/analyzer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nlft::analysis {
+
+ProgramAnalysis analyzeProgram(const hw::Program& program, const AnalyzeOptions& options) {
+  ProgramAnalysis analysis;
+  analysis.cfg = buildCfg(program, options.entry);
+  analysis.paths = enumeratePaths(analysis.cfg, program, options.paths);
+  analysis.timing = computeTiming(analysis.cfg, analysis.paths, options.cycles);
+  analysis.footprint = analyzeFootprint(analysis.cfg, program, options.layout);
+  analysis.mmuRegions =
+      deriveMmuRegions(program, analysis.footprint, options.layout, options.mmuOwner);
+  analysis.budgetInstructions = deriveBudget(analysis.timing, options.budgetFactor);
+
+  analysis.findings.insert(analysis.findings.end(), analysis.cfg.warnings.begin(),
+                           analysis.cfg.warnings.end());
+  analysis.findings.insert(analysis.findings.end(), analysis.paths.warnings.begin(),
+                           analysis.paths.warnings.end());
+  analysis.findings.insert(analysis.findings.end(), analysis.footprint.findings.begin(),
+                           analysis.footprint.findings.end());
+  if (analysis.paths.truncated) {
+    analysis.findings.emplace_back("path enumeration truncated: WCET is only a lower bound");
+  }
+  return analysis;
+}
+
+ProgramAnalysis analyzeImage(const fi::TaskImage& image) {
+  AnalyzeOptions options;
+  options.entry = image.entry;
+  options.layout.stackTop = image.stackTop;
+  options.layout.stackBytes = image.stackBytes;
+  options.layout.inputBase = image.inputBase;
+  options.layout.inputWords = static_cast<std::uint32_t>(image.input.size());
+  options.layout.outputBase = image.outputBase;
+  options.layout.outputWords = image.outputWords;
+  options.layout.memBytes = image.memBytes;
+  return analyzeProgram(image.program, options);
+}
+
+void populateSignatureMonitor(tem::SignatureMonitor& monitor, const ProgramAnalysis& analysis) {
+  for (const std::vector<std::uint32_t>& path : analysis.paths.paths) {
+    monitor.addLegalPath(path);
+  }
+}
+
+void applyDerivedConfig(fi::TaskImage& image, const ProgramAnalysis& analysis) {
+  image.maxInstructionsPerCopy = analysis.budgetInstructions;
+  image.mmuRegions = analysis.mmuRegions;
+}
+
+rt::RtaTask deriveTemRtaTask(const ProgramAnalysis& analysis, util::Duration perCycle,
+                             util::Duration checkOverhead, util::Duration period,
+                             util::Duration deadline, int priority) {
+  const util::Duration singleCopy =
+      perCycle * static_cast<std::int64_t>(analysis.timing.wcetCycles);
+  return rt::temTask(singleCopy, checkOverhead, period, deadline, priority);
+}
+
+namespace {
+
+void appendLine(std::ostringstream& out, const char* format, auto... args) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer, format, args...);
+  out << buffer << '\n';
+}
+
+}  // namespace
+
+std::string formatReport(const std::string& name, const ProgramAnalysis& analysis) {
+  std::ostringstream out;
+  out << "=== " << name << " ===\n";
+  appendLine(out, "blocks: %zu  paths: %zu%s  edges from entry 0x%X", analysis.cfg.blocks.size(),
+             analysis.paths.paths.size(), analysis.paths.truncated ? " (TRUNCATED)" : "",
+             analysis.cfg.entry);
+
+  out << "\nbasic blocks:\n";
+  for (const BasicBlock& block : analysis.cfg.blocks) {
+    std::ostringstream succ;
+    for (std::size_t i = 0; i < block.successors.size(); ++i) {
+      if (i > 0) succ << ", ";
+      char buffer[16];
+      std::snprintf(buffer, sizeof buffer, "0x%X", block.successors[i]);
+      succ << buffer;
+    }
+    appendLine(out, "  [0x%03X..0x%03X) %2zu instr  -> %s%s", block.id, block.endAddress(),
+               block.instructions.size(),
+               block.exits ? "HALT" : succ.str().c_str(),
+               block.endsInRts ? " (rts: any return site)" : "");
+  }
+
+  out << "\nlegal paths (block ids / signature):\n";
+  for (const std::vector<std::uint32_t>& path : analysis.paths.paths) {
+    out << "  ";
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      char buffer[16];
+      std::snprintf(buffer, sizeof buffer, "%s0x%X", i > 0 ? ">" : "", path[i]);
+      out << buffer;
+    }
+    appendLine(out, "   sig=%08X", tem::SignatureMonitor::signatureOf(path));
+  }
+
+  out << "\ntiming:\n";
+  appendLine(out, "  BCET %llu instr / %llu cycles",
+             static_cast<unsigned long long>(analysis.timing.bcetInstructions),
+             static_cast<unsigned long long>(analysis.timing.bcetCycles));
+  appendLine(out, "  WCET %llu instr / %llu cycles%s",
+             static_cast<unsigned long long>(analysis.timing.wcetInstructions),
+             static_cast<unsigned long long>(analysis.timing.wcetCycles),
+             analysis.timing.exact ? "" : " (lower bound only)");
+  appendLine(out, "  derived budget: %llu instructions",
+             static_cast<unsigned long long>(analysis.budgetInstructions));
+
+  out << "\nmemory footprint:\n";
+  appendLine(out, "  reads: %zu words, writes: %zu words", analysis.footprint.readWords.size(),
+             analysis.footprint.writeWords.size());
+  if (analysis.footprint.stackDepthKnown) {
+    appendLine(out, "  stack low water: 0x%X", analysis.footprint.stackLowWater);
+  } else {
+    out << "  stack depth: unknown\n";
+  }
+  out << "  derived MMU regions:\n";
+  for (const hw::MmuRegion& region : analysis.mmuRegions) {
+    appendLine(out, "    %-10s base 0x%04X size %4u perm %c%c%c", region.name.c_str(),
+               region.base, region.size,
+               (region.permissions & hw::accessMask(hw::Access::Read)) != 0 ? 'r' : '-',
+               (region.permissions & hw::accessMask(hw::Access::Write)) != 0 ? 'w' : '-',
+               (region.permissions & hw::accessMask(hw::Access::Execute)) != 0 ? 'x' : '-');
+  }
+
+  if (analysis.findings.empty()) {
+    out << "\nfindings: none (statically clean)\n";
+  } else {
+    out << "\nfindings:\n";
+    for (const std::string& finding : analysis.findings) out << "  ! " << finding << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace nlft::analysis

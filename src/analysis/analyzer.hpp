@@ -1,0 +1,79 @@
+// Facade of the static guest-program analyzer.
+//
+// One call — analyzeImage()/analyzeProgram() — derives everything the NLFT
+// runtime mechanisms need as reference data:
+//   * legal block paths  -> tem::SignatureMonitor (control-flow checking, 2.7)
+//   * WCET/BCET bounds   -> execution-time-monitor budgets and rt::RtaTask
+//                           wcet/recovery for fault-tolerant RTA (2.8)
+//   * memory footprint   -> hw::MmuRegion configs (fault confinement, 2.4)
+// "Analyze once, enforce at runtime": the hand-maintained constants the
+// repo previously used for the BBW guest tasks are all produced here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/footprint.hpp"
+#include "analysis/trace_check.hpp"
+#include "analysis/wcet.hpp"
+#include "core/control_flow.hpp"
+#include "faults/campaign.hpp"
+#include "rtkernel/rta.hpp"
+#include "util/time.hpp"
+
+namespace nlft::analysis {
+
+struct AnalyzeOptions {
+  std::uint32_t entry = 0;
+  MemoryLayout layout{};
+  PathEnumOptions paths{};
+  CycleModel cycles{};
+  /// Budget-timer headroom over the WCET (paper: the budget must cover the
+  /// worst legal path but stay tight enough to kill runaway copies early).
+  double budgetFactor = 1.25;
+  hw::MmuTaskId mmuOwner = 1;  ///< task id campaign machines run under
+};
+
+/// Everything the analyzer derives for one guest program.
+struct ProgramAnalysis {
+  Cfg cfg;
+  PathSet paths;
+  TimingBounds timing;
+  MemoryFootprint footprint;
+  std::vector<hw::MmuRegion> mmuRegions;
+  std::uint64_t budgetInstructions = 0;
+  /// CFG/path/footprint warnings and findings, merged. Empty means the
+  /// program is statically clean.
+  std::vector<std::string> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+[[nodiscard]] ProgramAnalysis analyzeProgram(const hw::Program& program,
+                                             const AnalyzeOptions& options);
+
+/// Convenience: analyzes a task image with options drawn from its fields.
+[[nodiscard]] ProgramAnalysis analyzeImage(const fi::TaskImage& image);
+
+/// Registers every enumerated legal path with the signature monitor —
+/// replaces hand-listed addLegalPath() calls for assembled guest tasks.
+void populateSignatureMonitor(tem::SignatureMonitor& monitor, const ProgramAnalysis& analysis);
+
+/// Installs the derived execution-time budget and MMU regions on an image.
+void applyDerivedConfig(fi::TaskImage& image, const ProgramAnalysis& analysis);
+
+/// Builds a TEM-protected RTA task from the derived WCET: one copy costs
+/// `perCycle * wcetCycles`, the fault-free demand is two copies plus a
+/// comparison, and the recovery slack one more copy plus the vote
+/// (rt::temTask, Section 2.8).
+[[nodiscard]] rt::RtaTask deriveTemRtaTask(const ProgramAnalysis& analysis,
+                                           util::Duration perCycle,
+                                           util::Duration checkOverhead, util::Duration period,
+                                           util::Duration deadline, int priority);
+
+/// Human-readable report: block table, paths, timing, footprint, findings.
+[[nodiscard]] std::string formatReport(const std::string& name, const ProgramAnalysis& analysis);
+
+}  // namespace nlft::analysis

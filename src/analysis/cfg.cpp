@@ -1,0 +1,321 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+
+namespace nlft::analysis {
+
+namespace {
+
+bool isConditionalBranch(hw::Opcode op) {
+  return op == hw::Opcode::Beq || op == hw::Opcode::Bne || op == hw::Opcode::Blt ||
+         op == hw::Opcode::Bge;
+}
+
+bool isControlTransfer(hw::Opcode op) {
+  return isConditionalBranch(op) || op == hw::Opcode::Jmp || op == hw::Opcode::Jsr ||
+         op == hw::Opcode::Rts || op == hw::Opcode::Halt;
+}
+
+std::uint32_t branchTarget(const hw::Instruction& inst) {
+  return static_cast<std::uint32_t>(inst.imm);
+}
+
+std::string hex(std::uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%X", value);
+  return buffer;
+}
+
+}  // namespace
+
+const BasicBlock* Cfg::block(std::uint32_t id) const {
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), id,
+      [](const BasicBlock& b, std::uint32_t key) { return b.id < key; });
+  return it != blocks.end() && it->id == id ? &*it : nullptr;
+}
+
+const BasicBlock* Cfg::blockContaining(std::uint32_t address) const {
+  for (const BasicBlock& b : blocks) {
+    if (address >= b.id && address < b.endAddress()) return &b;
+  }
+  return nullptr;
+}
+
+const CodeInstruction* Cfg::instructionAt(std::uint32_t address) const {
+  const auto it = code_.find(address);
+  return it == code_.end() ? nullptr : &it->second;
+}
+
+bool Cfg::isLegalEdge(std::uint32_t from, std::uint32_t to) const {
+  const CodeInstruction* ci = instructionAt(from);
+  if (ci == nullptr) return false;
+  const hw::Opcode op = ci->inst.opcode;
+  if (op == hw::Opcode::Halt) return false;
+  if (op == hw::Opcode::Jmp || op == hw::Opcode::Jsr) return to == branchTarget(ci->inst);
+  if (isConditionalBranch(op)) return to == from + 4 || to == branchTarget(ci->inst);
+  if (op == hw::Opcode::Rts) {
+    return std::binary_search(returnSites.begin(), returnSites.end(), to);
+  }
+  return to == from + 4;
+}
+
+Cfg buildCfg(const hw::Program& program, std::uint32_t entry) {
+  Cfg cfg;
+  cfg.entry = entry;
+  const std::uint32_t textBegin = program.origin;
+  const std::uint32_t textEnd = program.origin + program.sizeBytes();
+  const auto inText = [&](std::uint32_t address) {
+    return address >= textBegin && address < textEnd && address % 4 == 0;
+  };
+
+  // Reachable-code discovery: decode from the entry point, following direct
+  // edges. Words never reached as code (e.g. `.word` tables) stay data.
+  std::deque<std::uint32_t> worklist{entry};
+  std::set<std::uint32_t> warned;
+  while (!worklist.empty()) {
+    const std::uint32_t address = worklist.front();
+    worklist.pop_front();
+    if (cfg.code_.count(address) != 0) continue;
+    if (!inText(address)) {
+      if (warned.insert(address).second) {
+        cfg.warnings.push_back("control transfer outside program text: " + hex(address));
+      }
+      continue;
+    }
+    const std::uint32_t word = program.words[(address - textBegin) / 4];
+    const auto decoded = hw::decode(word);
+    if (!decoded) {
+      if (warned.insert(address).second) {
+        cfg.warnings.push_back("unreachable encoding (illegal instruction) at " + hex(address));
+      }
+      continue;
+    }
+    cfg.code_[address] = CodeInstruction{address, *decoded};
+    const hw::Opcode op = decoded->opcode;
+    if (op == hw::Opcode::Halt) continue;
+    if (op == hw::Opcode::Jmp) {
+      worklist.push_back(branchTarget(*decoded));
+    } else if (op == hw::Opcode::Jsr) {
+      worklist.push_back(branchTarget(*decoded));
+      worklist.push_back(address + 4);  // return site
+    } else if (isConditionalBranch(op)) {
+      worklist.push_back(branchTarget(*decoded));
+      worklist.push_back(address + 4);
+    } else if (op == hw::Opcode::Rts) {
+      // Successors resolved below, once every JSR return site is known.
+    } else {
+      worklist.push_back(address + 4);
+    }
+  }
+
+  // Return sites of every reachable JSR: the conservative successor set of
+  // any RTS (the ISA's only indirect transfer).
+  for (const auto& [address, ci] : cfg.code_) {
+    if (ci.inst.opcode == hw::Opcode::Jsr) cfg.returnSites.push_back(address + 4);
+  }
+  std::sort(cfg.returnSites.begin(), cfg.returnSites.end());
+  cfg.returnSites.erase(std::unique(cfg.returnSites.begin(), cfg.returnSites.end()),
+                        cfg.returnSites.end());
+
+  // Leaders: the entry, every edge target, and every instruction following a
+  // control transfer.
+  std::set<std::uint32_t> leaders{entry};
+  for (const auto& [address, ci] : cfg.code_) {
+    const hw::Opcode op = ci.inst.opcode;
+    if (isControlTransfer(op)) {
+      if (cfg.code_.count(address + 4) != 0) leaders.insert(address + 4);
+      if (op != hw::Opcode::Halt && op != hw::Opcode::Rts) {
+        const std::uint32_t target = branchTarget(ci.inst);
+        if (cfg.code_.count(target) != 0) leaders.insert(target);
+      }
+    }
+  }
+  if (cfg.code_.count(entry) == 0) {
+    cfg.warnings.push_back("entry point " + hex(entry) + " is not decodable code");
+    return cfg;
+  }
+
+  // Cut blocks at leaders and control transfers.
+  for (auto it = cfg.code_.begin(); it != cfg.code_.end();) {
+    BasicBlock block;
+    block.id = it->first;
+    for (;;) {
+      block.instructions.push_back(it->second);
+      const hw::Opcode op = it->second.inst.opcode;
+      ++it;
+      if (isControlTransfer(op)) break;
+      if (it == cfg.code_.end() || it->first != block.instructions.back().address + 4 ||
+          leaders.count(it->first) != 0) {
+        break;
+      }
+    }
+    cfg.blocks.push_back(std::move(block));
+  }
+
+  // Successor edges at block granularity.
+  for (BasicBlock& block : cfg.blocks) {
+    const CodeInstruction& last = block.last();
+    const hw::Opcode op = last.inst.opcode;
+    const auto addIfBlock = [&](std::uint32_t id) {
+      if (cfg.code_.count(id) != 0) {
+        block.successors.push_back(id);
+      } else if (warned.insert(id).second) {
+        cfg.warnings.push_back("successor outside program text: " + hex(id) + " (from " +
+                               hex(last.address) + ")");
+      }
+    };
+    if (op == hw::Opcode::Halt) {
+      block.exits = true;
+    } else if (op == hw::Opcode::Jmp) {
+      addIfBlock(branchTarget(last.inst));
+    } else if (op == hw::Opcode::Jsr) {
+      block.endsInJsr = true;
+      block.callTarget = branchTarget(last.inst);
+      block.returnSite = last.address + 4;
+      addIfBlock(block.callTarget);
+    } else if (op == hw::Opcode::Rts) {
+      block.endsInRts = true;
+      for (std::uint32_t site : cfg.returnSites) addIfBlock(site);
+    } else if (isConditionalBranch(op)) {
+      addIfBlock(last.address + 4);
+      const std::uint32_t target = branchTarget(last.inst);
+      if (target != last.address + 4) addIfBlock(target);
+    } else {
+      addIfBlock(last.address + 4);
+    }
+  }
+  return cfg;
+}
+
+namespace {
+
+/// Depth-first enumeration with call-stack matching and loop-bound counting.
+class PathEnumerator {
+ public:
+  PathEnumerator(const Cfg& cfg, const hw::Program& program, const PathEnumOptions& options,
+                 PathSet& out)
+      : cfg_{cfg}, program_{program}, options_{options}, out_{out} {}
+
+  void run() {
+    if (cfg_.block(cfg_.entry) == nullptr) {
+      out_.warnings.push_back("no entry block; no paths enumerated");
+      return;
+    }
+    visit(cfg_.entry);
+  }
+
+ private:
+  void record() {
+    if (out_.paths.size() >= options_.maxPaths) {
+      out_.truncated = true;
+      return;
+    }
+    out_.paths.push_back(path_);
+  }
+
+  /// Bound for the taken edge of the branch at `address`; annotated bounds
+  /// apply to any target, unannotated ones only to back edges.
+  std::uint32_t takenBound(std::uint32_t address, std::uint32_t target, bool* bounded) {
+    const auto it = program_.loopBounds.find(address);
+    if (it != program_.loopBounds.end()) {
+      *bounded = true;
+      return it->second;
+    }
+    if (target <= address) {  // unannotated back edge: assume a default bound
+      *bounded = true;
+      if (warnedBackEdges_.insert(address).second) {
+        char buffer[96];
+        std::snprintf(buffer, sizeof buffer,
+                      "unannotated back edge at 0x%X (assuming .loopbound %u)", address,
+                      options_.defaultLoopBound);
+        out_.warnings.push_back(buffer);
+      }
+      return options_.defaultLoopBound;
+    }
+    *bounded = false;
+    return 0;
+  }
+
+  void follow(const BasicBlock& from, std::uint32_t next) {
+    bool bounded = false;
+    const std::uint32_t branchAddress = from.last().address;
+    std::uint32_t bound = 0;
+    // Only the TAKEN edge of a branch/jump consumes the loop bound; the
+    // fall-through edge of a conditional branch is never counted.
+    const hw::Opcode lastOp = from.last().inst.opcode;
+    const bool controlEdge = isConditionalBranch(lastOp) || lastOp == hw::Opcode::Jmp ||
+                             lastOp == hw::Opcode::Jsr;
+    const bool takenEdge = controlEdge && next == branchTarget(from.last().inst);
+    if (takenEdge) bound = takenBound(branchAddress, next, &bounded);
+    if (bounded) {
+      std::uint32_t& count = takenCounts_[branchAddress];
+      if (count >= bound) return;  // edge exhausted on this path
+      ++count;
+      visit(next);
+      --count;
+    } else {
+      visit(next);
+    }
+  }
+
+  void visit(std::uint32_t blockId) {
+    if (out_.truncated && out_.paths.size() >= options_.maxPaths) return;
+    const BasicBlock* block = cfg_.block(blockId);
+    if (block == nullptr) return;
+    if (path_.size() >= options_.maxPathBlocks) {
+      out_.truncated = true;
+      return;
+    }
+    path_.push_back(blockId);
+    if (block->exits) {
+      record();
+    } else if (block->endsInJsr) {
+      callStack_.push_back(block->returnSite);
+      follow(*block, block->callTarget);
+      callStack_.pop_back();
+    } else if (block->endsInRts) {
+      if (!callStack_.empty()) {
+        const std::uint32_t site = callStack_.back();
+        callStack_.pop_back();
+        follow(*block, site);
+        callStack_.push_back(site);
+      } else {
+        if (warnedBackEdges_.insert(block->last().address).second) {
+          out_.warnings.push_back("RTS with statically empty call stack at " +
+                                  hex(block->last().address) + "; following every return site");
+        }
+        for (std::uint32_t succ : block->successors) follow(*block, succ);
+      }
+    } else {
+      for (std::uint32_t succ : block->successors) follow(*block, succ);
+    }
+    path_.pop_back();
+  }
+
+  const Cfg& cfg_;
+  const hw::Program& program_;
+  const PathEnumOptions& options_;
+  PathSet& out_;
+  std::vector<std::uint32_t> path_;
+  std::vector<std::uint32_t> callStack_;
+  std::map<std::uint32_t, std::uint32_t> takenCounts_;
+  std::set<std::uint32_t> warnedBackEdges_;
+};
+
+}  // namespace
+
+PathSet enumeratePaths(const Cfg& cfg, const hw::Program& program,
+                       const PathEnumOptions& options) {
+  PathSet paths;
+  PathEnumerator{cfg, program, options, paths}.run();
+  if (paths.paths.empty() && !paths.truncated) {
+    paths.warnings.push_back("no entry-to-halt path found");
+  }
+  return paths;
+}
+
+}  // namespace nlft::analysis

@@ -1,0 +1,102 @@
+// Control-flow graph recovery over assembled guest programs.
+//
+// The paper's node-level mechanisms (Section 2.7 control-flow checking,
+// Section 2.8 fault-tolerant schedulability analysis) assume *statically
+// derived* reference data: legal block paths for the signature monitor,
+// worst-case execution times for the budget timers and RTA, and address
+// footprints for the MMU. This module recovers that data from the binary
+// itself: it decodes the reachable instructions of a hw::Program, partitions
+// them into basic blocks and derives successor edges.
+//
+// Direct branches carry their target in the immediate field, so edges are
+// exact. The only indirect transfer in the ISA is RTS; its stored successor
+// set is the conservative over-approximation "every return site of every
+// JSR" (sound for trace checking). Path enumeration refines RTS edges with
+// an explicit call stack, so enumerated paths are call-return matched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/assembler.hpp"
+#include "hw/isa.hpp"
+
+namespace nlft::analysis {
+
+/// One decoded instruction, pinned to its byte address.
+struct CodeInstruction {
+  std::uint32_t address = 0;
+  hw::Instruction inst;
+};
+
+/// A maximal straight-line instruction sequence. The block id is its start
+/// address — stable across recompiles of unrelated code and meaningful in
+/// reports and traces.
+struct BasicBlock {
+  std::uint32_t id = 0;
+  std::vector<CodeInstruction> instructions;
+  std::vector<std::uint32_t> successors;  ///< block ids
+  bool exits = false;                     ///< ends in HALT
+  bool endsInJsr = false;
+  bool endsInRts = false;
+  std::uint32_t callTarget = 0;  ///< when endsInJsr: callee entry block
+  std::uint32_t returnSite = 0;  ///< when endsInJsr: block resumed after RTS
+
+  [[nodiscard]] std::uint32_t endAddress() const {  // one past the last instruction
+    return instructions.empty() ? id : instructions.back().address + 4;
+  }
+  [[nodiscard]] const CodeInstruction& last() const { return instructions.back(); }
+};
+
+struct Cfg {
+  std::uint32_t entry = 0;
+  std::vector<BasicBlock> blocks;          ///< sorted by id
+  std::vector<std::uint32_t> returnSites;  ///< all JSR return addresses (sorted)
+  std::vector<std::string> warnings;
+
+  /// Block with the given id; nullptr if unknown.
+  [[nodiscard]] const BasicBlock* block(std::uint32_t id) const;
+  /// Block containing the given instruction address; nullptr if unknown.
+  [[nodiscard]] const BasicBlock* blockContaining(std::uint32_t address) const;
+  /// Decoded instruction at the given address; nullptr if not reachable code.
+  [[nodiscard]] const CodeInstruction* instructionAt(std::uint32_t address) const;
+  /// True if executing `from` may transfer control to `to` (instruction
+  /// granularity; RTS uses the conservative any-return-site set).
+  [[nodiscard]] bool isLegalEdge(std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  friend Cfg buildCfg(const hw::Program& program, std::uint32_t entry);
+  std::map<std::uint32_t, CodeInstruction> code_;  ///< reachable instructions
+};
+
+/// Decodes the instructions reachable from `entry` and builds the CFG.
+/// Branch targets outside the program text are recorded as warnings and the
+/// offending block gets no successor (at runtime such a transfer leaves the
+/// task's footprint and is caught by the MMU / address checks).
+[[nodiscard]] Cfg buildCfg(const hw::Program& program, std::uint32_t entry = 0);
+
+/// Bounds for legal-path enumeration.
+struct PathEnumOptions {
+  std::size_t maxPaths = 4096;
+  std::size_t maxPathBlocks = 4096;  ///< per-path block budget
+  /// Taken-count bound assumed for back edges without a `.loopbound`
+  /// annotation (a warning is emitted when it is needed).
+  std::uint32_t defaultLoopBound = 4;
+};
+
+/// All legal block paths of a program, entry to HALT.
+struct PathSet {
+  std::vector<std::vector<std::uint32_t>> paths;  ///< block-id sequences
+  bool truncated = false;  ///< hit maxPaths/maxPathBlocks: set is incomplete
+  std::vector<std::string> warnings;
+};
+
+/// Enumerates legal entry-to-HALT block paths. Branches annotated with
+/// `.loopbound N` (hw::Program::loopBounds) take their back edge at most N
+/// times per path; JSR/RTS are matched via an explicit call stack.
+[[nodiscard]] PathSet enumeratePaths(const Cfg& cfg, const hw::Program& program,
+                                     const PathEnumOptions& options = {});
+
+}  // namespace nlft::analysis

@@ -1,0 +1,305 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace nlft::analysis {
+
+namespace {
+
+/// Flat two-level lattice per register: unknown (top) or a single constant.
+struct AbsVal {
+  bool known = false;
+  std::uint32_t value = 0;
+
+  [[nodiscard]] static AbsVal constant(std::uint32_t v) { return {true, v}; }
+  [[nodiscard]] static AbsVal top() { return {}; }
+
+  bool operator==(const AbsVal& other) const {
+    return known == other.known && (!known || value == other.value);
+  }
+};
+
+using AbsState = std::array<AbsVal, hw::kRegisterCount>;
+
+/// Join of two states; returns true if `into` changed.
+bool merge(AbsState& into, const AbsState& from) {
+  bool changed = false;
+  for (int r = 0; r < hw::kRegisterCount; ++r) {
+    if (into[r].known && !(into[r] == from[r])) {
+      into[r] = AbsVal::top();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::string hex(std::uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%X", value);
+  return buffer;
+}
+
+class FootprintAnalyzer {
+ public:
+  FootprintAnalyzer(const Cfg& cfg, const hw::Program& program, const MemoryLayout& layout)
+      : cfg_{cfg}, program_{program}, layout_{layout} {}
+
+  MemoryFootprint run() {
+    if (cfg_.block(cfg_.entry) == nullptr) {
+      footprint_.findings.push_back("no entry block; footprint unknown");
+      footprint_.stackDepthKnown = false;
+      return std::move(footprint_);
+    }
+    // Initial state mirrors the kernel's context setup before each copy
+    // (fi::resetContext): registers zeroed, SP at the stack top.
+    AbsState entryState;
+    for (auto& reg : entryState) reg = AbsVal::constant(0);
+    entryState[hw::kStackPointer] = AbsVal::constant(layout_.stackTop);
+    footprint_.stackLowWater = layout_.stackTop;
+
+    states_[cfg_.entry] = entryState;
+    worklist_.insert(cfg_.entry);
+    while (!worklist_.empty()) {
+      const std::uint32_t id = *worklist_.begin();
+      worklist_.erase(worklist_.begin());
+      const BasicBlock* block = cfg_.block(id);
+      if (block == nullptr) continue;
+      AbsState state = states_[id];
+      for (const CodeInstruction& ci : block->instructions) transfer(ci, state);
+      for (const std::uint32_t succ : block->successors) propagate(succ, state);
+    }
+    finalize();
+    return std::move(footprint_);
+  }
+
+ private:
+  void propagate(std::uint32_t blockId, const AbsState& state) {
+    const auto it = states_.find(blockId);
+    if (it == states_.end()) {
+      states_[blockId] = state;
+      worklist_.insert(blockId);
+    } else if (merge(it->second, state)) {
+      worklist_.insert(blockId);
+    }
+  }
+
+  void recordAccess(std::uint32_t address, bool isWrite, std::uint32_t pc) {
+    (isWrite ? writes_ : reads_).insert(address);
+    if (address % 4 != 0 || address + 4 > layout_.memBytes) {
+      finding((isWrite ? "unmapped store to " : "unmapped load from ") + hex(address) + " at " +
+              hex(pc));
+    }
+  }
+
+  void recordStackMove(const AbsVal& sp, std::uint32_t pc) {
+    if (!sp.known) {
+      if (footprint_.stackDepthKnown) {
+        finding("stack pointer not statically known at " + hex(pc));
+      }
+      footprint_.stackDepthKnown = false;
+      return;
+    }
+    footprint_.stackLowWater = std::min(footprint_.stackLowWater, sp.value);
+  }
+
+  void finding(std::string text) {
+    if (std::find(footprint_.findings.begin(), footprint_.findings.end(), text) ==
+        footprint_.findings.end()) {
+      footprint_.findings.push_back(std::move(text));
+    }
+  }
+
+  void transfer(const CodeInstruction& ci, AbsState& state) {
+    const hw::Instruction& inst = ci.inst;
+    const auto imm = static_cast<std::uint32_t>(inst.imm);
+    const AbsVal rs1 = state[inst.rs1];
+    const AbsVal rs2 = state[inst.rs2];
+    const auto fold = [&](auto op) {
+      state[inst.rd] = rs1.known && rs2.known ? AbsVal::constant(op(rs1.value, rs2.value))
+                                              : AbsVal::top();
+    };
+    switch (inst.opcode) {
+      case hw::Opcode::Nop:
+      case hw::Opcode::Halt:
+      case hw::Opcode::Cmp:
+      case hw::Opcode::Cmpi:
+      case hw::Opcode::Beq:
+      case hw::Opcode::Bne:
+      case hw::Opcode::Blt:
+      case hw::Opcode::Bge:
+      case hw::Opcode::Jmp:
+        break;
+      case hw::Opcode::Ldi:
+        state[inst.rd] = AbsVal::constant(imm);
+        break;
+      case hw::Opcode::Mov:
+        state[inst.rd] = rs1;
+        break;
+      case hw::Opcode::Add:
+        fold([](std::uint32_t a, std::uint32_t b) { return a + b; });
+        break;
+      case hw::Opcode::Sub:
+        fold([](std::uint32_t a, std::uint32_t b) { return a - b; });
+        break;
+      case hw::Opcode::Mul:
+        fold([](std::uint32_t a, std::uint32_t b) { return a * b; });
+        break;
+      case hw::Opcode::Divs:
+        state[inst.rd] = AbsVal::top();  // divisor range not tracked
+        break;
+      case hw::Opcode::And:
+        fold([](std::uint32_t a, std::uint32_t b) { return a & b; });
+        break;
+      case hw::Opcode::Or:
+        fold([](std::uint32_t a, std::uint32_t b) { return a | b; });
+        break;
+      case hw::Opcode::Xor:
+        fold([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+        break;
+      case hw::Opcode::Shl:
+        state[inst.rd] = rs1.known ? AbsVal::constant(rs1.value << (imm & 31u)) : AbsVal::top();
+        break;
+      case hw::Opcode::Shr:
+        state[inst.rd] = rs1.known ? AbsVal::constant(rs1.value >> (imm & 31u)) : AbsVal::top();
+        break;
+      case hw::Opcode::Addi:
+        state[inst.rd] = rs1.known ? AbsVal::constant(rs1.value + imm) : AbsVal::top();
+        break;
+      case hw::Opcode::Ld:
+        if (rs1.known) {
+          recordAccess(rs1.value + imm, false, ci.address);
+        } else {
+          finding("load with unresolved base r" + std::to_string(inst.rs1) + " at " +
+                  hex(ci.address));
+        }
+        state[inst.rd] = AbsVal::top();  // loaded data is input-dependent
+        break;
+      case hw::Opcode::St:
+        if (rs1.known) {
+          recordAccess(rs1.value + imm, true, ci.address);
+        } else {
+          finding("store with unresolved base r" + std::to_string(inst.rs1) + " at " +
+                  hex(ci.address));
+        }
+        break;
+      case hw::Opcode::Jsr:
+      case hw::Opcode::Push: {
+        AbsVal& sp = state[hw::kStackPointer];
+        if (sp.known) sp = AbsVal::constant(sp.value - 4);
+        recordStackMove(sp, ci.address);
+        break;
+      }
+      case hw::Opcode::Rts:
+      case hw::Opcode::Pop: {
+        AbsVal& sp = state[hw::kStackPointer];
+        if (inst.opcode == hw::Opcode::Pop) state[inst.rd] = AbsVal::top();
+        if (sp.known) sp = AbsVal::constant(sp.value + 4);
+        recordStackMove(sp, ci.address);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool inStack(std::uint32_t address) const {
+    return address >= layout_.stackTop - layout_.stackBytes && address < layout_.stackTop;
+  }
+
+  void finalize() {
+    const auto inRange = [](std::uint32_t address, std::uint32_t base, std::uint32_t bytes) {
+      return address >= base && address < base + bytes;
+    };
+    for (const std::uint32_t address : reads_) {
+      footprint_.readWords.push_back(address);
+      const bool ok = inRange(address, layout_.inputBase, layout_.inputWords * 4) ||
+                      inRange(address, layout_.outputBase, layout_.outputWords * 4) ||
+                      inStack(address) || isText(address);
+      if (!ok) finding("out-of-footprint read at " + hex(address));
+    }
+    for (const std::uint32_t address : writes_) {
+      footprint_.writeWords.push_back(address);
+      const bool ok = inRange(address, layout_.outputBase, layout_.outputWords * 4) ||
+                      inStack(address);
+      if (!ok) finding("out-of-footprint write at " + hex(address));
+    }
+    if (footprint_.stackDepthKnown &&
+        footprint_.stackLowWater < layout_.stackTop - layout_.stackBytes) {
+      finding("stack exceeds declared region: low water " + hex(footprint_.stackLowWater));
+    }
+  }
+
+  [[nodiscard]] bool isText(std::uint32_t address) const {
+    // `.word` constant tables live inside the program image; reads there are
+    // code-relative and legal.
+    return address >= program_.origin && address < program_.origin + program_.sizeBytes();
+  }
+
+  const Cfg& cfg_;
+  const hw::Program& program_;
+  const MemoryLayout& layout_;
+  MemoryFootprint footprint_;
+  std::map<std::uint32_t, AbsState> states_;
+  std::set<std::uint32_t> worklist_;
+  std::set<std::uint32_t> reads_;
+  std::set<std::uint32_t> writes_;
+};
+
+/// Collapses a sorted unique word-address list into contiguous [base, size)
+/// runs, skipping addresses already covered by `covered`.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> contiguousRuns(
+    const std::vector<std::uint32_t>& words,
+    const std::vector<hw::MmuRegion>& covered) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+  const auto isCovered = [&](std::uint32_t address) {
+    return std::any_of(covered.begin(), covered.end(), [&](const hw::MmuRegion& region) {
+      return address >= region.base && address < region.base + region.size;
+    });
+  };
+  for (const std::uint32_t address : words) {
+    if (isCovered(address)) continue;
+    if (!runs.empty() && runs.back().first + runs.back().second == address) {
+      runs.back().second += 4;
+    } else {
+      runs.emplace_back(address, 4);
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+MemoryFootprint analyzeFootprint(const Cfg& cfg, const hw::Program& program,
+                                 const MemoryLayout& layout) {
+  return FootprintAnalyzer{cfg, program, layout}.run();
+}
+
+std::vector<hw::MmuRegion> deriveMmuRegions(const hw::Program& program,
+                                            const MemoryFootprint& footprint,
+                                            const MemoryLayout& layout, hw::MmuTaskId owner) {
+  std::vector<hw::MmuRegion> regions;
+  const auto rx =
+      static_cast<std::uint8_t>(hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Execute));
+  const auto ro = hw::accessMask(hw::Access::Read);
+  const auto rw =
+      static_cast<std::uint8_t>(hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Write));
+  regions.push_back({program.origin, program.sizeBytes(), owner, rx, "text"});
+  regions.push_back({layout.stackTop - layout.stackBytes, layout.stackBytes, owner, rw, "stack"});
+
+  int index = 0;
+  for (const auto& [base, size] : contiguousRuns(footprint.writeWords, regions)) {
+    regions.push_back({base, size, owner, rw, "rw" + std::to_string(index++) + "@" +
+                                                  std::to_string(base)});
+  }
+  index = 0;
+  for (const auto& [base, size] : contiguousRuns(footprint.readWords, regions)) {
+    regions.push_back({base, size, owner, ro, "ro" + std::to_string(index++) + "@" +
+                                                  std::to_string(base)});
+  }
+  return regions;
+}
+
+}  // namespace nlft::analysis

@@ -1,0 +1,59 @@
+// Memory-access range analysis over the CFG.
+//
+// The MMU regions the paper relies on for fault confinement (Sections 2.4,
+// 2.7) are derived here instead of configured by hand: a constant
+// propagation over the register file resolves every `[rN +/- imm]` operand
+// the guest program can execute, yielding the exact word sets it reads and
+// writes plus its stack high-water mark. Accesses whose base register is not
+// statically constant, and resolved accesses that fall outside the declared
+// input/output/stack/text layout, are reported as findings at analysis time
+// — before any fault-injection campaign runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "hw/mmu.hpp"
+
+namespace nlft::analysis {
+
+/// The task's declared memory layout (mirrors fi::TaskImage).
+struct MemoryLayout {
+  std::uint32_t stackTop = 0;
+  std::uint32_t stackBytes = 4096;
+  std::uint32_t inputBase = 0;
+  std::uint32_t inputWords = 0;
+  std::uint32_t outputBase = 0;
+  std::uint32_t outputWords = 0;
+  std::uint32_t memBytes = 64 * 1024;
+};
+
+struct MemoryFootprint {
+  std::vector<std::uint32_t> readWords;   ///< resolved Ld addresses (sorted, unique)
+  std::vector<std::uint32_t> writeWords;  ///< resolved St addresses (sorted, unique)
+  std::uint32_t stackLowWater = 0;        ///< lowest SP value any path reaches
+  bool stackDepthKnown = true;            ///< false if SP escaped the analysis
+  /// Unresolved bases and out-of-footprint accesses. Empty == the program
+  /// provably stays inside its declared layout.
+  std::vector<std::string> findings;
+};
+
+/// Runs the constant propagation and collects the access footprint. The
+/// program is needed to classify reads of in-image `.word` constant tables
+/// (data inside the text range) as legal.
+[[nodiscard]] MemoryFootprint analyzeFootprint(const Cfg& cfg, const hw::Program& program,
+                                               const MemoryLayout& layout);
+
+/// Emits MMU regions for the analyzed program: text (read+execute), one
+/// read-only region per contiguous run of resolved reads, one read-write
+/// region per contiguous run of resolved writes, and the declared stack
+/// (read-write; the full declared size, so replay campaigns match the
+/// kernel's static configuration rather than one run's high-water mark).
+[[nodiscard]] std::vector<hw::MmuRegion> deriveMmuRegions(const hw::Program& program,
+                                                          const MemoryFootprint& footprint,
+                                                          const MemoryLayout& layout,
+                                                          hw::MmuTaskId owner);
+
+}  // namespace nlft::analysis

@@ -1,0 +1,58 @@
+#include "analysis/trace_check.hpp"
+
+#include <cstdio>
+
+namespace nlft::analysis {
+
+namespace {
+
+std::string hex(std::uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%X", value);
+  return buffer;
+}
+
+}  // namespace
+
+TraceCheck checkTrace(const Cfg& cfg, const std::vector<std::uint32_t>& pcTrace) {
+  TraceCheck check;
+  if (pcTrace.empty()) return check;
+  if (pcTrace.front() != cfg.entry) {
+    check.controlFlowIntact = false;
+    check.violationIndex = 0;
+    check.toPc = pcTrace.front();
+    check.reason = "trace starts at " + hex(pcTrace.front()) + ", not at the entry " +
+                   hex(cfg.entry);
+    return check;
+  }
+  for (std::size_t i = 0; i < pcTrace.size(); ++i) {
+    if (cfg.instructionAt(pcTrace[i]) == nullptr) {
+      check.controlFlowIntact = false;
+      check.violationIndex = i;
+      check.fromPc = i > 0 ? pcTrace[i - 1] : pcTrace[i];
+      check.toPc = pcTrace[i];
+      check.reason = "PC " + hex(pcTrace[i]) + " is not reachable code";
+      return check;
+    }
+    if (i > 0 && !cfg.isLegalEdge(pcTrace[i - 1], pcTrace[i])) {
+      check.controlFlowIntact = false;
+      check.violationIndex = i;
+      check.fromPc = pcTrace[i - 1];
+      check.toPc = pcTrace[i];
+      check.reason = "edge " + hex(pcTrace[i - 1]) + " -> " + hex(pcTrace[i]) +
+                     " is not in the CFG";
+      return check;
+    }
+  }
+  return check;
+}
+
+std::vector<std::uint32_t> blockTrace(const Cfg& cfg, const std::vector<std::uint32_t>& pcTrace) {
+  std::vector<std::uint32_t> blocks;
+  for (const std::uint32_t pc : pcTrace) {
+    if (cfg.block(pc) != nullptr) blocks.push_back(pc);
+  }
+  return blocks;
+}
+
+}  // namespace nlft::analysis

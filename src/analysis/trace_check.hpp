@@ -1,0 +1,38 @@
+// Runtime trace validation against the static CFG.
+//
+// hw::Machine can record the PC of every executed instruction
+// (setTraceSink). Checking that trace against the statically derived CFG
+// gives fault-injection campaigns a ground-truth control-flow signal: any
+// executed edge that is not in the CFG is a *confirmed* control-flow error,
+// independent of whether a runtime mechanism (signature monitor, MMU,
+// exception) happened to catch it. Comparing the two yields true
+// detection-coverage numbers instead of proxies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace nlft::analysis {
+
+struct TraceCheck {
+  bool controlFlowIntact = true;
+  std::size_t violationIndex = 0;  ///< index into the trace of the bad PC
+  std::uint32_t fromPc = 0;
+  std::uint32_t toPc = 0;
+  std::string reason;  ///< empty when intact
+};
+
+/// Validates a PC trace: the first PC must be the CFG entry and every
+/// transition must be a legal CFG edge (RTS edges use the conservative
+/// any-return-site set, so a verdict of "broken" is always a true positive).
+[[nodiscard]] TraceCheck checkTrace(const Cfg& cfg, const std::vector<std::uint32_t>& pcTrace);
+
+/// Compresses a PC trace to the sequence of entered basic blocks — the
+/// format tem::SignatureMonitor consumes via enterBlock().
+[[nodiscard]] std::vector<std::uint32_t> blockTrace(const Cfg& cfg,
+                                                    const std::vector<std::uint32_t>& pcTrace);
+
+}  // namespace nlft::analysis

@@ -1,0 +1,56 @@
+#include "analysis/wcet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nlft::analysis {
+
+CycleModel::CycleModel() {
+  cycles.fill(1);  // single-cycle ALU/branch baseline
+  const auto set = [this](hw::Opcode op, std::uint32_t c) {
+    cycles[static_cast<std::size_t>(op)] = c;
+  };
+  set(hw::Opcode::Ld, 2);    // memory access incl. ECC decode
+  set(hw::Opcode::St, 2);
+  set(hw::Opcode::Push, 2);
+  set(hw::Opcode::Pop, 2);
+  set(hw::Opcode::Jsr, 3);   // memory access + PC redirect
+  set(hw::Opcode::Rts, 3);
+  set(hw::Opcode::Mul, 3);
+  set(hw::Opcode::Divs, 12);
+}
+
+TimingBounds computeTiming(const Cfg& cfg, const PathSet& paths, const CycleModel& model) {
+  TimingBounds timing;
+  timing.exact = !paths.truncated;
+  bool first = true;
+  for (const std::vector<std::uint32_t>& path : paths.paths) {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycleCount = 0;
+    for (std::uint32_t blockId : path) {
+      const BasicBlock* block = cfg.block(blockId);
+      if (block == nullptr) continue;
+      instructions += block->instructions.size();
+      for (const CodeInstruction& ci : block->instructions) {
+        cycleCount += model.cost(ci.inst.opcode);
+      }
+    }
+    if (first || instructions > timing.wcetInstructions) {
+      timing.wcetInstructions = instructions;
+      timing.worstPath = path;
+    }
+    if (first || instructions < timing.bcetInstructions) timing.bcetInstructions = instructions;
+    if (first || cycleCount > timing.wcetCycles) timing.wcetCycles = cycleCount;
+    if (first || cycleCount < timing.bcetCycles) timing.bcetCycles = cycleCount;
+    first = false;
+  }
+  return timing;
+}
+
+std::uint64_t deriveBudget(const TimingBounds& timing, double factor) {
+  const auto scaled = static_cast<std::uint64_t>(
+      std::ceil(factor * static_cast<double>(timing.wcetInstructions)));
+  return std::max(scaled, timing.wcetInstructions + 1);
+}
+
+}  // namespace nlft::analysis

@@ -1,0 +1,50 @@
+// Static execution-time bounds from enumerated legal paths.
+//
+// The kernel's execution-time monitor (budget timer) and the fault-tolerant
+// response-time analysis (paper Section 2.8, Burns/Davis/Punnekkat) both
+// need per-task WCETs. Instead of guessing constants, the bounds are
+// computed over the CFG's legal paths: instruction counts feed the
+// machine-level budget (hw::Machine counts instructions), cycle counts feed
+// the kernel/RTA time domain via a per-instruction cost model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace nlft::analysis {
+
+/// Per-opcode cycle costs of the simulated in-order core. Deterministic and
+/// data-independent (no cache/pipeline state), so path enumeration gives
+/// exact bounds rather than estimates.
+struct CycleModel {
+  CycleModel();
+  [[nodiscard]] std::uint32_t cost(hw::Opcode opcode) const {
+    return cycles[static_cast<std::size_t>(opcode)];
+  }
+  std::array<std::uint32_t, hw::kMaxOpcode + 1> cycles{};
+};
+
+struct TimingBounds {
+  std::uint64_t wcetInstructions = 0;
+  std::uint64_t bcetInstructions = 0;
+  std::uint64_t wcetCycles = 0;
+  std::uint64_t bcetCycles = 0;
+  std::vector<std::uint32_t> worstPath;  ///< block ids of the WCET path
+  /// True when the path set was truncated: bounds are then only lower
+  /// bounds on the true WCET and must not be used for budgets.
+  bool exact = true;
+};
+
+/// Timing bounds over an enumerated path set.
+[[nodiscard]] TimingBounds computeTiming(const Cfg& cfg, const PathSet& paths,
+                                         const CycleModel& model = {});
+
+/// Execution-time-monitor budget (in instructions) from a WCET bound:
+/// ceil(factor * WCET), never below WCET + 1 so the worst legal path always
+/// completes. The margin absorbs the paper's budget-timer granularity.
+[[nodiscard]] std::uint64_t deriveBudget(const TimingBounds& timing, double factor = 1.25);
+
+}  // namespace nlft::analysis

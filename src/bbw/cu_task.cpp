@@ -42,7 +42,9 @@ std::array<std::int32_t, 4> distributeFixedPoint(std::int32_t pedalQ8) {
   return {front, front, rear, rear};
 }
 
-fi::TaskImage makeCuTaskImage(std::int32_t pedalQ8) {
+namespace {
+
+fi::TaskImage baseCuImage(std::int32_t pedalQ8) {
   fi::TaskImage image;
   image.program = hw::assemble(cuTaskSource());
   image.entry = 0;
@@ -52,8 +54,20 @@ fi::TaskImage makeCuTaskImage(std::int32_t pedalQ8) {
   image.outputBase = 0xC00;
   image.outputWords = 4;
   image.memBytes = 64 * 1024;
-  // Longest path is 16 instructions; budget timer at ~1.3x.
-  image.maxInstructionsPerCopy = 21;
+  return image;
+}
+
+}  // namespace
+
+const analysis::ProgramAnalysis& cuTaskAnalysis() {
+  static const analysis::ProgramAnalysis analysis = analysis::analyzeImage(baseCuImage(0));
+  return analysis;
+}
+
+fi::TaskImage makeCuTaskImage(std::int32_t pedalQ8) {
+  fi::TaskImage image = baseCuImage(pedalQ8);
+  // Budget timer and MMU regions from the static analyzer.
+  analysis::applyDerivedConfig(image, cuTaskAnalysis());
   return image;
 }
 

@@ -11,12 +11,17 @@
 #include <array>
 #include <cstdint>
 
+#include "analysis/analyzer.hpp"
 #include "faults/campaign.hpp"
 
 namespace nlft::bbw {
 
 /// Assembly source of the central-unit distribution task.
 [[nodiscard]] const char* cuTaskSource();
+
+/// Static analysis of the CU task (cached): derived budget, MMU regions and
+/// legal-path signatures.
+[[nodiscard]] const analysis::ProgramAnalysis& cuTaskAnalysis();
 
 /// Fixed-point reference of the distribution law (60/40 proportioning of
 /// an 18 kN total at 0.30 m wheel radius): front wheels get pedal * 1620,

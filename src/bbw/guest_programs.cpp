@@ -1,0 +1,30 @@
+#include "bbw/guest_programs.hpp"
+
+#include "bbw/cu_task.hpp"
+#include "bbw/wheel_task.hpp"
+
+namespace nlft::bbw {
+
+namespace {
+
+// Nominal operating point: moderate brake request with mild slip for the
+// wheel tasks, half pedal for the central unit. Inputs only parameterise the
+// data regions — the program text, and therefore the analysis, budget and
+// MMU regions, are input-independent.
+fi::TaskImage nominalWheel() { return makeWheelTaskImage(200 * 256, 30, -1); }
+fi::TaskImage nominalCheckedWheel() { return makeCheckedWheelTaskImage(200 * 256, 30, -1); }
+fi::TaskImage nominalCu() { return makeCuTaskImage(128); }
+
+}  // namespace
+
+const std::vector<GuestProgram>& guestPrograms() {
+  static const std::vector<GuestProgram> programs = {
+      {"wheel", wheelTaskSource(), &nominalWheel, &wheelTaskAnalysis},
+      {"checked_wheel", checkedWheelTaskSource(), &nominalCheckedWheel,
+       &checkedWheelTaskAnalysis},
+      {"cu", cuTaskSource(), &nominalCu, &cuTaskAnalysis},
+  };
+  return programs;
+}
+
+}  // namespace nlft::bbw

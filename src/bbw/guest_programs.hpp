@@ -1,0 +1,29 @@
+// Registry of the interpreted (toy-ISA) guest programs.
+//
+// Everything that iterates "all BBW guest tasks" — the nlft-analyze CLI,
+// analysis tests, campaign benches — goes through this table instead of
+// hard-coding the individual factories, so a new guest program is picked up
+// everywhere by adding one row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "faults/campaign.hpp"
+
+namespace nlft::bbw {
+
+struct GuestProgram {
+  std::string name;
+  const char* source = nullptr;
+  /// Image with nominal inputs, derived budget and MMU regions applied.
+  fi::TaskImage (*makeNominalImage)() = nullptr;
+  /// Cached static analysis of the program (shared across calls).
+  const analysis::ProgramAnalysis& (*analyze)() = nullptr;
+};
+
+/// All interpreted guest programs: wheel, checked-wheel, central unit.
+[[nodiscard]] const std::vector<GuestProgram>& guestPrograms();
+
+}  // namespace nlft::bbw

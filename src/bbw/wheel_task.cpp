@@ -2,6 +2,28 @@
 
 namespace nlft::bbw {
 
+namespace {
+
+/// Image fields shared by both wheel variants, without the derived parts.
+fi::TaskImage baseWheelImage(const char* source, std::int32_t requestedTorqueQ8,
+                             std::int32_t slipQ8, std::int32_t currentLimitQ8,
+                             std::uint32_t outputWords) {
+  fi::TaskImage image;
+  image.program = hw::assemble(source);
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = {static_cast<std::uint32_t>(requestedTorqueQ8),
+                 static_cast<std::uint32_t>(slipQ8),
+                 static_cast<std::uint32_t>(currentLimitQ8)};
+  image.outputBase = 0xC00;
+  image.outputWords = outputWords;
+  image.memBytes = 64 * 1024;
+  return image;
+}
+
+}  // namespace
+
 const char* wheelTaskSource() {
   return R"(
 ; Wheel-node slip control, q8.8 fixed point.
@@ -155,40 +177,35 @@ checksum:
 )";
 }
 
+const analysis::ProgramAnalysis& wheelTaskAnalysis() {
+  static const analysis::ProgramAnalysis analysis =
+      analysis::analyzeImage(baseWheelImage(wheelTaskSource(), 0, 0, -1, 2));
+  return analysis;
+}
+
+const analysis::ProgramAnalysis& checkedWheelTaskAnalysis() {
+  static const analysis::ProgramAnalysis analysis =
+      analysis::analyzeImage(baseWheelImage(checkedWheelTaskSource(), 0, 0, -1, 3));
+  return analysis;
+}
+
 fi::TaskImage makeCheckedWheelTaskImage(std::int32_t requestedTorqueQ8, std::int32_t slipQ8,
                                         std::int32_t currentLimitQ8) {
-  fi::TaskImage image;
-  image.program = hw::assemble(checkedWheelTaskSource());
-  image.entry = 0;
-  image.stackTop = 0x4000;
-  image.inputBase = 0x800;
-  image.input = {static_cast<std::uint32_t>(requestedTorqueQ8),
-                 static_cast<std::uint32_t>(slipQ8),
-                 static_cast<std::uint32_t>(currentLimitQ8)};
-  image.outputBase = 0xC00;
-  image.outputWords = 3;
-  image.memBytes = 64 * 1024;
-  image.maxInstructionsPerCopy = 52;  // longest path ~42 instructions
+  fi::TaskImage image = baseWheelImage(checkedWheelTaskSource(), requestedTorqueQ8, slipQ8,
+                                       currentLimitQ8, 3);
   image.outputHasChecksum = true;
+  // Budget timer and MMU regions from the static analyzer (~1.25x the
+  // longest legal path): tight enough that a runaway copy is killed before
+  // it eats the recovery slack.
+  analysis::applyDerivedConfig(image, checkedWheelTaskAnalysis());
   return image;
 }
 
 fi::TaskImage makeWheelTaskImage(std::int32_t requestedTorqueQ8, std::int32_t slipQ8,
                                  std::int32_t currentLimitQ8) {
-  fi::TaskImage image;
-  image.program = hw::assemble(wheelTaskSource());
-  image.entry = 0;
-  image.stackTop = 0x4000;
-  image.inputBase = 0x800;
-  image.input = {static_cast<std::uint32_t>(requestedTorqueQ8),
-                 static_cast<std::uint32_t>(slipQ8),
-                 static_cast<std::uint32_t>(currentLimitQ8)};
-  image.outputBase = 0xC00;
-  image.outputWords = 2;
-  image.memBytes = 64 * 1024;
-  // Budget timer at ~1.25x the longest legal path (29 instructions): tight
-  // enough that a runaway copy is killed before it eats the recovery slack.
-  image.maxInstructionsPerCopy = 36;
+  fi::TaskImage image =
+      baseWheelImage(wheelTaskSource(), requestedTorqueQ8, slipQ8, currentLimitQ8, 2);
+  analysis::applyDerivedConfig(image, wheelTaskAnalysis());
   return image;
 }
 

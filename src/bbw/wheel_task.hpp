@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "analysis/analyzer.hpp"
 #include "faults/campaign.hpp"
 
 namespace nlft::bbw {
@@ -20,7 +21,15 @@ namespace nlft::bbw {
 /// Assembly source of the wheel control task.
 [[nodiscard]] const char* wheelTaskSource();
 
-/// Builds a ready-to-run TaskImage for the given inputs.
+/// Static analysis of the wheel task (cached; the program text is
+/// input-independent). Source of the derived execution-time budget, MMU
+/// regions and legal-path signatures.
+[[nodiscard]] const analysis::ProgramAnalysis& wheelTaskAnalysis();
+[[nodiscard]] const analysis::ProgramAnalysis& checkedWheelTaskAnalysis();
+
+/// Builds a ready-to-run TaskImage for the given inputs. The execution-time
+/// budget and MMU regions come from the static analyzer, not hand-kept
+/// constants.
 [[nodiscard]] fi::TaskImage makeWheelTaskImage(std::int32_t requestedTorqueQ8,
                                                std::int32_t slipQ8,
                                                std::int32_t currentLimitQ8);

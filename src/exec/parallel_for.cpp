@@ -1,25 +1,20 @@
 #include "exec/parallel_for.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <mutex>
+
+#include "util/time.hpp"
 
 namespace nlft::exec {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Shared progress state; workers report completed chunks, the callback is
 /// rate-limited and serialized under a mutex.
 class ProgressMeter {
  public:
   ProgressMeter(std::size_t totalItems, unsigned workers, const ProgressOptions& options)
-      : options_{options}, start_{Clock::now()} {
+      : options_{options} {
     snapshot_.totalItems = totalItems;
     snapshot_.perWorkerItems.assign(workers, 0);
   }
@@ -31,7 +26,7 @@ class ProgressMeter {
     snapshot_.perWorkerItems[worker] += items;
     // The very last chunk to finish always reports, so observers see 100%.
     const bool finalReport = snapshot_.completedItems == snapshot_.totalItems;
-    const double elapsed = secondsSince(start_);
+    const double elapsed = stopwatch_.elapsedSeconds();
     if (!finalReport && elapsed - lastReportAt_ < options_.minIntervalSeconds) return;
     lastReportAt_ = elapsed;
     snapshot_.elapsedSeconds = elapsed;
@@ -48,7 +43,7 @@ class ProgressMeter {
 
  private:
   ProgressOptions options_;
-  Clock::time_point start_;
+  util::MonotonicStopwatch stopwatch_;
   std::mutex mutex_;
   ProgressSnapshot snapshot_;
   double lastReportAt_ = 0.0;

@@ -16,15 +16,22 @@ hw::Machine makeMachine(const TaskImage& image) {
   machine.loadWords(image.inputBase, image.input);
   if (image.enableMmu) {
     constexpr hw::MmuTaskId kTask = 1;
-    const auto rx = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Execute);
-    const auto ro = hw::accessMask(hw::Access::Read);
-    const auto rw = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Write);
-    machine.mmu().addRegion({image.program.origin, image.program.sizeBytes(), kTask, rx, "text"});
-    machine.mmu().addRegion(
-        {image.inputBase, static_cast<std::uint32_t>(image.input.size()) * 4, kTask, ro, "input"});
-    machine.mmu().addRegion({image.outputBase, image.outputWords * 4, kTask, rw, "output"});
-    machine.mmu().addRegion(
-        {image.stackTop - image.stackBytes, image.stackBytes, kTask, rw, "stack"});
+    if (!image.mmuRegions.empty()) {
+      for (hw::MmuRegion region : image.mmuRegions) {
+        region.owner = kTask;
+        machine.mmu().addRegion(std::move(region));
+      }
+    } else {
+      const auto rx = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Execute);
+      const auto ro = hw::accessMask(hw::Access::Read);
+      const auto rw = hw::accessMask(hw::Access::Read) | hw::accessMask(hw::Access::Write);
+      machine.mmu().addRegion({image.program.origin, image.program.sizeBytes(), kTask, rx, "text"});
+      machine.mmu().addRegion({image.inputBase, static_cast<std::uint32_t>(image.input.size()) * 4,
+                               kTask, ro, "input"});
+      machine.mmu().addRegion({image.outputBase, image.outputWords * 4, kTask, rw, "output"});
+      machine.mmu().addRegion(
+          {image.stackTop - image.stackBytes, image.stackBytes, kTask, rw, "stack"});
+    }
     machine.mmu().setActiveTask(kTask);
     machine.mmu().setEnabled(true);
   }
@@ -231,6 +238,14 @@ bool endToEndChecksumValid(const std::vector<std::uint32_t>& output) {
 CopyRun runCopy(hw::Machine& machine, const TaskImage& image, std::optional<FaultSpec> fault) {
   if (!fault) return runCopyWithInjection(machine, image, 0, {});
   return runCopyWithInjection(machine, image, fault->afterInstructions, {fault->location});
+}
+
+TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault) {
+  TracedRun traced;
+  hw::Machine machine = makeMachine(image);
+  machine.setTraceSink(&traced.pcTrace);
+  traced.run = runCopy(machine, image, fault);
+  return traced;
 }
 
 CopyRun goldenRun(const TaskImage& image) {

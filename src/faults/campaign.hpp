@@ -16,6 +16,7 @@
 #include "exec/parallel_for.hpp"
 #include "faults/fault_model.hpp"
 #include "hw/assembler.hpp"
+#include "hw/mmu.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
 
@@ -37,6 +38,12 @@ struct TaskImage {
   /// wild stores then raise MMU violations instead of silently corrupting
   /// unrelated memory (Table 1 fault confinement).
   bool enableMmu = false;
+  /// MMU regions to install when enableMmu is set. Empty = derive the
+  /// classic four regions (text rx, input ro, output rw, stack rw) from the
+  /// image fields; non-empty = use these (typically produced by the static
+  /// analyzer, analysis::deriveMmuRegions). Region owners are overridden
+  /// with the campaign task id when installed.
+  std::vector<hw::MmuRegion> mmuRegions;
   std::uint32_t stackBytes = 4096;
   /// When true, the LAST output word is an end-to-end checksum: it must
   /// equal the XOR of all preceding output words with kEndToEndSeed
@@ -177,6 +184,17 @@ struct CampaignConfig {
 /// Runs one copy of the task (optionally with a fault striking mid-run).
 [[nodiscard]] CopyRun runCopy(hw::Machine& machine, const TaskImage& image,
                               std::optional<FaultSpec> fault);
+
+/// A copy run plus the PC of every executed (or faulting) instruction.
+struct TracedRun {
+  CopyRun run;
+  std::vector<std::uint32_t> pcTrace;
+};
+
+/// Runs one copy on a fresh machine while recording the PC trace — the
+/// input to analysis::checkTrace, which validates the executed control flow
+/// against the statically derived CFG (ground truth for campaigns).
+[[nodiscard]] TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault);
 
 /// Golden (fault-free) run; throws std::runtime_error if the program fails.
 [[nodiscard]] CopyRun goldenRun(const TaskImage& image);

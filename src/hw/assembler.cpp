@@ -166,6 +166,7 @@ class Assembler {
         address += 4 * static_cast<std::uint32_t>(statement.operands.size());
         continue;
       }
+      if (statement.mnemonic == ".loopbound") continue;  // annotation: no address
       address += 4;
     }
   }
@@ -187,7 +188,27 @@ class Assembler {
       if (body.empty()) continue;
       const Statement statement = parseStatement(body, number);
       if (statement.mnemonic == ".org") continue;
+      if (statement.mnemonic == ".loopbound") {
+        if (statement.operands.size() != 1) throw AssemblyError(number, ".loopbound needs one operand");
+        if (pendingLoopBound_) throw AssemblyError(number, "consecutive .loopbound directives");
+        long bound = 0;
+        try {
+          std::size_t consumed = 0;
+          bound = std::stol(statement.operands[0], &consumed, 0);
+          if (consumed != statement.operands[0].size() || bound < 0)
+            throw AssemblyError(number, "bad .loopbound operand '" + statement.operands[0] + "'");
+        } catch (const AssemblyError&) {
+          throw;
+        } catch (const std::exception&) {
+          throw AssemblyError(number, "bad .loopbound operand '" + statement.operands[0] + "'");
+        }
+        pendingLoopBound_ = static_cast<std::uint32_t>(bound);
+        pendingLoopBoundLine_ = number;
+        continue;
+      }
       if (statement.mnemonic == ".word") {
+        if (pendingLoopBound_)
+          throw AssemblyError(number, ".loopbound must precede a branch instruction, not data");
         // Literal data words (constant tables); labels or numeric values.
         for (const std::string& operand : statement.operands) {
           if (isIdentifier(operand)) {
@@ -211,8 +232,16 @@ class Assembler {
         }
         continue;
       }
+      const std::uint32_t address =
+          program_.origin + 4 * static_cast<std::uint32_t>(program_.words.size());
       program_.words.push_back(encodeStatement(statement, number));
+      if (pendingLoopBound_) {
+        program_.loopBounds[address] = *pendingLoopBound_;
+        pendingLoopBound_.reset();
+      }
     }
+    if (pendingLoopBound_)
+      throw AssemblyError(pendingLoopBoundLine_, ".loopbound at end of program");
   }
 
   std::uint32_t encodeStatement(const Statement& s, int line) const {
@@ -297,6 +326,8 @@ class Assembler {
 
   std::string_view source_;
   Program program_;
+  std::optional<std::uint32_t> pendingLoopBound_;
+  int pendingLoopBoundLine_ = 0;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 // Syntax (one statement per line, ';' starts a comment):
 //
 //   .org 0x100          ; set origin (byte address, default 0)
+//   .loopbound 8        ; next branch is taken at most 8 times per activation
 //   loop:               ; label definition
 //     ldi  r1, 42       ; immediates: decimal, 0x-hex, negative, or a label
 //     ld   r2, [r3+4]   ; memory operands: [rN], [rN+imm], [rN-imm]
@@ -47,6 +48,11 @@ struct Program {
   std::uint32_t origin = 0;                    ///< load address of words[0]
   std::vector<std::uint32_t> words;            ///< encoded instructions
   std::map<std::string, std::uint32_t> symbols;  ///< label -> byte address
+  /// Loop-bound annotations (`.loopbound N` before a branch): the branch at
+  /// the given byte address is TAKEN at most N times per task activation.
+  /// Consumed by the static analyzer (src/analysis) to bound path
+  /// enumeration and worst-case execution time.
+  std::map<std::uint32_t, std::uint32_t> loopBounds;
 
   [[nodiscard]] std::uint32_t sizeBytes() const {
     return static_cast<std::uint32_t>(words.size()) * 4;

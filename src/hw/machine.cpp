@@ -82,6 +82,8 @@ std::optional<HwException> Machine::step() {
   if (halted_) return std::nullopt;
   std::optional<HwException> exception;
 
+  if (traceSink_ != nullptr) traceSink_->push_back(cpu_.pc);
+
   applyStuckAtFaults();
 
   // Fetch.

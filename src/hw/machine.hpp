@@ -91,6 +91,12 @@ class Machine {
   /// yields an illegal opcode, a wrong register, or a wrong immediate.
   void armFetchCorruption(int bit);
 
+  /// Attaches a PC trace sink: every step() appends the pre-fetch PC (also
+  /// for instructions that subsequently fault, so a wild jump's landing
+  /// address is captured). The static analyzer cross-checks such traces
+  /// against the program's CFG. Pass nullptr to detach.
+  void setTraceSink(std::vector<std::uint32_t>* sink) { traceSink_ = sink; }
+
  private:
   [[nodiscard]] std::optional<HwException> raise(ExceptionKind kind, std::uint32_t address = 0);
   [[nodiscard]] bool checkedRead(std::uint32_t address, std::uint32_t& value,
@@ -107,6 +113,7 @@ class Machine {
   std::uint64_t executed_ = 0;
   std::vector<StuckAtFault> stuckAt_;
   int fetchCorruptionBit_ = -1;
+  std::vector<std::uint32_t>* traceSink_ = nullptr;
 };
 
 }  // namespace nlft::hw

@@ -6,11 +6,31 @@
 // benches, via explicit conversions.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <compare>
 #include <string>
 
 namespace nlft::util {
+
+/// Wall-clock stopwatch for throughput/ETA reporting.
+///
+/// This is the ONLY sanctioned wall-clock access outside util/rng.hpp: all
+/// simulation and analysis results must be wall-clock-free so campaigns are
+/// bit-reproducible (tools/determinism_lint.sh enforces it). Never let a
+/// stopwatch reading influence results — observability only.
+class MonotonicStopwatch {
+ public:
+  MonotonicStopwatch() : start_{std::chrono::steady_clock::now()} {}
+
+  /// Seconds elapsed since construction.
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// A span of simulated time with microsecond resolution.
 ///

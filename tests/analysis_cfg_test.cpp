@@ -1,0 +1,305 @@
+// Unit tests of the static analyzer: CFG recovery, loop-bounded path
+// enumeration, WCET bounds, footprint analysis and trace validation — on
+// small hand-written programs where the expected answers are checkable by
+// inspection.
+#include "analysis/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "faults/campaign.hpp"
+#include "hw/assembler.hpp"
+
+namespace nlft::analysis {
+namespace {
+
+fi::TaskImage imageFor(const char* source, std::vector<std::uint32_t> input = {}) {
+  fi::TaskImage image;
+  image.program = hw::assemble(source);
+  image.entry = 0;
+  image.stackTop = 0x4000;
+  image.inputBase = 0x800;
+  image.input = std::move(input);
+  image.outputBase = 0xC00;
+  image.outputWords = 1;
+  return image;
+}
+
+TEST(Cfg, StraightLineProgramIsOneBlock) {
+  const auto program = hw::assemble(R"(
+      ldi r1, 1
+      ldi r2, 2
+      add r3, r1, r2
+      halt
+)");
+  const Cfg cfg = buildCfg(program);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].id, 0u);
+  EXPECT_EQ(cfg.blocks[0].instructions.size(), 4u);
+  EXPECT_TRUE(cfg.blocks[0].exits);
+  EXPECT_TRUE(cfg.warnings.empty());
+
+  const PathSet paths = enumeratePaths(cfg, program);
+  ASSERT_EQ(paths.paths.size(), 1u);
+  EXPECT_EQ(paths.paths[0], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Cfg, DiamondHasTwoPathsAndExactEdges) {
+  const auto program = hw::assemble(R"(
+      cmpi r1, 0
+      beq taken
+      ldi r2, 1
+      jmp join
+taken:
+      ldi r2, 2
+join:
+      halt
+)");
+  const Cfg cfg = buildCfg(program);
+  ASSERT_EQ(cfg.blocks.size(), 4u);
+  const PathSet paths = enumeratePaths(cfg, program);
+  EXPECT_EQ(paths.paths.size(), 2u);
+
+  // Fallthrough and branch edges exist; a made-up edge does not.
+  EXPECT_TRUE(cfg.isLegalEdge(4, 8));    // beq fallthrough
+  EXPECT_TRUE(cfg.isLegalEdge(4, 16));   // beq taken
+  EXPECT_FALSE(cfg.isLegalEdge(0, 16));  // cmpi cannot jump
+}
+
+TEST(Cfg, FallthroughBlockBoundaries) {
+  // A branch target mid-stream cuts a leader; the pre-target block falls
+  // through into it.
+  const auto program = hw::assemble(R"(
+      cmpi r1, 0
+      beq skip
+      nop
+skip:
+      halt
+)");
+  const Cfg cfg = buildCfg(program);
+  const BasicBlock* nopBlock = cfg.block(8);
+  ASSERT_NE(nopBlock, nullptr);
+  EXPECT_EQ(nopBlock->successors, (std::vector<std::uint32_t>{12}));
+}
+
+TEST(Cfg, BranchOutsideTextWarnsInsteadOfCrashing) {
+  const auto program = hw::assemble(R"(
+      jmp 0x4000
+)");
+  const Cfg cfg = buildCfg(program);
+  ASSERT_FALSE(cfg.warnings.empty());
+  EXPECT_NE(cfg.warnings[0].find("outside program text"), std::string::npos);
+}
+
+TEST(PathEnum, AnnotatedLoopBoundLimitsPaths) {
+  const auto program = hw::assemble(R"(
+      ldi r1, 3
+loop:
+      addi r1, r1, -1
+      cmpi r1, 0
+      .loopbound 3
+      bne loop
+      halt
+)");
+  EXPECT_EQ(program.loopBounds.size(), 1u);
+  const Cfg cfg = buildCfg(program);
+  const PathSet paths = enumeratePaths(cfg, program);
+  EXPECT_FALSE(paths.truncated);
+  EXPECT_TRUE(paths.warnings.empty());
+  // 0..3 taken back edges -> 4 legal paths.
+  EXPECT_EQ(paths.paths.size(), 4u);
+}
+
+TEST(PathEnum, UnannotatedBackEdgeGetsDefaultBoundAndWarning) {
+  const auto program = hw::assemble(R"(
+      ldi r1, 2
+loop:
+      addi r1, r1, -1
+      cmpi r1, 0
+      bne loop
+      halt
+)");
+  const Cfg cfg = buildCfg(program);
+  PathEnumOptions options;
+  options.defaultLoopBound = 2;
+  const PathSet paths = enumeratePaths(cfg, program, options);
+  EXPECT_EQ(paths.paths.size(), 3u);  // 0, 1 or 2 taken back edges
+  ASSERT_FALSE(paths.warnings.empty());
+  EXPECT_NE(paths.warnings[0].find("loopbound"), std::string::npos);
+}
+
+TEST(PathEnum, JsrRtsMatchedViaCallStack) {
+  const auto program = hw::assemble(R"(
+      jsr sub
+      jsr sub
+      halt
+sub:
+      nop
+      rts
+)");
+  const Cfg cfg = buildCfg(program);
+  // CFG-level RTS successors are conservative: both return sites.
+  const BasicBlock* sub = cfg.blockContaining(16);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->successors.size(), 2u);
+
+  // Path enumeration matches calls and returns: exactly one path.
+  const PathSet paths = enumeratePaths(cfg, program);
+  ASSERT_EQ(paths.paths.size(), 1u);
+  EXPECT_EQ(paths.paths[0], (std::vector<std::uint32_t>{0, 12, 4, 12, 8}));
+}
+
+TEST(Wcet, LoopWcetScalesWithBound) {
+  const auto program = hw::assemble(R"(
+      ldi r1, 3
+loop:
+      addi r1, r1, -1
+      cmpi r1, 0
+      .loopbound 3
+      bne loop
+      halt
+)");
+  const Cfg cfg = buildCfg(program);
+  const PathSet paths = enumeratePaths(cfg, program);
+  const TimingBounds timing = computeTiming(cfg, paths);
+  EXPECT_TRUE(timing.exact);
+  // ldi + 4 * (addi, cmpi, bne) + halt = 14 instructions worst case.
+  EXPECT_EQ(timing.wcetInstructions, 14u);
+  // Zero taken edges: ldi + addi + cmpi + bne + halt.
+  EXPECT_EQ(timing.bcetInstructions, 5u);
+  EXPECT_GE(timing.wcetCycles, timing.wcetInstructions);
+
+  const std::uint64_t budget = deriveBudget(timing, 1.25);
+  EXPECT_GE(budget, timing.wcetInstructions + 1);
+}
+
+TEST(Wcet, BudgetNeverBelowWcetPlusOne) {
+  TimingBounds timing;
+  timing.wcetInstructions = 100;
+  EXPECT_EQ(deriveBudget(timing, 1.0), 101u);
+  EXPECT_EQ(deriveBudget(timing, 1.25), 125u);
+}
+
+TEST(Footprint, ResolvesAccessesAndDerivesRegions) {
+  const fi::TaskImage image = imageFor(R"(
+      ldi r1, 0x800
+      ld  r2, [r1+0]
+      ldi r3, 0xC00
+      st  r2, [r3+0]
+      halt
+)",
+                                       {7});
+  const ProgramAnalysis analysis = analyzeImage(image);
+  EXPECT_TRUE(analysis.clean()) << formatReport("test", analysis);
+  EXPECT_EQ(analysis.footprint.readWords, (std::vector<std::uint32_t>{0x800}));
+  EXPECT_EQ(analysis.footprint.writeWords, (std::vector<std::uint32_t>{0xC00}));
+
+  // Regions: text, stack, one rw run over the output, one ro run over the
+  // input.
+  ASSERT_EQ(analysis.mmuRegions.size(), 4u);
+  EXPECT_EQ(analysis.mmuRegions[0].name, "text");
+  EXPECT_EQ(analysis.mmuRegions[1].name, "stack");
+  EXPECT_EQ(analysis.mmuRegions[2].base, 0xC00u);
+  EXPECT_EQ(analysis.mmuRegions[2].size, 4u);
+  EXPECT_EQ(analysis.mmuRegions[3].base, 0x800u);
+}
+
+TEST(Footprint, OutOfFootprintWriteFlagged) {
+  const fi::TaskImage image = imageFor(R"(
+      ldi r1, 0x2000
+      st  r1, [r1+0]
+      halt
+)");
+  const ProgramAnalysis analysis = analyzeImage(image);
+  ASSERT_FALSE(analysis.clean());
+  const auto flagged = std::any_of(
+      analysis.findings.begin(), analysis.findings.end(), [](const std::string& finding) {
+        return finding.find("out-of-footprint write at 0x2000") != std::string::npos;
+      });
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Footprint, UnresolvedBaseFlagged) {
+  // The base register is loaded from memory, so its value is unknown.
+  const fi::TaskImage image = imageFor(R"(
+      ldi r1, 0x800
+      ld  r2, [r1+0]
+      st  r1, [r2+0]
+      halt
+)",
+                                       {0xC00});
+  const ProgramAnalysis analysis = analyzeImage(image);
+  ASSERT_FALSE(analysis.clean());
+  EXPECT_NE(analysis.findings[0].find("unresolved base"), std::string::npos);
+}
+
+TEST(TraceCheck, GoldenTraceFollowsCfgAndMutationIsCaught) {
+  const fi::TaskImage image = imageFor(R"(
+      ldi r1, 0x800
+      ld  r2, [r1+0]
+      cmpi r2, 0
+      beq zero
+      ldi r3, 1
+      jmp done
+zero:
+      ldi r3, 0
+done:
+      ldi r4, 0xC00
+      st  r3, [r4+0]
+      halt
+)",
+                                       {5});
+  const ProgramAnalysis analysis = analyzeImage(image);
+  const fi::TracedRun traced = fi::runTracedCopy(image, std::nullopt);
+  ASSERT_EQ(traced.run.end, fi::CopyRun::End::Output);
+
+  const TraceCheck ok = checkTrace(analysis.cfg, traced.pcTrace);
+  EXPECT_TRUE(ok.controlFlowIntact) << ok.reason;
+
+  // Simulate a control-flow error: jump straight into the output write.
+  std::vector<std::uint32_t> mutated = traced.pcTrace;
+  mutated[1] = 28;  // ldi r4, 0xC00 — skips the comparison entirely
+  const TraceCheck bad = checkTrace(analysis.cfg, mutated);
+  EXPECT_FALSE(bad.controlFlowIntact);
+  EXPECT_EQ(bad.violationIndex, 1u);
+}
+
+TEST(TraceCheck, EmptyAndWrongEntryTraces) {
+  const fi::TaskImage image = imageFor("      halt\n");
+  const ProgramAnalysis analysis = analyzeImage(image);
+  EXPECT_TRUE(checkTrace(analysis.cfg, {}).controlFlowIntact);
+  const TraceCheck wrongEntry = checkTrace(analysis.cfg, {4});
+  EXPECT_FALSE(wrongEntry.controlFlowIntact);
+}
+
+TEST(Assembler, LoopboundDirectiveRules) {
+  EXPECT_THROW(hw::assemble(R"(
+      .loopbound 3
+      .loopbound 4
+      bne 0
+)"),
+               hw::AssemblyError);
+  EXPECT_THROW(hw::assemble(R"(
+      .loopbound 3
+      .word 1
+)"),
+               hw::AssemblyError);
+  EXPECT_THROW(hw::assemble(R"(
+      nop
+      .loopbound 3
+)"),
+               hw::AssemblyError);
+
+  const auto program = hw::assemble(R"(
+      nop
+      .loopbound 7
+      bne 0
+      halt
+)");
+  ASSERT_EQ(program.loopBounds.size(), 1u);
+  EXPECT_EQ(program.loopBounds.at(4), 7u);
+}
+
+}  // namespace
+}  // namespace nlft::analysis

@@ -247,5 +247,52 @@ TEST(DeliveryGuard, StaleTokenFromEarlierJobRejected) {
   EXPECT_FALSE(guard.authorizeDelivery(oldToken, 1));
 }
 
+TEST(DeliveryGuard, DoubleDeliveryCountsAsBypassAttempt) {
+  // Two output writes for one vote: the second is the control-flow error
+  // (e.g. an erroneous jump back into the delivery code) and must both fail
+  // and be visible in the bypass counter.
+  DeliveryGuard guard;
+  const std::uint64_t token = guard.armAfterVote(9);
+  EXPECT_TRUE(guard.authorizeDelivery(token, 9));
+  EXPECT_FALSE(guard.authorizeDelivery(token, 9));
+  EXPECT_FALSE(guard.authorizeDelivery(token, 9));
+  EXPECT_EQ(guard.bypassAttempts(), 2u);
+}
+
+TEST(DeliveryGuard, StaleTokenFromUndeliveredJobRejected) {
+  // Job A votes but never delivers (e.g. preempted and restarted); job B
+  // votes. A's token must not authorise B's delivery.
+  DeliveryGuard guard;
+  const std::uint64_t tokenA = guard.armAfterVote(1);
+  const std::uint64_t tokenB = guard.armAfterVote(1);
+  EXPECT_FALSE(guard.authorizeDelivery(tokenA, 1));
+  EXPECT_TRUE(guard.authorizeDelivery(tokenB, 1));
+}
+
+TEST(DeliveryGuard, FailedAttemptDoesNotDisarm) {
+  // A bypass attempt with a forged token must not consume the legitimate
+  // arming: the real delivery still succeeds afterwards.
+  DeliveryGuard guard;
+  const std::uint64_t token = guard.armAfterVote(3);
+  EXPECT_FALSE(guard.authorizeDelivery(token ^ 1, 3));
+  EXPECT_TRUE(guard.authorizeDelivery(token, 3));
+  EXPECT_EQ(guard.bypassAttempts(), 1u);
+}
+
+TEST(DeliveryGuard, ChecksumMismatchLeavesTokenValidForRightResult) {
+  // Delivering the WRONG result with the right token fails; the token then
+  // still authorises the result it was armed for.
+  DeliveryGuard guard;
+  const std::uint64_t token = guard.armAfterVote(0xAAAA);
+  EXPECT_FALSE(guard.authorizeDelivery(token, 0xBBBB));
+  EXPECT_TRUE(guard.authorizeDelivery(token, 0xAAAA));
+}
+
+TEST(DeliveryGuard, ZeroTokenNeverAuthorises) {
+  DeliveryGuard guard;
+  (void)guard.armAfterVote(0);
+  EXPECT_FALSE(guard.authorizeDelivery(0, 0));
+}
+
 }  // namespace
 }  // namespace nlft::tem

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulation/analysis core must be free of wall-clock
+# and ambient-randomness calls, so campaigns are bit-reproducible for a fixed
+# seed regardless of thread count or host load.
+#
+# Allowlist: src/util/rng.hpp (seeds the deterministic PRNG) and
+# src/util/time.hpp (MonotonicStopwatch, observability only). Everything else
+# under src/ must go through those two headers.
+set -u
+
+cd "$(dirname "$0")/.."
+
+# Pattern -> what it would smuggle in.
+patterns=(
+  '(^|[^_[:alnum:]])s?rand\('  # libc rand()/srand()
+  'std::random_device'    # non-deterministic seed source
+  'system_clock'          # wall clock
+  'steady_clock'          # wall clock (use util::MonotonicStopwatch)
+  'high_resolution_clock' # wall clock
+  '[^_[:alnum:]]time\('   # libc time()
+)
+
+allow='^src/util/(rng|time)\.hpp:'
+status=0
+for pattern in "${patterns[@]}"; do
+  hits=$(grep -rnE "$pattern" src --include='*.cpp' --include='*.hpp' | grep -Ev "$allow")
+  if [ -n "$hits" ]; then
+    echo "determinism lint: forbidden pattern '$pattern' in src/:" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "determinism lint: clean"
+fi
+exit "$status"
