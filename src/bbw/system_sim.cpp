@@ -1,6 +1,7 @@
 #include "bbw/system_sim.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "bbw/cu_task.hpp"
 #include "core/replication.hpp"
@@ -39,6 +40,9 @@ struct BbwSystemSim::Impl {
     // One-shot fault-injection flags, consumed by the next control job.
     bool corruptSecondCopy = false;
     bool detectedErrorNextCopy = false;
+    bool omitNextResult = false;
+    bool valueFailureArmed = false;
+    std::uint64_t valueFailureJob = ~0ULL;  // job whose copies all compute wrong
     // Input snapshot taken once per job and reused by every copy, preserving
     // replica determinism (read input once per job, Fig. 2 task model).
     std::array<std::uint32_t, 4> jobInput{};
@@ -63,11 +67,20 @@ struct BbwSystemSim::Impl {
   std::array<std::int32_t, kWheelCount> wheelLimitQ8{-1, -1, -1, -1};
   std::uint64_t commandFramesDelivered = 0;
   std::uint64_t failSilentEvents = 0;
+  std::uint64_t commandsOmitted = 0;
+  std::uint64_t undetectedValueDeliveries = 0;
   double stopTimeS = 0.0;
   bool vehicleStopped = false;
   std::optional<SimTime> emergencyPressedAt;
   std::optional<SimTime> emergencyAppliedAt;
   bool emergencyLatched = false;  // the pedal sensor also shows full braking
+  std::function<void(const std::string&)> traceSink;
+
+  /// Emits one trace line, prefixed with the simulated time in microseconds.
+  void trace(const std::string& message) {
+    if (!traceSink) return;
+    traceSink("t=" + std::to_string(simulator.now().us()) + " " + message);
+  }
 
   Node& node(net::NodeId id) { return nodes[id - 1]; }
   [[nodiscard]] static bool isWheel(net::NodeId id) { return id >= kWheelNodeBase; }
@@ -172,6 +185,10 @@ struct BbwSystemSim::Impl {
       // Read-input phase: snapshot the sensors once per job (the input read
       // happens at the start of the first copy, before any fault strikes).
       n.snapshotJob = context.jobIndex;
+      if (n.valueFailureArmed) {
+        n.valueFailureArmed = false;
+        n.valueFailureJob = context.jobIndex;
+      }
       if (isWheel(id)) {
         const std::size_t w = wheelIndex(id);
         n.jobInput[0] = lastCommandQ8[w];
@@ -215,6 +232,11 @@ struct BbwSystemSim::Impl {
       n.corruptSecondCopy = false;
       plan.result[0] ^= 1u << 7;  // silent data corruption
     }
+    if (context.jobIndex == n.valueFailureJob) {
+      // Coverage-gap fault: every copy computes the same wrong torque, so
+      // comparison and vote pass it through (bit 16 = 256 Nm in q8.8).
+      plan.result[0] ^= 1u << 16;
+    }
     return plan;
   }
 
@@ -225,6 +247,21 @@ struct BbwSystemSim::Impl {
       return;
     }
     if (node(id).controlTask == result.task) {
+      Node& n = node(id);
+      if (n.omitNextResult) {
+        // Injected omission failure: the write-output phase is suppressed;
+        // the command for this period is simply missing (P_OM).
+        n.omitNextResult = false;
+        ++commandsOmitted;
+        trace("omission node=" + std::to_string(id) + " job=" + std::to_string(result.jobIndex));
+        return;
+      }
+      if (result.jobIndex == n.valueFailureJob) {
+        n.valueFailureJob = ~0ULL;
+        ++undetectedValueDeliveries;
+        trace("undetected-value node=" + std::to_string(id) +
+              " job=" + std::to_string(result.jobIndex));
+      }
       if (isWheel(id)) {
         const std::size_t w = wheelIndex(id);
         wheelLimitQ8[w] = static_cast<std::int32_t>(result.data[1]);
@@ -260,6 +297,7 @@ struct BbwSystemSim::Impl {
   void onNodeSilent(net::NodeId id, bool scheduleRestart) {
     ++failSilentEvents;
     membership.setAlive(id, false);
+    trace("node-silent node=" + std::to_string(id));
     if (isWheel(id)) {
       // The actuator watchdog releases the brake of a dead wheel node.
       vehicle.setBrakeTorque(wheelIndex(id), 0.0);
@@ -268,8 +306,45 @@ struct BbwSystemSim::Impl {
       simulator.scheduleAfter(config.restartTime, [this, id] {
         node(id).kernel->restart();
         membership.setAlive(id, true);
+        trace("node-restarted node=" + std::to_string(id));
       });
     }
+  }
+
+  /// Routes kernel, membership and bus events into the trace sink. Called
+  /// once when a sink is installed (after build(), so `nodes` is stable).
+  void wireTraceTaps() {
+    for (Node& n : nodes) {
+      const net::NodeId id = n.id;
+      const rt::TaskId controlTask = n.controlTask;
+      n.kernel->setEventTap([this, id, controlTask](const rt::KernelEvent& event) {
+        switch (event.kind) {
+          case rt::KernelEvent::Kind::TaskError:
+            trace("task-error node=" + std::to_string(id) +
+                  " task=" + std::to_string(event.task.value) +
+                  " job=" + std::to_string(event.jobIndex));
+            break;
+          case rt::KernelEvent::Kind::KernelError:
+            trace("kernel-error node=" + std::to_string(id));
+            break;
+          case rt::KernelEvent::Kind::JobOmitted:
+            if (event.task.value == controlTask.value) {
+              trace("job-omitted node=" + std::to_string(id) +
+                    " job=" + std::to_string(event.jobIndex));
+            }
+            break;
+          default:
+            break;  // completions are too frequent to trace
+        }
+      });
+    }
+    membership.setMembershipTap([this](net::NodeId observer, net::NodeId peer, bool member) {
+      trace("membership observer=" + std::to_string(observer) + " peer=" + std::to_string(peer) +
+            " member=" + (member ? std::string{"1"} : std::string{"0"}));
+    });
+    bus.setDropTap([this](const net::Frame& frame, const char* reason) {
+      trace("bus-drop sender=" + std::to_string(frame.sender) + " reason=" + reason);
+    });
   }
 
   void schedulePlantStep() {
@@ -279,6 +354,9 @@ struct BbwSystemSim::Impl {
         if (!vehicleStopped) {
           vehicleStopped = true;
           stopTimeS = simulator.now().toSeconds();
+          char line[64];
+          std::snprintf(line, sizeof line, "vehicle-stopped distance=%.3f", vehicle.distanceM());
+          trace(line);
         }
         return;  // plant settled; no more stepping needed
       }
@@ -298,24 +376,60 @@ sim::Simulator& BbwSystemSim::simulator() { return impl_->simulator; }
 const Vehicle& BbwSystemSim::vehicle() const { return impl_->vehicle; }
 
 void BbwSystemSim::injectComputationFault(net::NodeId node, SimTime at) {
-  impl_->simulator.scheduleAt(at, [this, node] { impl_->node(node).corruptSecondCopy = true; },
+  impl_->simulator.scheduleAt(at,
+                              [this, node] {
+                                impl_->trace("inject computation-fault node=" +
+                                             std::to_string(node));
+                                impl_->node(node).corruptSecondCopy = true;
+                              },
                               sim::EventPriority::FaultInjection);
 }
 
 void BbwSystemSim::injectDetectedError(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
-                              [this, node] { impl_->node(node).detectedErrorNextCopy = true; },
+                              [this, node] {
+                                impl_->trace("inject detected-error node=" + std::to_string(node));
+                                impl_->node(node).detectedErrorNextCopy = true;
+                              },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::injectOmissionFailure(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at,
+                              [this, node] {
+                                impl_->trace("inject omission node=" + std::to_string(node));
+                                impl_->node(node).omitNextResult = true;
+                              },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::injectValueFailure(net::NodeId node, SimTime at) {
+  impl_->simulator.scheduleAt(at,
+                              [this, node] {
+                                impl_->trace("inject value-failure node=" + std::to_string(node));
+                                impl_->node(node).valueFailureArmed = true;
+                              },
                               sim::EventPriority::FaultInjection);
 }
 
 void BbwSystemSim::injectKernelError(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
+                                impl_->trace("inject kernel-error node=" + std::to_string(node));
                                 impl_->node(node).kernel->reportKernelError(
                                     {rt::ErrorEvent::Source::HardwareException, 0});
                               },
                               sim::EventPriority::FaultInjection);
 }
+
+void BbwSystemSim::setTraceSink(std::function<void(const std::string&)> sink) {
+  impl_->traceSink = std::move(sink);
+  impl_->wireTraceTaps();
+}
+
+const net::MembershipService& BbwSystemSim::membership() const { return impl_->membership; }
+
+net::MembershipService& BbwSystemSim::membership() { return impl_->membership; }
 
 void BbwSystemSim::pressEmergencyBrake(SimTime at) {
   impl_->simulator.scheduleAt(at, [this] {
@@ -331,7 +445,21 @@ void BbwSystemSim::pressEmergencyBrake(SimTime at) {
 }
 
 void BbwSystemSim::injectBusCorruption(net::NodeId node, SimTime at) {
-  impl_->simulator.scheduleAt(at, [this, node] { impl_->bus.corruptNextFrame(node); },
+  impl_->simulator.scheduleAt(at,
+                              [this, node] {
+                                impl_->trace("inject bus-corruption node=" + std::to_string(node));
+                                impl_->bus.corruptNextFrame(node);
+                              },
+                              sim::EventPriority::FaultInjection);
+}
+
+void BbwSystemSim::injectBusCorruption(net::NodeId node, SimTime at,
+                                       std::vector<std::uint32_t> flipBits) {
+  impl_->simulator.scheduleAt(at,
+                              [this, node, flipBits = std::move(flipBits)] {
+                                impl_->trace("inject bus-corruption node=" + std::to_string(node));
+                                impl_->bus.corruptNextFrame(node, flipBits);
+                              },
                               sim::EventPriority::FaultInjection);
 }
 
@@ -352,6 +480,8 @@ BbwSimResult BbwSystemSim::run() {
   }
   result.busFramesDropped = impl.bus.framesDropped();
   result.failSilentEvents = impl.failSilentEvents;
+  result.commandsOmitted = impl.commandsOmitted;
+  result.undetectedValueDeliveries = impl.undetectedValueDeliveries;
   if (impl.emergencyPressedAt && impl.emergencyAppliedAt) {
     result.emergencyBrakeLatency = *impl.emergencyAppliedAt - *impl.emergencyPressedAt;
   }

@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bbw/control.hpp"
@@ -66,6 +67,12 @@ struct BbwSimResult {
   std::uint64_t cuCompletions = 0;
   std::uint64_t errorsMaskedByTem = 0;   ///< summed over all NLFT nodes
   std::uint64_t failSilentEvents = 0;
+  /// Control results suppressed by injectOmissionFailure (node-level
+  /// omission failures: no command that period).
+  std::uint64_t commandsOmitted = 0;
+  /// Results corrupted identically in every copy by injectValueFailure that
+  /// reached the actuator/bus undetected (the system-level coverage gap).
+  std::uint64_t undetectedValueDeliveries = 0;
   /// Emergency-brake press -> first wheel actuation latency (zero if the
   /// emergency path was never exercised).
   Duration emergencyBrakeLatency{};
@@ -91,11 +98,27 @@ class BbwSystemSim {
   /// restarts after restartTime (both node types, Section 2.2 strategy 3).
   void injectKernelError(net::NodeId node, SimTime at);
 
+  /// Forces the node's next delivered control result to be suppressed
+  /// before it reaches the actuator/bus — the node-level OMISSION failure
+  /// (P_OM): no command that period; receivers bridge with the previous
+  /// value (Section 2.2 "the system is able to use a previous value").
+  void injectOmissionFailure(net::NodeId node, SimTime at);
+
+  /// The coverage-gap injection: the node's next control job computes a
+  /// wrong result in EVERY copy identically, so neither the comparison nor
+  /// the vote can detect it — an undetected VALUE failure delivered to the
+  /// system (counted in BbwSimResult::undetectedValueDeliveries).
+  void injectValueFailure(net::NodeId node, SimTime at);
+
   /// Corrupts the node's next bus frame in transit: the CRC check drops it
   /// at every receiver, so one command/heartbeat is lost. Wheel nodes hold
   /// the previous command (Section 2.2: "the system is able to use a
   /// previous value").
   void injectBusCorruption(net::NodeId node, SimTime at);
+
+  /// As above but with explicit fault locations: flips the given frame bits
+  /// (payload first, then CRC; indices wrap — see net::TdmaBus).
+  void injectBusCorruption(net::NodeId node, SimTime at, std::vector<std::uint32_t> flipBits);
 
   /// Presses the emergency-brake input at `at`: both CUs release a SPORADIC
   /// task whose full-brake command travels in the event-triggered (dynamic)
@@ -104,6 +127,17 @@ class BbwSystemSim {
   /// it the moment it arrives, without waiting for the next periodic
   /// command. Returns nothing; the observed latency is in the result.
   void pressEmergencyBrake(SimTime at);
+
+  /// Streams a line-oriented system event trace (fault firings, kernel
+  /// errors, node silences/restarts, membership transitions, bus drops,
+  /// vehicle stop) into `sink` — the input of the golden-trace harness.
+  /// Must be called before run(); one sink per simulation.
+  void setTraceSink(std::function<void(const std::string&)> sink);
+
+  /// The membership service (peer views, liveness) for assertions and
+  /// observer taps.
+  [[nodiscard]] const net::MembershipService& membership() const;
+  [[nodiscard]] net::MembershipService& membership();
 
   /// Runs until the vehicle stops or the horizon elapses.
   [[nodiscard]] BbwSimResult run();

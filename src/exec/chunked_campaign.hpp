@@ -1,0 +1,59 @@
+// Deterministic chunked campaign driver shared by every Monte-Carlo style
+// experiment runner (fault-injection campaigns, system-level campaigns).
+//
+// Experiments are split into chunks; each chunk draws from its own RNG
+// sub-stream (`Rng::fork(chunkIndex)` off the campaign seed, forked in chunk
+// order) and accumulates into a chunk-local Stats. Chunk results merge in
+// chunk order afterwards, so for a fixed (seed, chunkSize) the campaign
+// statistics are bit-identical at EVERY thread count, including 1.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::exec {
+
+/// Runs `experiments` seeded experiments chunk by chunk and merges the
+/// chunk-local statistics in chunk order.
+///
+/// Stats must be default-constructible, expose a `std::size_t experiments`
+/// member (set per chunk before the first experiment) and `merge(const
+/// Stats&)`. `runOne(rng, stats)` samples and classifies one experiment.
+/// A cancelled campaign throws std::runtime_error("<what>: cancelled")
+/// rather than returning truncated statistics.
+template <typename Stats, typename RunOne>
+Stats runChunkedCampaign(std::size_t experiments, std::uint64_t seed,
+                         const Parallelism& parallelism, const char* what, RunOne runOne,
+                         CancellationToken* cancel = nullptr, const ProgressFn& onProgress = {}) {
+  const std::size_t chunkSize = parallelism.resolvedChunkSize(experiments);
+  const std::size_t chunks = chunkCount(experiments, chunkSize);
+  util::Rng root{seed};
+  std::vector<util::Rng> chunkRngs;
+  chunkRngs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) chunkRngs.push_back(root.fork(c));
+  std::vector<Stats> accumulators(chunks);
+
+  const std::size_t processed = forEachChunk(
+      experiments, parallelism,
+      [&](const ChunkRange& range, unsigned) {
+        util::Rng rng = chunkRngs[range.index];
+        Stats& stats = accumulators[range.index];
+        stats.experiments = range.end - range.begin;
+        for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats);
+      },
+      cancel, {onProgress, 0.25});
+  if (processed < experiments) {
+    throw std::runtime_error(std::string{what} + ": cancelled");
+  }
+
+  Stats stats;
+  for (const Stats& chunk : accumulators) stats.merge(chunk);
+  return stats;
+}
+
+}  // namespace nlft::exec

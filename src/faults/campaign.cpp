@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/result.hpp"
+#include "exec/chunked_campaign.hpp"
 
 namespace nlft::fi {
 
@@ -305,52 +306,11 @@ FaultSpec sampleFault(const TaskImage& image, std::uint64_t goldenInstructions,
   return fault;
 }
 
-namespace {
-
-/// One independent RNG sub-stream per chunk (forked in chunk order), so the
-/// experiment-to-randomness mapping is independent of the thread count.
-std::vector<util::Rng> forkChunkRngs(std::uint64_t seed, std::size_t chunks) {
-  util::Rng root{seed};
-  std::vector<util::Rng> rngs;
-  rngs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) rngs.push_back(root.fork(c));
-  return rngs;
-}
-
-/// Shared chunked-campaign driver: `runOne(rng, stats)` samples and
-/// classifies one experiment into a chunk-local Stats, which merge in chunk
-/// order afterwards.
-template <typename Stats, typename RunOne>
-Stats runChunkedCampaign(const CampaignConfig& config, const char* what, RunOne runOne) {
-  const std::size_t chunkSize = config.parallelism.resolvedChunkSize(config.experiments);
-  const std::size_t chunks = exec::chunkCount(config.experiments, chunkSize);
-  std::vector<util::Rng> chunkRngs = forkChunkRngs(config.seed, chunks);
-  std::vector<Stats> accumulators(chunks);
-
-  const std::size_t processed = exec::forEachChunk(
-      config.experiments, config.parallelism,
-      [&](const exec::ChunkRange& range, unsigned) {
-        util::Rng rng = chunkRngs[range.index];
-        Stats& stats = accumulators[range.index];
-        stats.experiments = range.end - range.begin;
-        for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats);
-      },
-      config.cancel, {config.onProgress, 0.25});
-  if (processed < config.experiments) {
-    throw std::runtime_error(std::string{what} + ": cancelled");
-  }
-
-  Stats stats;
-  for (const Stats& chunk : accumulators) stats.merge(chunk);
-  return stats;
-}
-
-}  // namespace
-
 TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config) {
   const CopyRun golden = goldenRun(image);
-  return runChunkedCampaign<TemCampaignStats>(
-      config, "runTemCampaign", [&](util::Rng& rng, TemCampaignStats& stats) {
+  return exec::runChunkedCampaign<TemCampaignStats>(
+      config.experiments, config.seed, config.parallelism, "runTemCampaign",
+      [&](util::Rng& rng, TemCampaignStats& stats) {
         const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
         switch (classifyTem(image, golden, normalize(fault, rng), config.jobBudgetFactor,
                             &stats.mechanisms)) {
@@ -362,13 +322,15 @@ TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& co
           case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
           case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
         }
-      });
+      },
+      config.cancel, config.onProgress);
 }
 
 FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config) {
   const CopyRun golden = goldenRun(image);
-  return runChunkedCampaign<FsCampaignStats>(
-      config, "runFsCampaign", [&](util::Rng& rng, FsCampaignStats& stats) {
+  return exec::runChunkedCampaign<FsCampaignStats>(
+      config.experiments, config.seed, config.parallelism, "runFsCampaign",
+      [&](util::Rng& rng, FsCampaignStats& stats) {
         const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
         ExperimentFault experiment = normalize(fault, rng);
         experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
@@ -379,7 +341,8 @@ FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& conf
           case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
           case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
         }
-      });
+      },
+      config.cancel, config.onProgress);
 }
 
 void DetectionMechanismCounts::merge(const DetectionMechanismCounts& other) {

@@ -1,0 +1,360 @@
+#include "faults/system_campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bbw/guest_programs.hpp"
+#include "exec/chunked_campaign.hpp"
+
+namespace nlft::fi {
+
+namespace {
+
+using bbw::BbwSimConfig;
+using bbw::BbwSimResult;
+using bbw::BbwSystemSim;
+using util::SimTime;
+
+constexpr net::NodeId kNodeCount = 6;  // CU-A, CU-B, four wheel nodes
+
+[[nodiscard]] bool isWheelNode(net::NodeId id) { return id >= bbw::kWheelNodeBase; }
+
+/// Guest images and their golden costs, resolved once per campaign and
+/// shared read-only across worker threads.
+struct GuestContext {
+  TaskImage wheel;
+  TaskImage cu;
+  std::uint64_t wheelGoldenInstructions = 0;
+  std::uint64_t cuGoldenInstructions = 0;
+
+  [[nodiscard]] const TaskImage& imageFor(net::NodeId id) const {
+    return isWheelNode(id) ? wheel : cu;
+  }
+  [[nodiscard]] std::uint64_t goldenInstructionsFor(net::NodeId id) const {
+    return isWheelNode(id) ? wheelGoldenInstructions : cuGoldenInstructions;
+  }
+};
+
+GuestContext makeGuestContext() {
+  GuestContext ctx;
+  bool haveWheel = false;
+  bool haveCu = false;
+  for (const bbw::GuestProgram& program : bbw::guestPrograms()) {
+    if (program.name == "wheel") {
+      ctx.wheel = program.makeNominalImage();
+      haveWheel = true;
+    } else if (program.name == "cu") {
+      ctx.cu = program.makeNominalImage();
+      haveCu = true;
+    }
+  }
+  if (!haveWheel || !haveCu) {
+    throw std::runtime_error("system campaign: wheel/cu guest programs missing");
+  }
+  ctx.wheelGoldenInstructions = goldenRun(ctx.wheel).instructions;
+  ctx.cuGoldenInstructions = goldenRun(ctx.cu).instructions;
+  return ctx;
+}
+
+/// Which BbwSystemSim hook replays a node-level outcome into the system.
+enum class Injection : std::uint8_t {
+  None,           ///< fault not activated: the run equals the golden stop
+  Computation,    ///< one copy computes wrong (masked by comparison+vote)
+  DetectedError,  ///< EDM error in one copy (replacement / fail-silent)
+  Omission,       ///< the job's result is suppressed (no command)
+  Value,          ///< every copy computes the same wrong result (undetected)
+};
+
+/// Classifies the machine-level experiment and folds it into node-level
+/// counts + the system injection that replays the outcome.
+Injection classifyMachineFault(const SystemCampaignConfig& config, const GuestContext& ctx,
+                               const SystemScenario& scenario, NodeLevelCounts& counts) {
+  const TaskImage& image = ctx.imageFor(scenario.targets.front());
+  ++counts.injected;
+  if (config.nodeType == bbw::NodeType::Nlft) {
+    switch (runTemExperiment(image, scenario.fault, config.jobBudgetFactor)) {
+      case TemOutcome::NotActivated: ++counts.notActivated; return Injection::None;
+      case TemOutcome::MaskedByEcc: ++counts.maskedByEcc; return Injection::None;
+      case TemOutcome::MaskedByVote: ++counts.masked; return Injection::Computation;
+      case TemOutcome::MaskedByRestart: ++counts.masked; return Injection::DetectedError;
+      case TemOutcome::OmissionVoteFailed:
+      case TemOutcome::OmissionNoBudget: ++counts.omission; return Injection::Omission;
+      case TemOutcome::UndetectedWrongOutput: ++counts.undetected; return Injection::Value;
+    }
+  } else {
+    switch (runFsExperiment(image, scenario.fault)) {
+      case FsOutcome::NotActivated: ++counts.notActivated; return Injection::None;
+      case FsOutcome::MaskedByEcc: ++counts.maskedByEcc; return Injection::None;
+      case FsOutcome::FailSilent: ++counts.failSilent; return Injection::DetectedError;
+      case FsOutcome::DetectedByEndToEnd: ++counts.omission; return Injection::Omission;
+      case FsOutcome::UndetectedWrongOutput: ++counts.undetected; return Injection::Value;
+    }
+  }
+  return Injection::None;
+}
+
+[[nodiscard]] std::uint64_t omissionCount(const BbwSimResult& result) {
+  std::uint64_t total = result.commandsOmitted;
+  for (const std::uint64_t omissions : result.wheelOmissions) total += omissions;
+  return total;
+}
+
+SystemOutcome classifyOutcome(const SystemCampaignConfig& config, const BbwSimResult& golden,
+                              const BbwSimResult& run) {
+  if (!run.stopped || run.stoppingDistanceM > golden.stoppingDistanceM + config.missedStopMarginM) {
+    return SystemOutcome::MissedStop;
+  }
+  if (run.undetectedValueDeliveries > 0) return SystemOutcome::ValueFailure;
+  if (run.failSilentEvents > 0) return SystemOutcome::FailSilentDegradation;
+  if (omissionCount(run) > omissionCount(golden) ||
+      run.busFramesDropped > golden.busFramesDropped) {
+    return SystemOutcome::OmissionDegradation;
+  }
+  if (std::abs(run.stoppingDistanceM - golden.stoppingDistanceM) > config.maskToleranceM) {
+    return SystemOutcome::OmissionDegradation;
+  }
+  return SystemOutcome::Masked;
+}
+
+BbwSimConfig makeSimConfig(const SystemCampaignConfig& config) {
+  BbwSimConfig sim = config.sim;
+  sim.nodeType = config.nodeType;
+  return sim;
+}
+
+SystemScenario sampleScenarioImpl(const SystemCampaignConfig& config, util::Rng& rng,
+                                  const GuestContext& ctx) {
+  SystemScenario scenario;
+  const double total = config.machineTransientWeight + config.busCorruptionWeight +
+                       config.nodeCrashWeight + config.correlatedBurstWeight;
+  if (total <= 0.0) throw std::invalid_argument("system campaign: all scenario weights zero");
+  const double pick = rng.uniform(0.0, total);
+  if (pick < config.machineTransientWeight) {
+    scenario.kind = ScenarioKind::MachineTransient;
+  } else if (pick < config.machineTransientWeight + config.busCorruptionWeight) {
+    scenario.kind = ScenarioKind::BusCorruption;
+  } else if (pick <
+             config.machineTransientWeight + config.busCorruptionWeight + config.nodeCrashWeight) {
+    scenario.kind = ScenarioKind::NodeCrash;
+  } else {
+    scenario.kind = ScenarioKind::CorrelatedBurst;
+  }
+
+  scenario.at = SimTime::fromUs(static_cast<std::int64_t>(
+      std::llround(rng.uniform(config.injectEarliestS, config.injectLatestS) * 1e6)));
+
+  const auto pickNode = [&rng] {
+    return static_cast<net::NodeId>(1 + rng.uniformInt(kNodeCount));
+  };
+  switch (scenario.kind) {
+    case ScenarioKind::MachineTransient: {
+      const net::NodeId target = pickNode();
+      scenario.targets.push_back(target);
+      scenario.fault = sampleFault(ctx.imageFor(target), ctx.goldenInstructionsFor(target),
+                                   config.mix, rng);
+      break;
+    }
+    case ScenarioKind::BusCorruption: {
+      scenario.targets.push_back(pickNode());
+      const std::size_t flips = 1 + rng.uniformInt(3);
+      for (std::size_t i = 0; i < flips; ++i) {
+        scenario.flipBits.push_back(static_cast<std::uint32_t>(rng.uniformInt(512)));
+      }
+      break;
+    }
+    case ScenarioKind::NodeCrash:
+      scenario.targets.push_back(pickNode());
+      break;
+    case ScenarioKind::CorrelatedBurst: {
+      // A burst strikes 2..3 distinct nodes simultaneously (e.g. a power
+      // glitch over one cabinet) — beyond the paper's independence
+      // assumption, mirroring sys::CorrelationModel.
+      const std::size_t count = 2 + rng.uniformInt(2);
+      while (scenario.targets.size() < count) {
+        const net::NodeId candidate = pickNode();
+        if (std::find(scenario.targets.begin(), scenario.targets.end(), candidate) ==
+            scenario.targets.end()) {
+          scenario.targets.push_back(candidate);
+        }
+      }
+      break;
+    }
+  }
+  return scenario;
+}
+
+SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
+                                         const SystemScenario& scenario,
+                                         const BbwSimResult& golden, const GuestContext& ctx) {
+  SystemExperiment experiment;
+  experiment.scenario = scenario;
+  if (scenario.targets.empty()) throw std::invalid_argument("system scenario without targets");
+
+  Injection injection = Injection::None;
+  if (scenario.kind == ScenarioKind::MachineTransient) {
+    injection = classifyMachineFault(config, ctx, scenario, experiment.nodeLevel);
+    if (injection == Injection::None) {
+      // The fault never became an error (or ECC absorbed it): the stop is
+      // identical to the golden run, so skip the simulation.
+      experiment.outcome = SystemOutcome::Masked;
+      experiment.sim = golden;
+      return experiment;
+    }
+  }
+
+  BbwSystemSim sim{makeSimConfig(config)};
+  const net::NodeId target = scenario.targets.front();
+  switch (scenario.kind) {
+    case ScenarioKind::MachineTransient:
+      switch (injection) {
+        case Injection::Computation: sim.injectComputationFault(target, scenario.at); break;
+        case Injection::DetectedError: sim.injectDetectedError(target, scenario.at); break;
+        case Injection::Omission: sim.injectOmissionFailure(target, scenario.at); break;
+        case Injection::Value: sim.injectValueFailure(target, scenario.at); break;
+        case Injection::None: break;
+      }
+      break;
+    case ScenarioKind::BusCorruption:
+      sim.injectBusCorruption(target, scenario.at, scenario.flipBits);
+      break;
+    case ScenarioKind::NodeCrash:
+      sim.injectKernelError(target, scenario.at);
+      break;
+    case ScenarioKind::CorrelatedBurst:
+      for (const net::NodeId node : scenario.targets) sim.injectKernelError(node, scenario.at);
+      break;
+  }
+  experiment.sim = sim.run();
+  experiment.outcome = classifyOutcome(config, golden, experiment.sim);
+  return experiment;
+}
+
+/// Shared by the bbw:: and sys:: parameter overloads (identical fields).
+template <typename Params>
+Params applyMeasuredCoverage(const CoverageEstimate& measured, Params base) {
+  const double coverage = measured.coverage.proportion;
+  base.coverage = coverage;
+  if (coverage > 0.0) {
+    base.pMask = std::min(1.0, measured.pMask.proportion / coverage);
+    base.pOmission = std::min(1.0, measured.pOmission.proportion / coverage);
+    base.pFailSilent = std::max(0.0, 1.0 - base.pMask - base.pOmission);
+  }
+  return base;
+}
+
+}  // namespace
+
+const char* describe(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::MachineTransient: return "machine-transient";
+    case ScenarioKind::BusCorruption: return "bus-corruption";
+    case ScenarioKind::NodeCrash: return "node-crash";
+    case ScenarioKind::CorrelatedBurst: return "correlated-burst";
+  }
+  return "?";
+}
+
+const char* describe(SystemOutcome outcome) {
+  switch (outcome) {
+    case SystemOutcome::Masked: return "masked";
+    case SystemOutcome::OmissionDegradation: return "omission-degradation";
+    case SystemOutcome::FailSilentDegradation: return "fail-silent-degradation";
+    case SystemOutcome::ValueFailure: return "value-failure";
+    case SystemOutcome::MissedStop: return "missed-stop";
+  }
+  return "?";
+}
+
+void NodeLevelCounts::merge(const NodeLevelCounts& other) {
+  injected += other.injected;
+  notActivated += other.notActivated;
+  maskedByEcc += other.maskedByEcc;
+  masked += other.masked;
+  omission += other.omission;
+  failSilent += other.failSilent;
+  undetected += other.undetected;
+}
+
+util::ProportionEstimate NodeLevelCounts::pMask() const {
+  return util::wilsonInterval(masked, activated());
+}
+
+util::ProportionEstimate NodeLevelCounts::pOmission() const {
+  return util::wilsonInterval(omission, activated());
+}
+
+util::ProportionEstimate NodeLevelCounts::pFailSilent() const {
+  return util::wilsonInterval(failSilent, activated());
+}
+
+util::ProportionEstimate NodeLevelCounts::coverage() const {
+  return util::wilsonInterval(activated() - undetected, activated());
+}
+
+void SystemCampaignStats::merge(const SystemCampaignStats& other) {
+  experiments += other.experiments;
+  for (std::size_t o = 0; o < kSystemOutcomeCount; ++o) outcomes[o] += other.outcomes[o];
+  for (std::size_t k = 0; k < kScenarioKindCount; ++k) {
+    for (std::size_t o = 0; o < kSystemOutcomeCount; ++o) {
+      outcomesByKind[k][o] += other.outcomesByKind[k][o];
+    }
+  }
+  nodeLevel.merge(other.nodeLevel);
+  stoppingDistanceM.merge(other.stoppingDistanceM);
+  stops += other.stops;
+}
+
+CoverageEstimate measuredCoverage(const SystemCampaignStats& stats) {
+  CoverageEstimate estimate;
+  estimate.pMask = stats.nodeLevel.pMask();
+  estimate.pOmission = stats.nodeLevel.pOmission();
+  estimate.pFailSilent = stats.nodeLevel.pFailSilent();
+  estimate.coverage = stats.nodeLevel.coverage();
+  return estimate;
+}
+
+bbw::ReliabilityParameters withMeasuredCoverage(const CoverageEstimate& measured,
+                                                bbw::ReliabilityParameters base) {
+  return applyMeasuredCoverage(measured, base);
+}
+
+sys::NodeParameters withMeasuredCoverage(const CoverageEstimate& measured,
+                                         sys::NodeParameters base) {
+  return applyMeasuredCoverage(measured, base);
+}
+
+SystemScenario sampleScenario(const SystemCampaignConfig& config, util::Rng& rng) {
+  return sampleScenarioImpl(config, rng, makeGuestContext());
+}
+
+bbw::BbwSimResult goldenStop(const SystemCampaignConfig& config) {
+  BbwSystemSim sim{makeSimConfig(config)};
+  return sim.run();
+}
+
+SystemExperiment runSystemExperiment(const SystemCampaignConfig& config,
+                                     const SystemScenario& scenario,
+                                     const bbw::BbwSimResult& golden) {
+  return runSystemExperimentImpl(config, scenario, golden, makeGuestContext());
+}
+
+SystemCampaignStats runSystemCampaign(const SystemCampaignConfig& config) {
+  const GuestContext ctx = makeGuestContext();
+  const BbwSimResult golden = goldenStop(config);
+  return exec::runChunkedCampaign<SystemCampaignStats>(
+      config.experiments, config.seed, config.parallelism, "runSystemCampaign",
+      [&](util::Rng& rng, SystemCampaignStats& stats) {
+        const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx);
+        const SystemExperiment experiment = runSystemExperimentImpl(config, scenario, golden, ctx);
+        ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
+        ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
+                              [static_cast<std::size_t>(experiment.outcome)];
+        stats.nodeLevel.merge(experiment.nodeLevel);
+        stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
+        if (experiment.sim.stopped) ++stats.stops;
+      },
+      config.cancel, config.onProgress);
+}
+
+}  // namespace nlft::fi

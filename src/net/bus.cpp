@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/crc.hpp"
+
 namespace nlft::net {
+
+std::uint16_t frameCrc(const std::vector<std::uint32_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(payload.size() * 4);
+  for (const std::uint32_t word : payload) {
+    bytes.push_back(static_cast<std::uint8_t>(word));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+  }
+  return util::crc16Ccitt(bytes);
+}
+
+void flipFrameBit(Frame& frame, std::uint32_t bitIndex) {
+  const std::uint32_t payloadBits = static_cast<std::uint32_t>(frame.payload.size()) * 32;
+  const std::uint32_t totalBits = payloadBits + 16;
+  bitIndex %= totalBits;
+  if (bitIndex < payloadBits) {
+    frame.payload[bitIndex / 32] ^= 1u << (bitIndex % 32);
+  } else {
+    frame.crc = static_cast<std::uint16_t>(frame.crc ^ (1u << (bitIndex - payloadBits)));
+  }
+}
 
 TdmaBus::TdmaBus(sim::Simulator& simulator, TdmaConfig config)
     : simulator_{simulator}, config_{std::move(config)} {
@@ -40,7 +65,20 @@ bool TdmaBus::nodeSilent(NodeId node) const {
   return it != silent_.end() && it->second;
 }
 
-void TdmaBus::corruptNextFrame(NodeId node) { corruptNext_[node] = true; }
+void TdmaBus::corruptNextFrame(NodeId node) { corruptNext_[node] = {0}; }
+
+void TdmaBus::corruptNextFrame(NodeId node, std::vector<std::uint32_t> flipBits) {
+  if (flipBits.empty()) flipBits.push_back(0);
+  corruptNext_[node] = std::move(flipBits);
+}
+
+std::vector<std::uint32_t> TdmaBus::takeCorruption(NodeId node) {
+  const auto it = corruptNext_.find(node);
+  if (it == corruptNext_.end()) return {};
+  std::vector<std::uint32_t> bits = std::move(it->second);
+  corruptNext_.erase(it);
+  return bits;
+}
 
 void TdmaBus::setBabbling(NodeId node, bool babbling) { babbling_[node] = babbling; }
 
@@ -99,8 +137,13 @@ void TdmaBus::runStaticSlot(std::uint32_t slot) {
   if (collision) {
     // The owner's frame is destroyed by the overlapping transmission;
     // receivers see garbage and their CRC check drops it.
+    Frame destroyed;
+    destroyed.sender = owner;
+    destroyed.slot = slot;
+    destroyed.payload = std::move(it->second);
     pendingStatic_.erase(it);
     ++dropped_;
+    if (dropTap_) dropTap_(destroyed, "collision");
     return;
   }
   Frame frame;
@@ -108,12 +151,7 @@ void TdmaBus::runStaticSlot(std::uint32_t slot) {
   frame.slot = slot;
   frame.payload = std::move(it->second);
   pendingStatic_.erase(it);
-  bool corrupted = false;
-  if (auto corrupt = corruptNext_.find(owner); corrupt != corruptNext_.end() && corrupt->second) {
-    corrupt->second = false;
-    corrupted = true;
-  }
-  deliver(std::move(frame), corrupted);
+  deliver(std::move(frame), takeCorruption(owner));
 }
 
 void TdmaBus::runDynamicSegment() {
@@ -132,27 +170,32 @@ void TdmaBus::runDynamicSegment() {
       continue;
     }
     ++used;
-    bool corrupted = false;
-    if (auto corrupt = corruptNext_.find(frame.sender);
-        corrupt != corruptNext_.end() && corrupt->second) {
-      corrupt->second = false;
-      corrupted = true;
-    }
+    std::vector<std::uint32_t> flipBits = takeCorruption(frame.sender);
     simulator_.scheduleAfter(config_.minislotLength * static_cast<std::int64_t>(used),
-                             [this, frame = std::move(frame), corrupted]() mutable {
-                               deliver(std::move(frame), corrupted);
+                             [this, frame = std::move(frame),
+                              flipBits = std::move(flipBits)]() mutable {
+                               deliver(std::move(frame), std::move(flipBits));
                              },
                              sim::EventPriority::Network);
   }
   pendingDynamic_ = std::move(keep);
 }
 
-void TdmaBus::deliver(Frame frame, bool corrupted) {
-  // The CRC-16 protecting each frame catches any injected corruption; a
-  // corrupted frame is dropped by every receiver (and therefore by all of
-  // them consistently — an atomic broadcast property of TDMA buses).
-  if (corrupted) {
+void TdmaBus::deliver(Frame frame, std::vector<std::uint32_t> flipBits) {
+  // Transmission stamps the frame check sequence; injected corruption then
+  // strikes the frame in transit (after the CRC is computed, as on a real
+  // bus). Every receiver recomputes the CRC and drops the frame on mismatch
+  // — and since all receivers see the same bits, they drop it consistently
+  // (the atomic broadcast property of TDMA buses).
+  frame.crc = frameCrc(frame.payload);
+  if (!flipBits.empty()) {
+    ++corruptionsInjected_;
+    for (const std::uint32_t bit : flipBits) flipFrameBit(frame, bit);
+  }
+  if (frameCrc(frame.payload) != frame.crc) {
     ++dropped_;
+    ++crcRejected_;
+    if (dropTap_) dropTap_(frame, "crc");
     return;
   }
   ++delivered_;

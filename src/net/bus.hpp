@@ -37,7 +37,19 @@ struct Frame {
   std::uint32_t slot = 0;      ///< static slot index, or ~0u for dynamic frames
   std::uint32_t priority = 0;  ///< dynamic frames: lower value wins arbitration
   std::vector<std::uint32_t> payload;
+  std::uint16_t crc = 0;  ///< frame check sequence, stamped at transmission
 };
+
+/// CRC-16-CCITT over the payload words (little-endian byte order) — the
+/// frame check sequence every transmitted frame carries. The generator
+/// polynomial 0x1021 has Hamming distance 4 over these frame sizes, so ANY
+/// 1-, 2- or 3-bit corruption is guaranteed to be caught at the receiver.
+[[nodiscard]] std::uint16_t frameCrc(const std::vector<std::uint32_t>& payload);
+
+/// Flips one bit of a frame in transit. The bit index space covers the
+/// payload first (32 bits per word, little-endian) and then the 16 CRC
+/// bits; indices wrap modulo the frame length.
+void flipFrameBit(Frame& frame, std::uint32_t bitIndex);
 
 struct TdmaConfig {
   Duration slotLength = Duration::milliseconds(1);
@@ -74,8 +86,20 @@ class TdmaBus {
   [[nodiscard]] bool nodeSilent(NodeId node) const;
 
   /// Fault injection: the next transmitted frame of `node` is corrupted in
-  /// transit (receivers' CRC check drops it).
+  /// transit (one bit flip; the receivers' CRC check drops the frame).
   void corruptNextFrame(NodeId node);
+
+  /// Fault injection with explicit fault locations: flips the given bits of
+  /// the node's next transmitted frame (payload bits first, then the 16 CRC
+  /// bits; indices wrap modulo the frame length). Receivers verify the CRC
+  /// and drop the frame on mismatch — with 1..3 flipped bits the CRC-16
+  /// catches the corruption with certainty (Hamming distance 4).
+  void corruptNextFrame(NodeId node, std::vector<std::uint32_t> flipBits);
+
+  /// Observer for dropped frames: (frame, reason) with reason "crc" (failed
+  /// frame check) or "collision" (destroyed by a babbling transmission).
+  using DropTap = std::function<void(const Frame&, const char* reason)>;
+  void setDropTap(DropTap tap) { dropTap_ = std::move(tap); }
 
   /// Fault injection: `node` becomes a babbling idiot — it transmits in
   /// EVERY static slot. Without a bus guardian, its babble collides with
@@ -96,6 +120,10 @@ class TdmaBus {
   [[nodiscard]] std::uint64_t cyclesCompleted() const { return cycles_; }
   [[nodiscard]] std::uint64_t framesDelivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t framesDropped() const { return dropped_; }
+  /// Frames that had injected corruption applied in transit.
+  [[nodiscard]] std::uint64_t corruptionsInjected() const { return corruptionsInjected_; }
+  /// Frames dropped because the receiver-side CRC check failed.
+  [[nodiscard]] std::uint64_t crcRejected() const { return crcRejected_; }
 
   [[nodiscard]] const TdmaConfig& config() const { return config_; }
 
@@ -107,8 +135,10 @@ class TdmaBus {
 
   void runStaticSlot(std::uint32_t slot);
   void runDynamicSegment();
-  void deliver(Frame frame, bool corrupted);
+  void deliver(Frame frame, std::vector<std::uint32_t> flipBits);
   void scheduleNextCycle();
+  /// Consumes the pending corruption for `node` (empty = none pending).
+  std::vector<std::uint32_t> takeCorruption(NodeId node);
 
   sim::Simulator& simulator_;
   TdmaConfig config_;
@@ -116,12 +146,15 @@ class TdmaBus {
   std::map<NodeId, std::vector<std::uint32_t>> pendingStatic_;
   std::deque<Frame> pendingDynamic_;
   std::map<NodeId, bool> silent_;
-  std::map<NodeId, bool> corruptNext_;
+  std::map<NodeId, std::vector<std::uint32_t>> corruptNext_;
   std::map<NodeId, bool> babbling_;
+  DropTap dropTap_;
   bool guardian_ = false;
   std::uint64_t cycles_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t corruptionsInjected_ = 0;
+  std::uint64_t crcRejected_ = 0;
   std::uint64_t babbleCollisions_ = 0;
   std::uint64_t babbleBlocked_ = 0;
   bool started_ = false;

@@ -105,12 +105,14 @@ void MembershipService::onCycle() {
           ++peer.consecutiveHeard;
           if (!peer.member && peer.consecutiveHeard >= config_.reintegrationCycles) {
             peer.member = true;
+            if (membershipTap_) membershipTap_(observerId, peerId, true);
           }
         } else {
           peer.consecutiveHeard = 0;
           ++peer.consecutiveMissed;
           if (peer.member && peer.consecutiveMissed >= config_.missTolerance) {
             peer.member = false;
+            if (membershipTap_) membershipTap_(observerId, peerId, false);
           }
         }
       }

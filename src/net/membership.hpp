@@ -57,6 +57,11 @@ class MembershipService {
   using AppReceiveFn = std::function<void(NodeId, NodeId, const std::vector<std::uint32_t>&)>;
   void setAppReceive(AppReceiveFn fn) { appReceive_ = std::move(fn); }
 
+  /// Observer for membership transitions: (observer, peer, nowMember) fires
+  /// whenever `observer` expels or re-admits `peer` from its local view.
+  using MembershipTap = std::function<void(NodeId, NodeId, bool)>;
+  void setMembershipTap(MembershipTap tap) { membershipTap_ = std::move(tap); }
+
   /// Must be called once after all nodes are added; also starts the bus.
   void start();
 
@@ -81,6 +86,7 @@ class MembershipService {
   MembershipConfig config_;
   std::map<NodeId, NodeState> nodes_;
   AppReceiveFn appReceive_;
+  MembershipTap membershipTap_;
   bool started_ = false;
 };
 

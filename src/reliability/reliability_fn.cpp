@@ -23,4 +23,21 @@ double mttfByIntegration(const ReliabilityFn& fn, double horizonHint) {
   return util::integrateToInfinity(fn, horizonHint, 1e-9);
 }
 
+std::vector<ReliabilityComparison> compareReliability(const ReliabilityFn& baseline,
+                                                      const ReliabilityFn& alternative,
+                                                      const std::vector<double>& checkpointHours) {
+  std::vector<ReliabilityComparison> rows;
+  rows.reserve(checkpointHours.size());
+  for (const double t : checkpointHours) {
+    ReliabilityComparison row;
+    row.tHours = t;
+    row.baseline = baseline(t);
+    row.alternative = alternative(t);
+    row.relativeDelta =
+        row.baseline != 0.0 ? (row.alternative - row.baseline) / row.baseline : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace nlft::rel

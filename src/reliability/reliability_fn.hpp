@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "reliability/ctmc.hpp"
 
@@ -24,5 +25,20 @@ using ReliabilityFn = std::function<double(double)>;
 /// MTTF of an arbitrary reliability function by numeric integration.
 /// `horizonHint` (hours) sets the first integration window.
 [[nodiscard]] double mttfByIntegration(const ReliabilityFn& fn, double horizonHint);
+
+/// One comparison point of a baseline vs an alternative reliability model
+/// (e.g. paper-assumed vs measured-coverage parameters).
+struct ReliabilityComparison {
+  double tHours = 0.0;
+  double baseline = 0.0;
+  double alternative = 0.0;
+  /// (alternative - baseline) / baseline; 0 when the baseline is 0.
+  double relativeDelta = 0.0;
+};
+
+/// Evaluates both functions at every checkpoint, side by side.
+[[nodiscard]] std::vector<ReliabilityComparison> compareReliability(
+    const ReliabilityFn& baseline, const ReliabilityFn& alternative,
+    const std::vector<double>& checkpointHours);
 
 }  // namespace nlft::rel

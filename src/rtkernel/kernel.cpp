@@ -42,6 +42,7 @@ void Job::killRunningCopy() {
 void Job::complete(std::vector<std::uint32_t> result) {
   if (finished_) return;
   kernel_.mutableStats(task_).completions++;
+  kernel_.emitEvent(KernelEvent::Kind::JobCompleted, task_, index_);
   if (kernel_.resultSink_) {
     kernel_.resultSink_(JobResult{task_, index_, std::move(result), kernel_.simulator_.now()});
   }
@@ -51,6 +52,7 @@ void Job::complete(std::vector<std::uint32_t> result) {
 void Job::omit() {
   if (finished_) return;
   kernel_.mutableStats(task_).omissions++;
+  kernel_.emitEvent(KernelEvent::Kind::JobOmitted, task_, index_);
   finish();
 }
 
@@ -109,6 +111,7 @@ void RtKernel::start() {
 
 void RtKernel::stop() {
   stopped_ = true;
+  emitEvent(KernelEvent::Kind::Stopped);
   // Intentional silence: the watchdog must not fire on top of it.
   if (watchdog_) watchdog_->disable();
   for (auto& task : tasks_) {
@@ -130,6 +133,7 @@ void RtKernel::stop() {
 void RtKernel::restart() {
   if (!stopped_) return;
   stopped_ = false;
+  emitEvent(KernelEvent::Kind::Restarted);
   start();
 }
 
@@ -213,6 +217,8 @@ void RtKernel::releaseSporadic(TaskId task) {
 void RtKernel::reportTaskError(TaskId task, const ErrorEvent& event) {
   TaskEntry& taskEntry = entry(task);
   taskEntry.stats.errorsDetected++;
+  emitEvent(KernelEvent::Kind::TaskError, task,
+            taskEntry.activeJob ? taskEntry.activeJob->index() : 0);
   if (taskEntry.activeJob && taskEntry.activeJob->errorHandler_) {
     taskEntry.activeJob->errorHandler_(event);
   }
@@ -220,9 +226,19 @@ void RtKernel::reportTaskError(TaskId task, const ErrorEvent& event) {
 
 void RtKernel::reportKernelError(const ErrorEvent&) {
   ++kernelErrors_;
+  emitEvent(KernelEvent::Kind::KernelError);
   // Strategy 3 (Section 2.2): errors in the kernel silence the node.
   stop();
   if (failSilent_) failSilent_();
+}
+
+void RtKernel::emitEvent(KernelEvent::Kind kind, TaskId task, std::uint64_t jobIndex) {
+  if (!eventTap_) return;
+  KernelEvent event;
+  event.kind = kind;
+  event.task = task;
+  event.jobIndex = jobIndex;
+  eventTap_(event);
 }
 
 void RtKernel::disableTask(TaskId task) {

@@ -47,6 +47,23 @@ struct ErrorEvent {
   int detail = 0;  ///< e.g. hw::ExceptionKind as int
 };
 
+/// One kernel-level event, streamed to an external tap (golden-trace
+/// recording, observers). Job/task fields are valid for the job- and
+/// task-scoped kinds only.
+struct KernelEvent {
+  enum class Kind : std::uint8_t {
+    JobCompleted,  ///< job delivered a result
+    JobOmitted,    ///< job finished with an omission (no result)
+    TaskError,     ///< detected error routed to a task
+    KernelError,   ///< kernel-internal error (leads to Stopped)
+    Stopped,       ///< kernel went silent
+    Restarted,     ///< kernel came back up
+  };
+  Kind kind = Kind::JobCompleted;
+  TaskId task{};
+  std::uint64_t jobIndex = 0;
+};
+
 /// A delivered job result (the "write output" of the task loop).
 struct JobResult {
   TaskId task;
@@ -131,6 +148,11 @@ class RtKernel {
   /// Receives every delivered job result (e.g. the network layer).
   void setResultSink(ResultSink sink) { resultSink_ = std::move(sink); }
 
+  /// Streams kernel-level events (job completion/omission, detected errors,
+  /// stop/restart) to an observer; one tap per kernel.
+  using EventTap = std::function<void(const KernelEvent&)>;
+  void setEventTap(EventTap tap) { eventTap_ = std::move(tap); }
+
   /// Invoked when the kernel decides the node must become silent
   /// (kernel-internal error, Section 2.2 strategy 3).
   void setFailSilentHook(std::function<void()> hook) { failSilent_ = std::move(hook); }
@@ -197,10 +219,13 @@ class RtKernel {
   /// finish() is regularly reached from inside the job's own callbacks.
   void retire(std::unique_ptr<Job> job);
 
+  void emitEvent(KernelEvent::Kind kind, TaskId task = {}, std::uint64_t jobIndex = 0);
+
   sim::Simulator& simulator_;
   Cpu& cpu_;
   std::vector<TaskEntry> tasks_;
   ResultSink resultSink_;
+  EventTap eventTap_;
   std::function<void()> failSilent_;
   bool stopped_ = false;
   std::uint64_t kernelErrors_ = 0;

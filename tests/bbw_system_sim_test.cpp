@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 namespace nlft::bbw {
 namespace {
 
@@ -255,6 +257,46 @@ TEST(BbwSystem, SoakTestManySequentialFaultsAllMasked) {
     EXPECT_EQ(result.wheelOmissions[w], 0u) << w;
   }
   EXPECT_NEAR(result.stoppingDistanceM, clean.stoppingDistanceM, 0.3);
+}
+
+TEST(BbwSystem, CuFailoverAccountingAndMembership) {
+  // Kill CU-A mid-stop and keep the restart outside the horizon so the
+  // duplex degradation is visible end to end.
+  BbwSimConfig config = baseConfig(NodeType::Nlft);
+  config.restartTime = Duration::seconds(60);
+  const BbwSimResult clean = BbwSystemSim{baseConfig(NodeType::Nlft)}.run();
+
+  BbwSystemSim sim{config};
+  std::vector<std::tuple<net::NodeId, net::NodeId, bool>> transitions;
+  sim.membership().setMembershipTap(
+      [&](net::NodeId observer, net::NodeId peer, bool member) {
+        transitions.emplace_back(observer, peer, member);
+      });
+  sim.injectKernelError(kCuA, SimTime::fromUs(500'000));
+  const BbwSimResult result = sim.run();
+
+  ASSERT_TRUE(result.stopped);
+  // The surviving CU keeps commanding: frames are still delivered every
+  // period, but the duplicate-drop count collapses once only one copy of
+  // each command is on the bus.
+  EXPECT_GT(result.commandFramesDelivered, 100u);
+  EXPECT_GT(clean.duplicateCommandsDropped, 0u);
+  EXPECT_LT(result.duplicateCommandsDropped, clean.duplicateCommandsDropped);
+  EXPECT_GT(result.duplicateCommandsDropped, 0u);  // duplex until the kill
+  EXPECT_EQ(result.failSilentEvents, 1u);
+  EXPECT_TRUE(result.nodesDownAtEnd.count(kCuA));
+
+  // Every live observer expelled CU-A from its membership view; nobody was
+  // re-admitted (the restart is outside the horizon).
+  std::set<net::NodeId> expellers;
+  for (const auto& [observer, peer, member] : transitions) {
+    EXPECT_EQ(peer, kCuA);
+    EXPECT_FALSE(member);
+    expellers.insert(observer);
+  }
+  EXPECT_EQ(expellers, (std::set<net::NodeId>{kCuB, 3, 4, 5, 6}));
+  EXPECT_FALSE(sim.membership().isMember(kCuB, kCuA));
+  EXPECT_TRUE(sim.membership().isMember(kCuB, kWheelNodeBase));
 }
 
 TEST(BbwSystem, DeterministicReplay) {

@@ -1,0 +1,56 @@
+// Pins the EXPERIMENTS.md headline numbers as regression goldens: the
+// reproduction's agreement with the paper's Section 5 figures must not
+// drift silently under refactoring.
+#include <gtest/gtest.h>
+
+#include "bbw/markov_models.hpp"
+#include "bbw/params.hpp"
+
+namespace nlft::bbw {
+namespace {
+
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+struct ExperimentsGolden : ::testing::Test {
+  BbwStudy study{};  // paper defaults (Section 5 parameters)
+};
+
+// EXPERIMENTS.md headline table: R(1 year) in degraded mode. The paper
+// reads ~0.45 (fail-silent) and ~0.70 (NLFT) off Fig. 12; the reproduction
+// measures 0.464 and 0.712.
+TEST_F(ExperimentsGolden, OneYearDegradedReliability) {
+  EXPECT_NEAR(study.systemReliability(NodeType::FailSilent, FunctionalityMode::Degraded,
+                                      kHoursPerYear),
+              0.464, 1e-3);
+  EXPECT_NEAR(
+      study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, kHoursPerYear),
+      0.712, 1e-3);
+}
+
+// EXPERIMENTS.md headline table: MTTF in degraded mode, in years. The paper
+// gives ~1.2 (fail-silent) and ~1.9 (NLFT); the reproduction measures
+// 1.195 and 1.927.
+TEST_F(ExperimentsGolden, DegradedMttfYears) {
+  EXPECT_NEAR(study.systemMttfHours(NodeType::FailSilent, FunctionalityMode::Degraded) /
+                  kHoursPerYear,
+              1.195, 1e-3);
+  EXPECT_NEAR(
+      study.systemMttfHours(NodeType::Nlft, FunctionalityMode::Degraded) / kHoursPerYear,
+      1.927, 1e-3);
+}
+
+// The paper's central claim in ordering form: NLFT beats the fail-silent
+// baseline in both modes, and degraded mode beats full functionality.
+TEST_F(ExperimentsGolden, NlftDominatesFailSilent) {
+  for (const FunctionalityMode mode : {FunctionalityMode::Full, FunctionalityMode::Degraded}) {
+    EXPECT_GT(study.systemReliability(NodeType::Nlft, mode, kHoursPerYear),
+              study.systemReliability(NodeType::FailSilent, mode, kHoursPerYear));
+    EXPECT_GT(study.systemMttfHours(NodeType::Nlft, mode),
+              study.systemMttfHours(NodeType::FailSilent, mode));
+  }
+  EXPECT_GT(study.systemReliability(NodeType::Nlft, FunctionalityMode::Degraded, kHoursPerYear),
+            study.systemReliability(NodeType::Nlft, FunctionalityMode::Full, kHoursPerYear));
+}
+
+}  // namespace
+}  // namespace nlft::bbw

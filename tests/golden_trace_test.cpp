@@ -1,0 +1,89 @@
+// Golden-trace regression harness: every catalogued fault scenario must
+// reproduce its checked-in event trace line-for-line, and the harness must
+// catch an intentional behavioural perturbation (self-test).
+//
+// To update the goldens after an INTENDED change:
+//   build/tools/record-golden-traces tests/golden
+#include "faults/golden_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace nlft::fi {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string{NLFT_GOLDEN_DIR} + "/" + name + ".trace";
+}
+
+TEST(GoldenTrace, CatalogueIsNonTrivial) {
+  const auto names = goldenScenarioNames();
+  EXPECT_GE(names.size(), 5u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const auto lines = recordScenarioTrace(name);
+    EXPECT_FALSE(lines.empty());
+  }
+}
+
+TEST(GoldenTrace, EveryScenarioMatchesItsCheckedInGolden) {
+  for (const std::string& name : goldenScenarioNames()) {
+    SCOPED_TRACE(name);
+    const auto expected = readTraceFile(goldenPath(name));
+    const auto actual = recordScenarioTrace(name);
+    const TraceDiff diff = compareTraces(expected, actual);
+    EXPECT_TRUE(diff.identical)
+        << name << ": first divergence at line " << diff.line << "\n  golden: " << diff.expected
+        << "\n  actual: " << diff.actual;
+  }
+}
+
+TEST(GoldenTrace, RecordingIsDeterministic) {
+  const auto a = recordScenarioTrace("cu-failover");
+  const auto b = recordScenarioTrace("cu-failover");
+  EXPECT_TRUE(compareTraces(a, b).identical);
+}
+
+// Self-test: a behavioural perturbation — here a faster node restart
+// (mu_R 3 s -> 2 s) — must show up as a trace divergence, otherwise the
+// harness would be vacuous.
+TEST(GoldenTrace, CatchesPerturbedRestartTime) {
+  const auto golden = readTraceFile(goldenPath("fs-kernel-error-restart"));
+  bbw::BbwSimConfig perturbed;
+  perturbed.restartTime = util::Duration::seconds(2);
+  const auto actual = recordScenarioTrace("fs-kernel-error-restart", perturbed);
+  const TraceDiff diff = compareTraces(golden, actual);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_GT(diff.line, 0u);
+  EXPECT_NE(diff.expected, diff.actual);
+}
+
+TEST(GoldenTrace, GoldenContainsRestartEvent) {
+  const auto golden = readTraceFile(goldenPath("fs-kernel-error-restart"));
+  const bool hasRestart = std::any_of(golden.begin(), golden.end(), [](const std::string& line) {
+    return line.find("node-restarted") != std::string::npos;
+  });
+  EXPECT_TRUE(hasRestart);  // the scenario exercises mu_R, not just the crash
+}
+
+TEST(GoldenTrace, CompareTracesReportsFirstDivergence) {
+  const std::vector<std::string> a{"x", "y", "z"};
+  const std::vector<std::string> b{"x", "q", "z"};
+  const TraceDiff diff = compareTraces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.line, 2u);
+  EXPECT_EQ(diff.expected, "y");
+  EXPECT_EQ(diff.actual, "q");
+
+  const TraceDiff shorter = compareTraces(a, {"x", "y"});
+  EXPECT_FALSE(shorter.identical);
+  EXPECT_EQ(shorter.line, 3u);
+  EXPECT_EQ(shorter.actual, "<missing>");
+
+  EXPECT_TRUE(compareTraces(a, a).identical);
+}
+
+}  // namespace
+}  // namespace nlft::fi

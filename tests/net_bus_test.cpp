@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
 namespace nlft::net {
 namespace {
 
@@ -206,6 +211,86 @@ TEST_F(BusFixture, SilencedBabblerStopsColliding) {
   simulator.runUntil(SimTime::fromUs(3900));
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(bus.babbleCollisions(), 0u);
+}
+
+// --- CRC-16 corruption property ---------------------------------------------
+//
+// The safety property behind every bus-corruption fault scenario: a frame
+// whose CRC check fails is NEVER delivered to a receiver, and every injected
+// corruption is accounted for — either rejected by the CRC or (for flip sets
+// that cancel out) delivered with a correct checksum. CRC-16-CCITT has
+// Hamming distance >= 4 at these frame sizes, so every 1..3-bit corruption
+// must be rejected.
+
+TEST_F(BusFixture, RandomizedCorruptionNeverDeliversBadCrc) {
+  TdmaBus bus{simulator, config};
+  std::uint64_t framesHeard = 0;
+  bus.attach(2, [&](const Frame& frame) {
+    ++framesHeard;
+    // Whatever arrives must carry a CRC consistent with its payload.
+    EXPECT_EQ(frame.crc, frameCrc(frame.payload));
+  });
+  bus.start();
+
+  util::Rng rng{2024};
+  const int kRounds = 200;
+  std::uint64_t corrupted = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::vector<std::uint32_t> payload{static_cast<std::uint32_t>(rng.next()),
+                                             static_cast<std::uint32_t>(rng.next()),
+                                             static_cast<std::uint32_t>(rng.next())};
+    const bool corrupt = rng.uniformInt(2) == 0;
+    if (corrupt) {
+      // 1..3 distinct flips anywhere in the frame (payload or CRC bits).
+      const std::size_t flips = 1 + rng.uniformInt(3);
+      std::vector<std::uint32_t> bits;
+      while (bits.size() < flips) {
+        const auto bit = static_cast<std::uint32_t>(rng.uniformInt(3 * 32 + 16));
+        if (std::find(bits.begin(), bits.end(), bit) == bits.end()) bits.push_back(bit);
+      }
+      bus.corruptNextFrame(1, bits);
+      ++corrupted;
+    }
+    bus.sendStatic(1, payload);
+    simulator.runUntil(SimTime::fromUs((round + 1) * 4000));  // one full cycle per round
+  }
+
+  // Every injected corruption was a <=3-bit error: all rejected, none heard.
+  EXPECT_EQ(bus.corruptionsInjected(), corrupted);
+  EXPECT_EQ(bus.crcRejected(), corrupted);
+  EXPECT_EQ(bus.framesDropped(), corrupted);
+  EXPECT_EQ(framesHeard, kRounds - corrupted);
+  // Conservation: every sent frame is either delivered or dropped.
+  EXPECT_EQ(bus.framesDelivered() + bus.framesDropped(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST_F(BusFixture, FlipFrameBitTargetsPayloadThenCrc) {
+  Frame frame;
+  frame.payload = {0x0, 0x0};
+  frame.crc = frameCrc(frame.payload);
+  Frame copy = frame;
+  flipFrameBit(copy, 33);  // second payload word, bit 1
+  EXPECT_EQ(copy.payload[1], 0x2u);
+  EXPECT_EQ(copy.crc, frame.crc);
+  copy = frame;
+  flipFrameBit(copy, 64);  // first CRC bit
+  EXPECT_EQ(copy.payload, frame.payload);
+  EXPECT_EQ(copy.crc, frame.crc ^ 1u);
+  copy = frame;
+  flipFrameBit(copy, 80);  // wraps modulo 64 payload + 16 crc bits
+  EXPECT_EQ(copy.payload[0], 0x1u);
+}
+
+TEST_F(BusFixture, DropTapSeesCorruptionReason) {
+  TdmaBus bus{simulator, config};
+  std::vector<std::string> reasons;
+  bus.setDropTap([&](const Frame&, const char* reason) { reasons.emplace_back(reason); });
+  bus.corruptNextFrame(1);
+  bus.sendStatic(1, {0xAB});
+  bus.start();
+  simulator.runUntil(SimTime::fromUs(3900));
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], "crc");
 }
 
 TEST_F(BusFixture, InvalidConfigRejected) {

@@ -1,0 +1,217 @@
+// System-level fault-injection campaign: deterministic parallel execution
+// (bit-identical statistics at every thread count), the system-level oracle,
+// and the measured-coverage feedback into the analytic reliability models.
+#include "faults/system_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "bbw/markov_models.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::fi {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+/// Small, fast campaign configuration: low speed + short horizon keeps each
+/// closed-loop stop cheap without changing any fault-handling mechanism.
+SystemCampaignConfig smallConfig() {
+  SystemCampaignConfig config;
+  config.experiments = 48;
+  config.seed = 7;
+  config.sim.initialSpeedMps = 15.0;
+  config.sim.horizon = Duration::seconds(8);
+  return config;
+}
+
+void expectIdentical(const SystemCampaignStats& a, const SystemCampaignStats& b) {
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.outcomesByKind, b.outcomesByKind);
+  EXPECT_EQ(a.nodeLevel.injected, b.nodeLevel.injected);
+  EXPECT_EQ(a.nodeLevel.notActivated, b.nodeLevel.notActivated);
+  EXPECT_EQ(a.nodeLevel.maskedByEcc, b.nodeLevel.maskedByEcc);
+  EXPECT_EQ(a.nodeLevel.masked, b.nodeLevel.masked);
+  EXPECT_EQ(a.nodeLevel.omission, b.nodeLevel.omission);
+  EXPECT_EQ(a.nodeLevel.failSilent, b.nodeLevel.failSilent);
+  EXPECT_EQ(a.nodeLevel.undetected, b.nodeLevel.undetected);
+  EXPECT_EQ(a.stops, b.stops);
+  EXPECT_EQ(a.stoppingDistanceM.count(), b.stoppingDistanceM.count());
+  // Chunk-order merge: the accumulated moments are bit-identical, not
+  // merely approximately equal.
+  const double meanA = a.stoppingDistanceM.mean();
+  const double meanB = b.stoppingDistanceM.mean();
+  EXPECT_EQ(std::memcmp(&meanA, &meanB, sizeof(double)), 0);
+  const double varA = a.stoppingDistanceM.variance();
+  const double varB = b.stoppingDistanceM.variance();
+  EXPECT_EQ(std::memcmp(&varA, &varB, sizeof(double)), 0);
+}
+
+TEST(SystemCampaign, BitIdenticalAcrossThreadCounts) {
+  SystemCampaignConfig config = smallConfig();
+  config.parallelism.chunkSize = 8;  // fixed chunking = fixed RNG substreams
+
+  config.parallelism.threads = 1;
+  const SystemCampaignStats serial = runSystemCampaign(config);
+  EXPECT_EQ(serial.experiments, config.experiments);
+
+  for (const unsigned threads : {2u, 8u}) {
+    config.parallelism.threads = threads;
+    const SystemCampaignStats parallel = runSystemCampaign(config);
+    expectIdentical(serial, parallel);
+  }
+}
+
+TEST(SystemCampaign, SameSeedReproduces) {
+  const SystemCampaignConfig config = smallConfig();
+  const SystemCampaignStats a = runSystemCampaign(config);
+  const SystemCampaignStats b = runSystemCampaign(config);
+  expectIdentical(a, b);
+}
+
+TEST(SystemCampaign, EveryExperimentIsClassified) {
+  const SystemCampaignStats stats = runSystemCampaign(smallConfig());
+  std::size_t classified = 0;
+  for (std::size_t o = 0; o < kSystemOutcomeCount; ++o) classified += stats.outcomes[o];
+  EXPECT_EQ(classified, stats.experiments);
+  std::size_t byKind = 0;
+  for (const auto& row : stats.outcomesByKind) {
+    for (const std::size_t n : row) byKind += n;
+  }
+  EXPECT_EQ(byKind, stats.experiments);
+  EXPECT_EQ(stats.stoppingDistanceM.count(), stats.experiments);
+}
+
+TEST(SystemCampaign, SampleScenarioIsDeterministic) {
+  const SystemCampaignConfig config = smallConfig();
+  util::Rng a{42};
+  util::Rng b{42};
+  for (int i = 0; i < 20; ++i) {
+    const SystemScenario sa = sampleScenario(config, a);
+    const SystemScenario sb = sampleScenario(config, b);
+    EXPECT_EQ(sa.kind, sb.kind);
+    EXPECT_EQ(sa.targets, sb.targets);
+    EXPECT_EQ(sa.at.us(), sb.at.us());
+    EXPECT_EQ(sa.flipBits, sb.flipBits);
+    ASSERT_FALSE(sa.targets.empty());
+    for (const net::NodeId node : sa.targets) {
+      EXPECT_GE(node, 1u);
+      EXPECT_LE(node, 6u);
+    }
+    EXPECT_GE(sa.at.us(), 200000);
+    EXPECT_LE(sa.at.us(), 2000000);
+  }
+}
+
+// --- The system-level oracle on hand-built scenarios -----------------------
+
+struct OracleFixture : ::testing::Test {
+  SystemCampaignConfig config = smallConfig();
+  bbw::BbwSimResult golden = goldenStop(config);
+
+  SystemExperiment run(SystemScenario scenario) {
+    return runSystemExperiment(config, scenario, golden);
+  }
+};
+
+TEST_F(OracleFixture, GoldenStopIsAStop) {
+  EXPECT_TRUE(golden.stopped);
+  EXPECT_GT(golden.stoppingDistanceM, 0.0);
+}
+
+TEST_F(OracleFixture, NodeCrashIsFailSilentDegradation) {
+  SystemScenario scenario;
+  scenario.kind = ScenarioKind::NodeCrash;
+  scenario.targets = {bbw::kWheelNodeBase};
+  scenario.at = SimTime::fromUs(500000);
+  const SystemExperiment experiment = run(scenario);
+  EXPECT_EQ(experiment.outcome, SystemOutcome::FailSilentDegradation);
+  EXPECT_GT(experiment.sim.failSilentEvents, 0u);
+  EXPECT_TRUE(experiment.sim.stopped);
+}
+
+TEST_F(OracleFixture, BusCorruptionIsOmissionDegradation) {
+  SystemScenario scenario;
+  scenario.kind = ScenarioKind::BusCorruption;
+  scenario.targets = {bbw::kCuA};
+  scenario.at = SimTime::fromUs(500000);
+  scenario.flipBits = {5};
+  const SystemExperiment experiment = run(scenario);
+  EXPECT_EQ(experiment.outcome, SystemOutcome::OmissionDegradation);
+  EXPECT_GT(experiment.sim.busFramesDropped, golden.busFramesDropped);
+}
+
+TEST_F(OracleFixture, LosingEveryWheelNodeMissesTheStop) {
+  SystemScenario scenario;
+  scenario.kind = ScenarioKind::CorrelatedBurst;
+  scenario.targets = {3, 4, 5, 6};
+  scenario.at = SimTime::fromUs(500000);
+  const SystemExperiment experiment = run(scenario);
+  EXPECT_EQ(experiment.outcome, SystemOutcome::MissedStop);
+  EXPECT_GT(experiment.sim.stoppingDistanceM,
+            golden.stoppingDistanceM + config.missedStopMarginM);
+}
+
+// --- Measured coverage vs the paper's assumed parameters -------------------
+
+TEST(SystemCampaign, MeasuredCoverageConsistentWithPaperAssumptions) {
+  SystemCampaignConfig config;
+  config.experiments = 400;
+  config.seed = 11;
+  config.machineTransientWeight = 1.0;  // machine-level transients only
+  config.busCorruptionWeight = 0.0;
+  config.nodeCrashWeight = 0.0;
+  config.correlatedBurstWeight = 0.0;
+  config.sim.initialSpeedMps = 15.0;
+  config.sim.horizon = Duration::seconds(8);
+
+  const SystemCampaignStats stats = runSystemCampaign(config);
+  ASSERT_GT(stats.nodeLevel.activated(), 30u);
+  const CoverageEstimate measured = measuredCoverage(stats);
+
+  // The paper assumes P_T = 0.9 and P_OM = 0.05 (Section 5). The measured
+  // proportions must be statistically consistent: the assumed value inside
+  // the Wilson interval.
+  EXPECT_LE(measured.pMask.low, 0.9);
+  EXPECT_GE(measured.pMask.high, 0.9);
+  EXPECT_LE(measured.pOmission.low, 0.05);
+  EXPECT_GE(measured.pOmission.high, 0.05);
+  EXPECT_GT(measured.coverage.proportion, 0.9);
+}
+
+TEST(SystemCampaign, WithMeasuredCoverageNormalisesByCoverage) {
+  CoverageEstimate measured;
+  measured.pMask.proportion = 0.90;
+  measured.pOmission.proportion = 0.045;
+  measured.coverage.proportion = 0.95;
+
+  const bbw::ReliabilityParameters params = withMeasuredCoverage(measured);
+  EXPECT_DOUBLE_EQ(params.coverage, 0.95);
+  // C * P_T reproduces the measured unconditional masking proportion.
+  EXPECT_NEAR(params.coverage * params.pMask, 0.90, 1e-12);
+  EXPECT_NEAR(params.coverage * params.pOmission, 0.045, 1e-12);
+  EXPECT_NEAR(params.pMask + params.pOmission + params.pFailSilent, 1.0, 1e-12);
+
+  // The measured parameters drive the Markov models without modification.
+  const bbw::BbwStudy study{params};
+  const double r = study.systemReliability(bbw::NodeType::Nlft, bbw::FunctionalityMode::Degraded,
+                                           24.0 * 365.0);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(SystemCampaign, ZeroCoverageLeavesBaseParameters) {
+  const CoverageEstimate empty{};  // no activated faults measured
+  const bbw::ReliabilityParameters base = bbw::ReliabilityParameters::paperDefaults();
+  const bbw::ReliabilityParameters params = withMeasuredCoverage(empty, base);
+  EXPECT_DOUBLE_EQ(params.pMask, base.pMask);
+  EXPECT_DOUBLE_EQ(params.pOmission, base.pOmission);
+  EXPECT_DOUBLE_EQ(params.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace nlft::fi

@@ -1,0 +1,26 @@
+// Regenerates the checked-in golden traces under tests/golden/ after an
+// INTENDED behaviour change:
+//
+//   build/tools/record-golden-traces tests/golden
+//
+// Review the diff before committing — every changed line is a behavioural
+// change of the distributed simulation, not cosmetics.
+#include <cstdio>
+#include <string>
+
+#include "faults/golden_trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-directory>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const std::string& name : nlft::fi::goldenScenarioNames()) {
+    const auto lines = nlft::fi::recordScenarioTrace(name);
+    const std::string path = dir + "/" + name + ".trace";
+    nlft::fi::writeTraceFile(path, lines);
+    std::printf("%-28s %4zu lines -> %s\n", name.c_str(), lines.size(), path.c_str());
+  }
+  return 0;
+}
