@@ -8,10 +8,21 @@
 // Wilson intervals; the second half of the report re-evaluates the Markov
 // models and the Monte-Carlo system model with those measured parameters and
 // prints them next to the paper's assumed 0.9 / 0.05 / 0.99 (Section 3.3).
+//
+// Observability: the campaign runs with an obs::Registry attached and writes
+// a machine-readable run report (BENCH_system_fi_report.json) whose
+// campaign.* counters reconcile 1:1 with the printed statistics. Pass
+// `--trace out.json` to additionally record one representative faulty stop
+// as Chrome trace_event JSON (open in chrome://tracing or Perfetto).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bbw/markov_models.hpp"
 #include "faults/system_campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "reliability/reliability_fn.hpp"
 #include "sysmodel/montecarlo.hpp"
 #include "util/time.hpp"
@@ -45,20 +56,67 @@ void printParameterRow(const char* name, double assumed, const util::ProportionE
               m.high, m.low <= assumed && assumed <= m.high ? "yes" : "NO");
 }
 
+/// Records one representative faulty stop (a computation fault on a wheel
+/// node mid-stop) as Chrome trace_event JSON.
+void recordExampleTrace(const fi::SystemCampaignConfig& config, const std::string& path) {
+  obs::TraceRecorder recorder;
+  bbw::BbwSimConfig simConfig = config.sim;
+  simConfig.nodeType = config.nodeType;
+  bbw::BbwSystemSim sim{simConfig};
+  sim.setTraceRecorder(&recorder);
+  sim.injectComputationFault(bbw::kWheelNodeBase, util::SimTime::fromUs(500'000));
+  (void)sim.run();
+  recorder.writeJsonFile(path);
+  std::printf("Chrome trace written to %s (%zu events)\n", path.c_str(),
+              recorder.events().size());
+}
+
+obs::JsonValue runReport(const fi::SystemCampaignConfig& config,
+                         const fi::SystemCampaignStats& stats, const obs::Registry& metrics) {
+  obs::JsonValue report = obs::JsonValue::object();
+  report.set("report", obs::JsonValue::string("system_fi_campaign"));
+  obs::JsonValue cfg = obs::JsonValue::object();
+  cfg.set("experiments", obs::JsonValue::integer(static_cast<std::int64_t>(config.experiments)));
+  cfg.set("seed", obs::JsonValue::integer(static_cast<std::int64_t>(config.seed)));
+  report.set("config", std::move(cfg));
+  obs::JsonValue outcomes = obs::JsonValue::object();
+  for (std::size_t o = 0; o < fi::kSystemOutcomeCount; ++o) {
+    outcomes.set(fi::describe(static_cast<fi::SystemOutcome>(o)),
+                 obs::JsonValue::integer(static_cast<std::int64_t>(stats.outcomes[o])));
+  }
+  report.set("outcomes", std::move(outcomes));
+  report.set("stops", obs::JsonValue::integer(static_cast<std::int64_t>(stats.stops)));
+  report.set("metrics", metrics.toJson());
+  return report;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr double kYear = util::kHoursPerYear;
+
+  std::string tracePath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) tracePath = argv[++i];
+  }
 
   fi::SystemCampaignConfig config;
   config.experiments = 2000;
   config.seed = 20;
   config.parallelism.threads = 0;  // all hardware threads; same statistics
+  obs::Registry metrics;
+  config.metrics = &metrics;
 
   std::printf("System-level fault injection, %zu closed-loop stops (NLFT nodes)\n\n",
               config.experiments);
   const fi::SystemCampaignStats stats = fi::runSystemCampaign(config);
   printHistogram(stats);
+
+  if (!tracePath.empty()) recordExampleTrace(config, tracePath);
+  obs::writeRunReportFile(runReport(config, stats, metrics), "BENCH_system_fi_report.json");
+  std::printf("Run report written to BENCH_system_fi_report.json "
+              "(campaign throughput %.0f stops/s)\n",
+              metrics.gauge("wall.exec.items_per_second"));
 
   const bbw::BbwSimResult golden = fi::goldenStop(config);
   std::printf("\nfault-free stop: %.2f m; under fault: mean %.2f m, worst %.2f m, "

@@ -3,8 +3,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include <map>
+
 #include "bbw/cu_task.hpp"
 #include "core/replication.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nlft::bbw {
 
@@ -75,11 +79,23 @@ struct BbwSystemSim::Impl {
   std::optional<SimTime> emergencyAppliedAt;
   bool emergencyLatched = false;  // the pedal sensor also shows full braking
   std::function<void(const std::string&)> traceSink;
+  obs::Registry* metrics = nullptr;
+  obs::TraceRecorder* recorder = nullptr;
+  bool tapsWired = false;
 
   /// Emits one trace line, prefixed with the simulated time in microseconds.
   void trace(const std::string& message) {
     if (!traceSink) return;
     traceSink("t=" + std::to_string(simulator.now().us()) + " " + message);
+  }
+
+  /// Mirrors one system event into the Chrome-trace recorder. Every trace()
+  /// call site has exactly one record() companion so the differential test
+  /// can reconcile recorder event counts against the golden-trace lines.
+  void record(net::NodeId pid, const std::string& name, const std::string& category,
+              const std::string& detail = {}) {
+    if (!recorder) return;
+    recorder->instant(pid, 0, name, category, simulator.now(), detail);
   }
 
   Node& node(net::NodeId id) { return nodes[id - 1]; }
@@ -254,6 +270,7 @@ struct BbwSystemSim::Impl {
         n.omitNextResult = false;
         ++commandsOmitted;
         trace("omission node=" + std::to_string(id) + " job=" + std::to_string(result.jobIndex));
+        record(id, "omission", "failure", "job=" + std::to_string(result.jobIndex));
         return;
       }
       if (result.jobIndex == n.valueFailureJob) {
@@ -261,6 +278,7 @@ struct BbwSystemSim::Impl {
         ++undetectedValueDeliveries;
         trace("undetected-value node=" + std::to_string(id) +
               " job=" + std::to_string(result.jobIndex));
+        record(id, "undetected-value", "failure", "job=" + std::to_string(result.jobIndex));
       }
       if (isWheel(id)) {
         const std::size_t w = wheelIndex(id);
@@ -298,6 +316,7 @@ struct BbwSystemSim::Impl {
     ++failSilentEvents;
     membership.setAlive(id, false);
     trace("node-silent node=" + std::to_string(id));
+    record(id, "node-silent", "node");
     if (isWheel(id)) {
       // The actuator watchdog releases the brake of a dead wheel node.
       vehicle.setBrakeTorque(wheelIndex(id), 0.0);
@@ -307,13 +326,18 @@ struct BbwSystemSim::Impl {
         node(id).kernel->restart();
         membership.setAlive(id, true);
         trace("node-restarted node=" + std::to_string(id));
+        record(id, "node-restarted", "node");
       });
     }
   }
 
-  /// Routes kernel, membership and bus events into the trace sink. Called
-  /// once when a sink is installed (after build(), so `nodes` is stable).
-  void wireTraceTaps() {
+  /// Routes kernel, membership and bus events into the trace sink AND the
+  /// Chrome-trace recorder. Wired once, when the first observer (sink,
+  /// recorder or metrics registry) is installed — after build(), so `nodes`
+  /// is stable.
+  void wireTaps() {
+    if (tapsWired) return;
+    tapsWired = true;
     for (Node& n : nodes) {
       const net::NodeId id = n.id;
       const rt::TaskId controlTask = n.controlTask;
@@ -323,14 +347,17 @@ struct BbwSystemSim::Impl {
             trace("task-error node=" + std::to_string(id) +
                   " task=" + std::to_string(event.task.value) +
                   " job=" + std::to_string(event.jobIndex));
+            record(id, "task-error", "kernel", "job=" + std::to_string(event.jobIndex));
             break;
           case rt::KernelEvent::Kind::KernelError:
             trace("kernel-error node=" + std::to_string(id));
+            record(id, "kernel-error", "kernel");
             break;
           case rt::KernelEvent::Kind::JobOmitted:
             if (event.task.value == controlTask.value) {
               trace("job-omitted node=" + std::to_string(id) +
                     " job=" + std::to_string(event.jobIndex));
+              record(id, "job-omitted", "kernel", "job=" + std::to_string(event.jobIndex));
             }
             break;
           default:
@@ -341,10 +368,89 @@ struct BbwSystemSim::Impl {
     membership.setMembershipTap([this](net::NodeId observer, net::NodeId peer, bool member) {
       trace("membership observer=" + std::to_string(observer) + " peer=" + std::to_string(peer) +
             " member=" + (member ? std::string{"1"} : std::string{"0"}));
+      record(observer, "membership-change", "membership",
+             "peer=" + std::to_string(peer) + " member=" + (member ? "1" : "0"));
     });
     bus.setDropTap([this](const net::Frame& frame, const char* reason) {
       trace("bus-drop sender=" + std::to_string(frame.sender) + " reason=" + reason);
+      record(frame.sender, "bus-drop", "bus", reason);
     });
+  }
+
+  /// Folds the run's deterministic counters into the attached registry.
+  void snapshotMetrics() {
+    if (!metrics) return;
+    obs::Registry& m = *metrics;
+    m.add("bus.cycles", bus.cyclesCompleted());
+    m.add("bus.frames_delivered", bus.framesDelivered());
+    m.add("bus.frames_dropped", bus.framesDropped());
+    m.add("bus.crc_rejected", bus.crcRejected());
+    m.add("bus.corruptions_injected", bus.corruptionsInjected());
+    m.add("sim.events_processed", simulator.processedEvents());
+    m.add("sys.command_frames_delivered", commandFramesDelivered);
+    m.add("sys.commands_omitted", commandsOmitted);
+    m.add("sys.undetected_value_deliveries", undetectedValueDeliveries);
+    m.add("sys.fail_silent_events", failSilentEvents);
+    for (const Node& n : nodes) {
+      m.add("kernel.preemptions", n.cpu->preemptions());
+      m.add("kernel.dispatches", n.cpu->dispatches());
+      m.add("kernel.errors", n.kernel->kernelErrors());
+      const rt::TaskStats& stats = n.kernel->stats(n.controlTask);
+      m.add("kernel.control.releases", stats.releases);
+      m.add("kernel.control.completions", stats.completions);
+      m.add("kernel.control.omissions", stats.omissions);
+      m.add("kernel.control.deadline_misses", stats.deadlineMisses);
+      m.add("kernel.control.budget_overruns", stats.budgetOverruns);
+      if (!n.temExecutor) continue;
+      tem::TemStats tem = n.temExecutor->stats(n.controlTask);
+      if (!isWheel(n.id)) {
+        const tem::TemStats& emergency = n.temExecutor->stats(n.emergencyTask);
+        tem.jobs += emergency.jobs;
+        tem.firstCopies += emergency.firstCopies;
+        tem.secondCopies += emergency.secondCopies;
+        tem.thirdCopies += emergency.thirdCopies;
+        tem.deliveredCleanly += emergency.deliveredCleanly;
+        tem.maskedByVote += emergency.maskedByVote;
+        tem.maskedByReplacement += emergency.maskedByReplacement;
+        tem.comparisonMismatches += emergency.comparisonMismatches;
+        tem.edmDetectedErrors += emergency.edmDetectedErrors;
+        tem.omissionsNoTime += emergency.omissionsNoTime;
+        tem.omissionsVoteFailed += emergency.omissionsVoteFailed;
+        tem.omissionsAborted += emergency.omissionsAborted;
+      }
+      m.add("tem.jobs", tem.jobs);
+      m.add("tem.copies.first", tem.firstCopies);
+      m.add("tem.copies.second", tem.secondCopies);
+      m.add("tem.copies.third", tem.thirdCopies);
+      m.add("tem.vote.delivered_cleanly", tem.deliveredCleanly);
+      m.add("tem.vote.masked_by_vote", tem.maskedByVote);
+      m.add("tem.vote.masked_by_replacement", tem.maskedByReplacement);
+      m.add("tem.vote.comparison_mismatches", tem.comparisonMismatches);
+      m.add("tem.edm_detected_errors", tem.edmDetectedErrors);
+      m.add("tem.omissions.no_time", tem.omissionsNoTime);
+      m.add("tem.omissions.vote_failed", tem.omissionsVoteFailed);
+      m.add("tem.omissions.aborted", tem.omissionsAborted);
+    }
+  }
+
+  /// Exports each node's CPU execution segments as Chrome complete spans:
+  /// pid = node id, one tid per distinct task label (tid 0 is reserved for
+  /// node-scope instants).
+  void emitSpans() {
+    if (!recorder) return;
+    recorder->setProcessName(0, "vehicle");
+    for (const Node& n : nodes) {
+      recorder->setProcessName(n.id, (isWheel(n.id) ? "wheel-node-" : "central-unit-") +
+                                         std::to_string(n.id));
+      std::map<std::string, std::uint32_t> tids;
+      for (const rt::ExecutionSegment& segment : n.cpu->trace()) {
+        auto [it, inserted] =
+            tids.try_emplace(segment.label, static_cast<std::uint32_t>(tids.size() + 1));
+        if (inserted) recorder->setThreadName(n.id, it->second, segment.label);
+        recorder->complete(n.id, it->second, segment.label, "cpu", segment.start,
+                           segment.end - segment.start);
+      }
+    }
   }
 
   void schedulePlantStep() {
@@ -357,6 +463,7 @@ struct BbwSystemSim::Impl {
           char line[64];
           std::snprintf(line, sizeof line, "vehicle-stopped distance=%.3f", vehicle.distanceM());
           trace(line);
+          record(0, "vehicle-stopped", "vehicle", line + sizeof("vehicle-stopped ") - 1);
         }
         return;  // plant settled; no more stepping needed
       }
@@ -380,6 +487,7 @@ void BbwSystemSim::injectComputationFault(net::NodeId node, SimTime at) {
                               [this, node] {
                                 impl_->trace("inject computation-fault node=" +
                                              std::to_string(node));
+                                impl_->record(node, "computation-fault", "inject");
                                 impl_->node(node).corruptSecondCopy = true;
                               },
                               sim::EventPriority::FaultInjection);
@@ -389,6 +497,7 @@ void BbwSystemSim::injectDetectedError(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
                                 impl_->trace("inject detected-error node=" + std::to_string(node));
+                                impl_->record(node, "detected-error", "inject");
                                 impl_->node(node).detectedErrorNextCopy = true;
                               },
                               sim::EventPriority::FaultInjection);
@@ -398,6 +507,7 @@ void BbwSystemSim::injectOmissionFailure(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
                                 impl_->trace("inject omission node=" + std::to_string(node));
+                                impl_->record(node, "omission", "inject");
                                 impl_->node(node).omitNextResult = true;
                               },
                               sim::EventPriority::FaultInjection);
@@ -407,6 +517,7 @@ void BbwSystemSim::injectValueFailure(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
                                 impl_->trace("inject value-failure node=" + std::to_string(node));
+                                impl_->record(node, "value-failure", "inject");
                                 impl_->node(node).valueFailureArmed = true;
                               },
                               sim::EventPriority::FaultInjection);
@@ -416,6 +527,7 @@ void BbwSystemSim::injectKernelError(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
                                 impl_->trace("inject kernel-error node=" + std::to_string(node));
+                                impl_->record(node, "kernel-error", "inject");
                                 impl_->node(node).kernel->reportKernelError(
                                     {rt::ErrorEvent::Source::HardwareException, 0});
                               },
@@ -424,7 +536,17 @@ void BbwSystemSim::injectKernelError(net::NodeId node, SimTime at) {
 
 void BbwSystemSim::setTraceSink(std::function<void(const std::string&)> sink) {
   impl_->traceSink = std::move(sink);
-  impl_->wireTraceTaps();
+  impl_->wireTaps();
+}
+
+void BbwSystemSim::setMetricsRegistry(obs::Registry* registry) {
+  impl_->metrics = registry;
+  impl_->wireTaps();
+}
+
+void BbwSystemSim::setTraceRecorder(obs::TraceRecorder* recorder) {
+  impl_->recorder = recorder;
+  impl_->wireTaps();
 }
 
 const net::MembershipService& BbwSystemSim::membership() const { return impl_->membership; }
@@ -448,6 +570,7 @@ void BbwSystemSim::injectBusCorruption(net::NodeId node, SimTime at) {
   impl_->simulator.scheduleAt(at,
                               [this, node] {
                                 impl_->trace("inject bus-corruption node=" + std::to_string(node));
+                                impl_->record(node, "bus-corruption", "inject");
                                 impl_->bus.corruptNextFrame(node);
                               },
                               sim::EventPriority::FaultInjection);
@@ -458,6 +581,7 @@ void BbwSystemSim::injectBusCorruption(net::NodeId node, SimTime at,
   impl_->simulator.scheduleAt(at,
                               [this, node, flipBits = std::move(flipBits)] {
                                 impl_->trace("inject bus-corruption node=" + std::to_string(node));
+                                impl_->record(node, "bus-corruption", "inject");
                                 impl_->bus.corruptNextFrame(node, flipBits);
                               },
                               sim::EventPriority::FaultInjection);
@@ -502,6 +626,8 @@ BbwSimResult BbwSystemSim::run() {
       result.errorsMaskedByTem += temStats.maskedByVote + temStats.maskedByReplacement;
     }
   }
+  impl.snapshotMetrics();
+  impl.emitSpans();
   return result;
 }
 

@@ -28,6 +28,11 @@
 #include "rtkernel/kernel.hpp"
 #include "sim/simulator.hpp"
 
+namespace nlft::obs {
+class Registry;
+class TraceRecorder;
+}  // namespace nlft::obs
+
 namespace nlft::bbw {
 
 using util::Duration;
@@ -133,6 +138,19 @@ class BbwSystemSim {
   /// vehicle stop) into `sink` — the input of the golden-trace harness.
   /// Must be called before run(); one sink per simulation.
   void setTraceSink(std::function<void(const std::string&)> sink);
+
+  /// Attaches a metrics registry (not owned; must outlive the simulation).
+  /// During run() the simulation folds its deterministic counters into it:
+  /// kernel scheduling (preemptions, releases, budget overruns), TEM copy
+  /// executions and vote outcomes, bus frames/CRC rejects/drops, and the
+  /// system-level failure counters. Call before run().
+  void setMetricsRegistry(obs::Registry* registry);
+
+  /// Attaches a span/trace recorder (not owned). Every system event that
+  /// goes to the trace sink is mirrored as a Chrome instant event (pid =
+  /// node id), and at the end of run() each node's CPU execution segments
+  /// are exported as complete spans (one tid per task). Call before run().
+  void setTraceRecorder(obs::TraceRecorder* recorder);
 
   /// The membership service (peer views, liveness) for assertions and
   /// observer taps.

@@ -69,6 +69,13 @@ void TemExecutor::runJob(TaskState& state, rt::Job& job) {
 
 void TemExecutor::startCopy(TaskState& state, rt::Job& job, std::shared_ptr<JobRun> run) {
   const CopyContext context{job.index(), ++run->copiesStarted};
+  if (context.copyIndex == 1) {
+    state.stats.firstCopies++;
+  } else if (context.copyIndex == 2) {
+    state.stats.secondCopies++;
+  } else {
+    state.stats.thirdCopies++;
+  }
   const CopyPlan plan = state.behavior(context);
 
   // Comparison (after the second and later copies) is charged as CPU time

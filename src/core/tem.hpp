@@ -66,6 +66,9 @@ struct TemConfig {
 /// Per-task TEM statistics, beyond the kernel's TaskStats.
 struct TemStats {
   std::uint64_t jobs = 0;
+  std::uint64_t firstCopies = 0;   ///< started copies with copyIndex == 1
+  std::uint64_t secondCopies = 0;  ///< started copies with copyIndex == 2
+  std::uint64_t thirdCopies = 0;   ///< started copies with copyIndex >= 3
   std::uint64_t deliveredCleanly = 0;    ///< scenario (i)
   std::uint64_t maskedByVote = 0;        ///< scenario (ii) success
   std::uint64_t maskedByReplacement = 0; ///< scenario (iii)/(iv) success

@@ -8,15 +8,22 @@
 // statistics are bit-identical at EVERY thread count, including 1.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exec/parallel_for.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace nlft::exec {
+
+/// Histogram layout for per-chunk wall time (50 buckets over [0, 10] s).
+inline constexpr obs::HistogramSpec kChunkSecondsSpec{0.0, 10.0, 50};
 
 /// Runs `experiments` seeded experiments chunk by chunk and merges the
 /// chunk-local statistics in chunk order.
@@ -26,10 +33,18 @@ namespace nlft::exec {
 /// Stats&)`. `runOne(rng, stats)` samples and classifies one experiment.
 /// A cancelled campaign throws std::runtime_error("<what>: cancelled")
 /// rather than returning truncated statistics.
+///
+/// `profile` (optional) receives execution profiling: deterministic
+/// structure counters ("exec.items", "exec.chunks" — identical at every
+/// thread count) plus non-golden "wall." metrics (per-chunk wall-time
+/// histogram, throughput, worker utilization). Profiling never influences
+/// chunking, RNG forks or merge order, so campaign statistics stay
+/// bit-identical with or without it.
 template <typename Stats, typename RunOne>
 Stats runChunkedCampaign(std::size_t experiments, std::uint64_t seed,
                          const Parallelism& parallelism, const char* what, RunOne runOne,
-                         CancellationToken* cancel = nullptr, const ProgressFn& onProgress = {}) {
+                         CancellationToken* cancel = nullptr, const ProgressFn& onProgress = {},
+                         obs::Registry* profile = nullptr) {
   const std::size_t chunkSize = parallelism.resolvedChunkSize(experiments);
   const std::size_t chunks = chunkCount(experiments, chunkSize);
   util::Rng root{seed};
@@ -38,17 +53,43 @@ Stats runChunkedCampaign(std::size_t experiments, std::uint64_t seed,
   for (std::size_t c = 0; c < chunks; ++c) chunkRngs.push_back(root.fork(c));
   std::vector<Stats> accumulators(chunks);
 
+  const util::MonotonicStopwatch campaignClock;
+  std::atomic<double> busySeconds{0.0};
+
   const std::size_t processed = forEachChunk(
       experiments, parallelism,
       [&](const ChunkRange& range, unsigned) {
+        const util::MonotonicStopwatch chunkClock;
         util::Rng rng = chunkRngs[range.index];
         Stats& stats = accumulators[range.index];
         stats.experiments = range.end - range.begin;
         for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats);
+        if (profile != nullptr) {
+          const double seconds = chunkClock.elapsedSeconds();
+          busySeconds.fetch_add(seconds, std::memory_order_relaxed);
+          profile->observe("wall.exec.chunk_seconds", kChunkSecondsSpec, seconds);
+        }
       },
       cancel, {onProgress, 0.25});
   if (processed < experiments) {
     throw std::runtime_error(std::string{what} + ": cancelled");
+  }
+
+  if (profile != nullptr) {
+    profile->add("exec.campaigns");
+    profile->add("exec.items", experiments);
+    profile->add("exec.chunks", chunks);
+    const double elapsed = campaignClock.elapsedSeconds();
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(parallelism.resolvedThreads(), chunks == 0 ? 1 : chunks));
+    profile->gaugeMax("wall.exec.threads", static_cast<double>(workers));
+    profile->gaugeMax("wall.exec.campaign_seconds", elapsed);
+    if (elapsed > 0.0) {
+      profile->gaugeMax("wall.exec.items_per_second",
+                        static_cast<double>(experiments) / elapsed);
+      profile->gaugeMax("wall.exec.worker_utilization",
+                        busySeconds.load() / (elapsed * static_cast<double>(workers)));
+    }
   }
 
   Stats stats;

@@ -1,5 +1,7 @@
 #include "exec/pool.hpp"
 
+#include <algorithm>
+
 namespace nlft::exec {
 
 unsigned resolveThreadCount(unsigned requested) {
@@ -30,8 +32,25 @@ void ThreadPool::submit(std::function<void(unsigned)> task) {
     std::lock_guard<std::mutex> lock{mutex_};
     queue_.push(std::move(task));
     ++inFlight_;
+    maxQueueDepth_ = std::max(maxQueueDepth_, queue_.size());
+    peakInFlight_ = std::max(peakInFlight_, inFlight_);
   }
   taskReady_.notify_one();
+}
+
+std::uint64_t ThreadPool::tasksExecuted() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return tasksExecuted_;
+}
+
+std::size_t ThreadPool::maxQueueDepth() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return maxQueueDepth_;
+}
+
+std::size_t ThreadPool::peakInFlight() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return peakInFlight_;
 }
 
 void ThreadPool::wait() {
@@ -52,6 +71,7 @@ void ThreadPool::workerLoop(unsigned index) {
     task(index);
     {
       std::lock_guard<std::mutex> lock{mutex_};
+      ++tasksExecuted_;
       --inFlight_;
       if (inFlight_ == 0) allDone_.notify_all();
     }

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -44,16 +45,27 @@ class ThreadPool {
   /// workers idle). The pool stays usable afterwards.
   void wait();
 
+  /// Profiling counters (observability only — they never influence
+  /// scheduling). tasksExecuted counts tasks a worker finished;
+  /// maxQueueDepth is the peak number of tasks waiting in the queue;
+  /// peakInFlight the peak of queued + running tasks.
+  [[nodiscard]] std::uint64_t tasksExecuted() const;
+  [[nodiscard]] std::size_t maxQueueDepth() const;
+  [[nodiscard]] std::size_t peakInFlight() const;
+
  private:
   void workerLoop(unsigned index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void(unsigned)>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable taskReady_;
   std::condition_variable allDone_;
   std::size_t inFlight_ = 0;  ///< queued + currently running tasks
   bool stopping_ = false;
+  std::uint64_t tasksExecuted_ = 0;
+  std::size_t maxQueueDepth_ = 0;
+  std::size_t peakInFlight_ = 0;
 };
 
 }  // namespace nlft::exec

@@ -86,6 +86,12 @@ std::vector<std::string> goldenScenarioNames() {
 
 std::vector<std::string> recordScenarioTrace(const std::string& name,
                                              const bbw::BbwSimConfig& base) {
+  return recordScenarioTrace(name, base, nullptr);
+}
+
+std::vector<std::string> recordScenarioTrace(const std::string& name, const bbw::BbwSimConfig& base,
+                                             obs::TraceRecorder* recorder,
+                                             obs::Registry* metrics) {
   for (const ScenarioEntry& entry : kScenarios) {
     if (name != entry.name) continue;
     BbwSimConfig config = base;
@@ -93,6 +99,8 @@ std::vector<std::string> recordScenarioTrace(const std::string& name,
     BbwSystemSim sim{config};
     std::vector<std::string> lines;
     sim.setTraceSink([&lines](const std::string& line) { lines.push_back(line); });
+    if (recorder != nullptr) sim.setTraceRecorder(recorder);
+    if (metrics != nullptr) sim.setMetricsRegistry(metrics);
     entry.arm(sim);
     appendResultSummary(sim.run(), lines);
     return lines;

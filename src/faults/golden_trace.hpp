@@ -30,6 +30,14 @@ namespace nlft::fi {
 [[nodiscard]] std::vector<std::string> recordScenarioTrace(const std::string& name,
                                                            const bbw::BbwSimConfig& base = {});
 
+/// As above, but additionally attaches `recorder` (and `metrics`, when
+/// non-null) to the simulation, so observability output can be reconciled
+/// against the golden trace (tests/obs_system_test.cpp).
+[[nodiscard]] std::vector<std::string> recordScenarioTrace(const std::string& name,
+                                                           const bbw::BbwSimConfig& base,
+                                                           obs::TraceRecorder* recorder,
+                                                           obs::Registry* metrics = nullptr);
+
 /// First divergence between an expected and an actual trace.
 struct TraceDiff {
   bool identical = true;

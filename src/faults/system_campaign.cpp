@@ -186,7 +186,8 @@ SystemScenario sampleScenarioImpl(const SystemCampaignConfig& config, util::Rng&
 
 SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
                                          const SystemScenario& scenario,
-                                         const BbwSimResult& golden, const GuestContext& ctx) {
+                                         const BbwSimResult& golden, const GuestContext& ctx,
+                                         obs::Registry* simMetrics = nullptr) {
   SystemExperiment experiment;
   experiment.scenario = scenario;
   if (scenario.targets.empty()) throw std::invalid_argument("system scenario without targets");
@@ -204,6 +205,7 @@ SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
   }
 
   BbwSystemSim sim{makeSimConfig(config)};
+  if (simMetrics != nullptr) sim.setMetricsRegistry(simMetrics);
   const net::NodeId target = scenario.targets.front();
   switch (scenario.kind) {
     case ScenarioKind::MachineTransient:
@@ -339,22 +341,74 @@ SystemExperiment runSystemExperiment(const SystemCampaignConfig& config,
   return runSystemExperimentImpl(config, scenario, golden, makeGuestContext());
 }
 
+namespace {
+
+/// Derived campaign counters, reconciling 1:1 with SystemCampaignStats so a
+/// run report can be cross-checked against the printed statistics.
+void addCampaignCounters(obs::Registry& m, const SystemCampaignStats& stats) {
+  m.add("campaign.experiments", stats.experiments);
+  m.add("campaign.stops", stats.stops);
+  for (std::size_t o = 0; o < kSystemOutcomeCount; ++o) {
+    m.add(std::string{"campaign.outcome."} + describe(static_cast<SystemOutcome>(o)),
+          stats.outcomes[o]);
+  }
+  m.add("campaign.node.injected", stats.nodeLevel.injected);
+  m.add("campaign.node.not_activated", stats.nodeLevel.notActivated);
+  m.add("campaign.node.masked_by_ecc", stats.nodeLevel.maskedByEcc);
+  m.add("campaign.node.masked", stats.nodeLevel.masked);
+  m.add("campaign.node.omission", stats.nodeLevel.omission);
+  m.add("campaign.node.fail_silent", stats.nodeLevel.failSilent);
+  m.add("campaign.node.undetected", stats.nodeLevel.undetected);
+}
+
+/// Chunk accumulator pairing the campaign statistics with a chunk-local
+/// metrics registry; both merge in chunk order, so the merged registry is
+/// bit-identical at every thread count.
+struct ObsChunkStats {
+  std::size_t experiments = 0;
+  SystemCampaignStats stats;
+  obs::Registry sims;
+
+  void merge(const ObsChunkStats& other) {
+    experiments += other.experiments;
+    stats.merge(other.stats);
+    sims.merge(other.sims);
+  }
+};
+
+}  // namespace
+
 SystemCampaignStats runSystemCampaign(const SystemCampaignConfig& config) {
   const GuestContext ctx = makeGuestContext();
   const BbwSimResult golden = goldenStop(config);
-  return exec::runChunkedCampaign<SystemCampaignStats>(
+  const auto runOne = [&](util::Rng& rng, SystemCampaignStats& stats,
+                          obs::Registry* simMetrics) {
+    const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx);
+    const SystemExperiment experiment =
+        runSystemExperimentImpl(config, scenario, golden, ctx, simMetrics);
+    ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
+    ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
+                          [static_cast<std::size_t>(experiment.outcome)];
+    stats.nodeLevel.merge(experiment.nodeLevel);
+    stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
+    if (experiment.sim.stopped) ++stats.stops;
+  };
+
+  if (config.metrics == nullptr) {
+    return exec::runChunkedCampaign<SystemCampaignStats>(
+        config.experiments, config.seed, config.parallelism, "runSystemCampaign",
+        [&](util::Rng& rng, SystemCampaignStats& stats) { runOne(rng, stats, nullptr); },
+        config.cancel, config.onProgress);
+  }
+
+  ObsChunkStats total = exec::runChunkedCampaign<ObsChunkStats>(
       config.experiments, config.seed, config.parallelism, "runSystemCampaign",
-      [&](util::Rng& rng, SystemCampaignStats& stats) {
-        const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx);
-        const SystemExperiment experiment = runSystemExperimentImpl(config, scenario, golden, ctx);
-        ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
-        ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
-                              [static_cast<std::size_t>(experiment.outcome)];
-        stats.nodeLevel.merge(experiment.nodeLevel);
-        stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
-        if (experiment.sim.stopped) ++stats.stops;
-      },
-      config.cancel, config.onProgress);
+      [&](util::Rng& rng, ObsChunkStats& chunk) { runOne(rng, chunk.stats, &chunk.sims); },
+      config.cancel, config.onProgress, config.metrics);
+  total.stats.experiments = total.experiments;
+  config.metrics->merge(total.sims);
+  addCampaignCounters(*config.metrics, total.stats);
+  return total.stats;
 }
 
 }  // namespace nlft::fi

@@ -31,6 +31,7 @@
 #include "bbw/system_sim.hpp"
 #include "exec/parallel_for.hpp"
 #include "faults/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "sysmodel/montecarlo.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
@@ -132,6 +133,14 @@ struct SystemCampaignConfig {
   exec::Parallelism parallelism{};
   exec::ProgressFn onProgress;
   exec::CancellationToken* cancel = nullptr;
+
+  /// Optional metrics sink (not owned). The campaign folds in: every
+  /// per-simulation registry (kernel/TEM/bus counters, via chunk-local
+  /// registries merged in chunk order), derived "campaign.*" outcome
+  /// counters that reconcile 1:1 with SystemCampaignStats, and the
+  /// exec-layer profiling ("exec.*" / "wall.exec.*"). All non-"wall."
+  /// metrics are bit-identical at every thread count.
+  obs::Registry* metrics = nullptr;
 };
 
 struct SystemCampaignStats {

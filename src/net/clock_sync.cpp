@@ -17,12 +17,17 @@ std::size_t ClockSyncService::addClock(DriftingClock clock) {
   if (started_) throw std::logic_error("ClockSyncService: addClock after start");
   clocks_.push_back(clock);
   byzantine_.emplace_back();
+  excluded_.push_back(false);
   return clocks_.size() - 1;
 }
 
 void ClockSyncService::setByzantine(std::size_t index,
                                     std::function<double(double)> lie) {
   byzantine_.at(index) = std::move(lie);
+}
+
+void ClockSyncService::setExcluded(std::size_t index, bool excluded) {
+  excluded_.at(index) = excluded;
 }
 
 void ClockSyncService::start() {
@@ -37,25 +42,29 @@ void ClockSyncService::start() {
 void ClockSyncService::resyncRound() {
   const util::SimTime now = simulator_.now();
 
-  // Broadcast phase: every node's (possibly lying) reading.
+  // Broadcast phase: every member's (possibly lying) reading. Expelled
+  // nodes do not broadcast — their slots are simply missing.
   std::vector<double> broadcast(clocks_.size());
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (excluded_[i]) continue;
     const double honest = clocks_[i].readAt(now);
     broadcast[i] = byzantine_[i] ? byzantine_[i](honest) : honest;
   }
 
-  // Correction phase: each honest node applies the fault-tolerant average
-  // of the differences to its own clock.
+  // Correction phase: each honest member applies the fault-tolerant average
+  // of the differences to its own clock. Expelled nodes free-run.
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
-    if (byzantine_[i]) continue;  // a faulty node need not correct itself
+    if (byzantine_[i] || excluded_[i]) continue;
     const double own = clocks_[i].readAt(now);
     std::vector<double> differences;
     differences.reserve(clocks_.size());
     for (std::size_t j = 0; j < clocks_.size(); ++j) {
+      if (excluded_[j]) continue;
       differences.push_back(broadcast[j] - own);  // includes its own zero
     }
     std::sort(differences.begin(), differences.end());
     const std::size_t k = static_cast<std::size_t>(faultyTolerated_);
+    if (differences.size() <= 2 * k) continue;  // too few members to average
     double sum = 0.0;
     for (std::size_t d = k; d < differences.size() - k; ++d) sum += differences[d];
     const double correction = sum / static_cast<double>(differences.size() - 2 * k);
@@ -73,7 +82,7 @@ double ClockSyncService::maxSkewUs() const {
   double hi = 0.0;
   bool first = true;
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
-    if (byzantine_[i]) continue;
+    if (byzantine_[i] || excluded_[i]) continue;
     const double reading = clocks_[i].readAt(now);
     if (first) {
       lo = hi = reading;

@@ -59,6 +59,14 @@ class ClockSyncService {
   /// corrections are skipped (a faulty node need not behave).
   void setByzantine(std::size_t index, std::function<double(double honestReading)> lie);
 
+  /// Models membership expulsion of a node mid-run: an expelled clock stops
+  /// broadcasting (peers ignore it in the fault-tolerant average), applies
+  /// no corrections itself (it free-runs), and no longer counts toward
+  /// maxSkewUs(). Re-admission (`excluded = false`) lets the next resync
+  /// rounds pull the returning clock back toward the ensemble.
+  void setExcluded(std::size_t index, bool excluded);
+  [[nodiscard]] bool excluded(std::size_t index) const { return excluded_.at(index); }
+
   /// Starts the resynchronisation rounds.
   void start();
 
@@ -76,6 +84,7 @@ class ClockSyncService {
   int faultyTolerated_;
   std::vector<DriftingClock> clocks_;
   std::vector<std::function<double(double)>> byzantine_;
+  std::vector<bool> excluded_;
   std::uint64_t rounds_ = 0;
   bool started_ = false;
 };

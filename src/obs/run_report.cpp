@@ -1,0 +1,39 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nlft::obs {
+
+void writeRunReportFile(const JsonValue& report, const std::string& path) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("writeRunReportFile: cannot open " + path);
+  out << report.dump(2) << '\n';
+  if (!out) throw std::runtime_error("writeRunReportFile: write failed for " + path);
+}
+
+void appendToJsonArrayFile(const JsonValue& entry, const std::string& path) {
+  JsonValue history = JsonValue::array();
+  {
+    std::ifstream in{path, std::ios::binary};
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string existing = buffer.str();
+      if (!existing.empty()) {
+        history = parseJson(existing);
+        if (history.kind() != JsonValue::Kind::Array) {
+          throw std::runtime_error("appendToJsonArrayFile: " + path + " is not a JSON array");
+        }
+      }
+    }
+  }
+  history.push(entry);
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("appendToJsonArrayFile: cannot open " + path);
+  out << history.dump(2) << '\n';
+  if (!out) throw std::runtime_error("appendToJsonArrayFile: write failed for " + path);
+}
+
+}  // namespace nlft::obs

@@ -1,0 +1,26 @@
+// Machine-readable run reports for benches and campaigns.
+//
+// A run report is a plain JsonValue object assembled by the caller (campaign
+// statistics, metrics registry snapshot, configuration echo) and written
+// pretty-printed to one file per run — CI and notebooks consume it instead of
+// scraping stdout. appendToJsonArrayFile() covers the other idiom used by the
+// bench suite (BENCH_*.json history files holding one top-level array that
+// every run appends to, as bench/scaling_report.hpp does for scaling data).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace nlft::obs {
+
+/// Writes `report.dump(2)` (pretty, trailing newline) to `path`; throws
+/// std::runtime_error on I/O failure.
+void writeRunReportFile(const JsonValue& report, const std::string& path);
+
+/// Appends `entry` to the top-level JSON array stored at `path`, creating the
+/// file (as a one-element array) if it does not exist. The existing content
+/// is parsed, so a corrupt file fails loudly instead of being clobbered.
+void appendToJsonArrayFile(const JsonValue& entry, const std::string& path);
+
+}  // namespace nlft::obs

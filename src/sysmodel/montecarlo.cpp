@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/time.hpp"
+
 namespace nlft::sys {
 
 namespace {
@@ -172,6 +174,7 @@ MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloCon
     throw std::invalid_argument("estimateReliability: no checkpoints");
   MonteCarloResult result;
   result.trials = config.trials;
+  const util::MonotonicStopwatch clock;
   const double horizon =
       *std::max_element(config.checkpointHours.begin(), config.checkpointHours.end());
 
@@ -218,6 +221,17 @@ MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloCon
     estimate.tHours = config.checkpointHours[c];
     estimate.reliability = util::wilsonInterval(survivors[c], config.trials);
     result.checkpoints.push_back(estimate);
+  }
+  if (config.metrics != nullptr) {
+    config.metrics->add("mc.estimations");
+    config.metrics->add("mc.trials", config.trials);
+    config.metrics->add("mc.failures_within_horizon", result.failuresWithinHorizon);
+    const double elapsed = clock.elapsedSeconds();
+    config.metrics->gaugeMax("wall.mc.seconds", elapsed);
+    if (elapsed > 0.0) {
+      config.metrics->gaugeMax("wall.mc.samples_per_second",
+                               static_cast<double>(config.trials) / elapsed);
+    }
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exec/parallel_for.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
 
@@ -100,6 +101,9 @@ struct MonteCarloConfig {
   /// Optional cooperative cancellation. A cancelled run throws
   /// std::runtime_error rather than returning a truncated estimate.
   exec::CancellationToken* cancel = nullptr;
+  /// Optional metrics sink (not owned): deterministic "mc.*" counters plus
+  /// non-golden "wall.mc.*" throughput gauges (trials per second).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Estimates R(t) at every checkpoint (horizon = max checkpoint).

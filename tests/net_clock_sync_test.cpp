@@ -122,6 +122,73 @@ TEST(ClockSync, TighterResyncGivesTighterPrecision) {
             skewWithInterval(Duration::milliseconds(400)));
 }
 
+// Membership expulsion mid-run: a wildly drifting clock (an unnoticed rate
+// failure) drags the k=0 ensemble; expelling it at the instant membership
+// detects the failure restores the classic precision bound for the members.
+TEST(ClockSync, ExpulsionMidRunRestoresPrecision) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 0};
+  sync.addClock({+40.0, 0.0});
+  sync.addClock({-60.0, 100.0});
+  sync.addClock({+10.0, -50.0});
+  const std::size_t rogue = sync.addClock({+4000.0, 0.0});
+  sync.start();
+
+  // Measure mid-interval (not on a round boundary, where the correction has
+  // just zeroed the skew): the rogue re-accumulates ~200 us every 50 ms.
+  simulator.runUntil(SimTime::fromUs(1'950'000));
+  EXPECT_GT(sync.maxSkewUs(), 100.0);
+
+  // Expulsion fires mid-run, between two resync rounds.
+  sync.setExcluded(rogue, true);
+  EXPECT_TRUE(sync.excluded(rogue));
+  simulator.runUntil(SimTime::fromUs(3'950'000));
+  const double bound = 2.0 * 60.0 * 1e-6 * static_cast<double>(kResync.us()) + 1.0;
+  EXPECT_LE(sync.maxSkewUs(), bound);  // members re-converge without the rogue
+}
+
+// Re-admission after reintegration: the expelled clock free-runs away, and
+// once re-admitted the fault-tolerant average pulls it back into the
+// ensemble within a few rounds (k=1 shields the members meanwhile).
+TEST(ClockSync, ReadmittedClockIsPulledBackIntoTheEnsemble) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 1};
+  sync.addClock({+50.0, 0.0});
+  sync.addClock({-30.0, 40.0});
+  sync.addClock({+20.0, -40.0});
+  sync.addClock({-10.0, 10.0});
+  const std::size_t returning = sync.addClock({+200.0, 0.0});
+  sync.setExcluded(returning, true);
+  sync.start();
+
+  // Expelled for ~3 s: the returning clock drifts ~600 us away on its own.
+  simulator.runUntil(SimTime::fromUs(2'950'000));
+  const double membersOnly = sync.maxSkewUs();
+
+  sync.setExcluded(returning, false);
+  simulator.runUntil(SimTime::fromUs(3'950'000));
+  const double bound = 2.0 * 200.0 * 1e-6 * static_cast<double>(kResync.us()) + 1.0;
+  EXPECT_LE(sync.maxSkewUs(), bound);  // the returnee is back inside the bound
+  EXPECT_LE(membersOnly, bound);       // and the members never left it
+}
+
+// With every clock expelled but one there are too few members to average;
+// the correction phase must skip cleanly rather than divide by zero.
+TEST(ClockSync, LoneSurvivorFreeRunsWithoutCrashing) {
+  sim::Simulator simulator;
+  ClockSyncService sync{simulator, kResync, 1};
+  sync.addClock({+10.0, 0.0});
+  sync.addClock({-10.0, 0.0});
+  const std::size_t survivor = sync.addClock({+5.0, 0.0});
+  sync.start();
+  sync.setExcluded(0, true);
+  sync.setExcluded(1, true);
+  simulator.runUntil(SimTime::fromUs(1'000'000));
+  EXPECT_GT(sync.roundsCompleted(), 5u);  // rounds keep running
+  EXPECT_FALSE(sync.excluded(survivor));
+  EXPECT_DOUBLE_EQ(sync.maxSkewUs(), 0.0);  // one member: no pairwise skew
+}
+
 TEST(ClockSync, RejectsBadConfig) {
   sim::Simulator simulator;
   EXPECT_THROW(ClockSyncService(simulator, Duration{}, 0), std::invalid_argument);

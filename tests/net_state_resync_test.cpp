@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/membership.hpp"
+
 namespace nlft::net {
 namespace {
 
@@ -135,6 +137,96 @@ TEST_F(ResyncFixture, ConcurrentRequestsForDifferentStates) {
   EXPECT_EQ(recovered.size(), 2u);
   EXPECT_EQ(recovered[1], 10u);
   EXPECT_EQ(recovered[2], 20u);
+}
+
+// Resync during membership expulsion: the holder fails silent just before
+// the request goes out, so the request races its expulsion — no response
+// can arrive. After the holder restarts and reintegrates, a repeated
+// request succeeds over the same bus.
+TEST_F(ResyncFixture, HolderExpelledMidProtocolAnswersAgainAfterReintegration) {
+  TdmaBus bus{simulator, config};
+  MembershipService membership{simulator, bus, {/*missTolerance=*/1, /*reintegrationCycles=*/2}};
+  membership.addNode(1);
+  membership.addNode(2);
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32 id) -> std::optional<std::vector<std::uint32_t>> {
+    if (id == 7) return std::vector<std::uint32_t>{0xC0, 0xDE};
+    return std::nullopt;
+  });
+  int recoveries = 0;
+  resync.setRecoveredHandler(
+      1, [&](StateId32, const std::vector<std::uint32_t>&, Duration) { ++recoveries; });
+  membership.start();  // also starts the bus
+
+  // t = 5 ms: the holder fails silent. t = 6 ms: node 1 requests the state
+  // WHILE the heartbeat protocol is still expelling the holder.
+  simulator.scheduleAt(SimTime::fromUs(5'000), [&] {
+    membership.setAlive(2, false);
+    bus.setNodeSilent(2, true);
+  });
+  simulator.scheduleAt(SimTime::fromUs(6'000), [&] { resync.requestState(1, 7); });
+  simulator.runUntil(SimTime::fromUs(30'000));
+  // The fail-silent holder still hears the request and attempts an answer,
+  // but its bus interface discards the frame: nothing reaches node 1.
+  EXPECT_EQ(recoveries, 0);
+  EXPECT_EQ(resync.recoveries(), 0u);
+  EXPECT_FALSE(membership.isMember(1, 2));  // expulsion completed
+
+  // The holder restarts, reintegrates, and can answer again.
+  bus.setNodeSilent(2, false);
+  membership.setAlive(2, true);
+  simulator.runUntil(SimTime::fromUs(60'000));
+  EXPECT_TRUE(membership.isMember(1, 2));  // re-admitted
+  resync.requestState(1, 7);
+  simulator.runUntil(SimTime::fromUs(90'000));
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(resync.recoveries(), 1u);
+}
+
+// The dual case: the RESTARTED node itself asks for its lost state while
+// the peers are still holding it out of membership (its reintegration
+// heartbeats are still being counted). The event-triggered resync must not
+// wait for re-admission — fast state recovery is exactly its purpose.
+TEST_F(ResyncFixture, RestartedRequesterRecoversStateBeforeReadmission) {
+  MembershipConfig membershipConfig;
+  membershipConfig.missTolerance = 1;
+  membershipConfig.reintegrationCycles = 4;  // slow re-admission
+  TdmaBus bus{simulator, config};
+  MembershipService membership{simulator, bus, membershipConfig};
+  membership.addNode(1);
+  membership.addNode(2);
+  StateResyncService resync{simulator, bus};
+  resync.addNode(1, [](StateId32) { return std::nullopt; });
+  resync.addNode(2, [](StateId32) -> std::optional<std::vector<std::uint32_t>> {
+    return std::vector<std::uint32_t>{0xF00D};
+  });
+  int recoveries = 0;
+  bool memberAtRecovery = true;
+  resync.setRecoveredHandler(1,
+                             [&](StateId32, const std::vector<std::uint32_t>& data, Duration) {
+                               ++recoveries;
+                               EXPECT_EQ(data[0], 0xF00Du);
+                               memberAtRecovery = membership.isMember(2, 1);
+                             });
+  membership.start();
+
+  // Node 1 crashes at 5 ms and is expelled; it restarts at 15 ms and
+  // IMMEDIATELY requests its lost task state — long before the peers'
+  // reintegration counter re-admits it.
+  simulator.scheduleAt(SimTime::fromUs(5'000), [&] {
+    membership.setAlive(1, false);
+    bus.setNodeSilent(1, true);
+  });
+  simulator.scheduleAt(SimTime::fromUs(15'000), [&] {
+    bus.setNodeSilent(1, false);
+    membership.setAlive(1, true);
+    resync.requestState(1, 3);
+  });
+  simulator.runUntil(SimTime::fromUs(40'000));
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_FALSE(memberAtRecovery)
+      << "recovery should have completed during reintegration, before re-admission";
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Chrome trace_event exporter: schema validity, name escaping, simulated-µs
+// timestamps, and byte-identical re-export (the determinism-lint hook runs
+// the *ByteIdentical* tests against a built tree).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace nlft::obs {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TraceRecorder sampleRecorder() {
+  TraceRecorder recorder;
+  recorder.setProcessName(0, "vehicle");
+  recorder.setProcessName(3, "wheel-node-3");
+  recorder.setThreadName(3, 1, "wheel-task");
+  recorder.instant(3, 0, "computation-fault", "inject", SimTime::fromUs(500'000));
+  recorder.instant(3, 0, "task-error", "kernel", SimTime::fromUs(505'000), "job=100");
+  recorder.complete(3, 1, "wheel-task", "cpu", SimTime::fromUs(500'000),
+                    Duration::microseconds(750));
+  recorder.instant(0, 0, "vehicle-stopped", "vehicle", SimTime::fromUs(3'369'000),
+                   "distance=37.888");
+  return recorder;
+}
+
+TEST(ObsTrace, ExportIsValidChromeTraceJson) {
+  const TraceRecorder recorder = sampleRecorder();
+  const JsonValue doc = parseJson(recorder.toJson());  // throws on malformed JSON
+
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_EQ(doc.get("displayTimeUnit").asString(), "ms");
+  const JsonValue& events = doc.get("traceEvents");
+  ASSERT_EQ(events.kind(), JsonValue::Kind::Array);
+  ASSERT_EQ(events.size(), recorder.events().size());
+
+  const std::set<std::string> phases{"i", "X", "M"};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    ASSERT_TRUE(event.has("name"));
+    ASSERT_TRUE(event.has("ph"));
+    ASSERT_TRUE(event.has("pid"));
+    ASSERT_TRUE(event.has("tid"));
+    const std::string& phase = event.get("ph").asString();
+    EXPECT_TRUE(phases.count(phase)) << "unknown phase " << phase;
+    if (phase == "M") continue;  // metadata: no ts/cat
+    EXPECT_TRUE(event.has("ts"));
+    EXPECT_TRUE(event.has("cat"));
+    if (phase == "X") EXPECT_TRUE(event.has("dur"));
+    if (phase == "i") EXPECT_EQ(event.get("s").asString(), "t");
+  }
+}
+
+TEST(ObsTrace, TimestampsAreSimulatedMicroseconds) {
+  const TraceRecorder recorder = sampleRecorder();
+  const JsonValue doc = parseJson(recorder.toJson());
+  const JsonValue& events = doc.get("traceEvents");
+  bool sawInject = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.get("name").asString() != "computation-fault") continue;
+    sawInject = true;
+    EXPECT_EQ(event.get("ts").asInt(), 500'000);  // SimTime µs, not wall clock
+  }
+  EXPECT_TRUE(sawInject);
+}
+
+TEST(ObsTrace, SpanDurationAndArgsSurvive) {
+  const TraceRecorder recorder = sampleRecorder();
+  const JsonValue doc = parseJson(recorder.toJson());
+  const JsonValue& events = doc.get("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.get("ph").asString() == "X") {
+      EXPECT_EQ(event.get("dur").asInt(), 750);
+      EXPECT_EQ(event.get("tid").asInt(), 1);
+    }
+    if (event.get("name").asString() == "task-error") {
+      EXPECT_EQ(event.get("args").get("detail").asString(), "job=100");
+    }
+  }
+}
+
+TEST(ObsTrace, MetadataEventsNameLanes) {
+  const TraceRecorder recorder = sampleRecorder();
+  const JsonValue doc = parseJson(recorder.toJson());
+  const JsonValue& events = doc.get("traceEvents");
+  bool sawProcess = false, sawThread = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.get("ph").asString() != "M") continue;
+    if (event.get("name").asString() == "process_name" &&
+        event.get("args").get("name").asString() == "wheel-node-3") {
+      sawProcess = true;
+      EXPECT_EQ(event.get("pid").asInt(), 3);
+    }
+    if (event.get("name").asString() == "thread_name") {
+      sawThread = true;
+      EXPECT_EQ(event.get("args").get("name").asString(), "wheel-task");
+    }
+  }
+  EXPECT_TRUE(sawProcess);
+  EXPECT_TRUE(sawThread);
+}
+
+TEST(ObsTrace, NamesWithSpecialCharactersAreEscaped) {
+  TraceRecorder recorder;
+  recorder.instant(1, 0, "quote\"back\\slash", "cat\negory", SimTime::fromUs(1),
+                   "tab\there");
+  const std::string json = recorder.toJson();
+  const JsonValue doc = parseJson(json);  // must still parse
+  const JsonValue& event = doc.get("traceEvents").at(0);
+  EXPECT_EQ(event.get("name").asString(), "quote\"back\\slash");
+  EXPECT_EQ(event.get("cat").asString(), "cat\negory");
+  EXPECT_EQ(event.get("args").get("detail").asString(), "tab\there");
+  EXPECT_EQ(json.find('\n' + std::string{"egory"}), std::string::npos);  // raw newline escaped
+}
+
+TEST(ObsTrace, CountHelpersFilterByCategoryAndName) {
+  const TraceRecorder recorder = sampleRecorder();
+  EXPECT_EQ(recorder.countCategory("inject"), 1u);
+  EXPECT_EQ(recorder.countCategory("kernel"), 1u);
+  EXPECT_EQ(recorder.countCategory("cpu"), 1u);
+  EXPECT_EQ(recorder.countEvents("inject", "computation-fault"), 1u);
+  EXPECT_EQ(recorder.countEvents("inject", "no-such-event"), 0u);
+  EXPECT_EQ(recorder.countCategory("no-such-category"), 0u);
+}
+
+// Run by tools/determinism_lint.sh: the export must be a pure function of
+// the recorded events — two exports of the same recorder are byte-identical.
+TEST(ObsTrace, ReExportIsByteIdentical) {
+  const TraceRecorder recorder = sampleRecorder();
+  const std::string first = recorder.toJson();
+  const std::string second = recorder.toJson();
+  EXPECT_EQ(first, second);
+
+  // And independently-built recorders with the same event stream agree too.
+  const std::string other = sampleRecorder().toJson();
+  EXPECT_EQ(first, other);
+}
+
+TEST(ObsTrace, ClearEmptiesTheRecorder) {
+  TraceRecorder recorder = sampleRecorder();
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  const JsonValue doc = parseJson(recorder.toJson());
+  EXPECT_EQ(doc.get("traceEvents").size(), 0u);
+}
+
+}  // namespace
+}  // namespace nlft::obs

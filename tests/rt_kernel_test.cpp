@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/tem.hpp"
+
 namespace nlft::rt {
 namespace {
 
@@ -242,6 +244,52 @@ TEST_F(KernelFixture, TimeToDeadlineShrinks) {
   kernel.start();
   simulator.runUntil(SimTime::fromUs(2'000));
   EXPECT_EQ(atRelease.us(), 8000);
+}
+
+// Vote tie: all three TEM copies return pairwise-different results, so the
+// vote cannot mask the error. The executor must enforce a FAIL-OMISSION
+// before the deadline — no result delivered, job omitted in time, and the
+// tie accounted as a failed vote (not a deadline miss).
+TEST_F(KernelFixture, TemVoteTieForcesOmissionBeforeDeadline) {
+  tem::TemExecutor temExecutor{kernel};
+  TaskConfig cfg = periodicTask("tie", 1, Duration::milliseconds(10),
+                                Duration::microseconds(500));
+  cfg.relativeDeadline = Duration::milliseconds(8);
+  const TaskId task = temExecutor.addCriticalTask(cfg, [](const tem::CopyContext& context) {
+    tem::CopyPlan plan;
+    plan.executionTime = Duration::microseconds(500);
+    // Every copy disagrees with every other: 101, 102, 103.
+    plan.result = {static_cast<std::uint32_t>(100 + context.copyIndex)};
+    return plan;
+  });
+
+  int deliveries = 0;
+  kernel.setResultSink([&](const JobResult&) { ++deliveries; });
+  std::int64_t omittedAtUs = -1;
+  kernel.setEventTap([&](const KernelEvent& event) {
+    if (event.kind == KernelEvent::Kind::JobOmitted && event.task == task) {
+      omittedAtUs = simulator.now().us();
+    }
+  });
+  kernel.start();
+  simulator.runUntil(SimTime::fromUs(9'000));  // exactly one release at t=0
+
+  EXPECT_EQ(deliveries, 0);  // the wrong result must never leave the node
+  ASSERT_GE(omittedAtUs, 0) << "job was not omitted";
+  EXPECT_LE(omittedAtUs, 8'000);  // omission enforced before the deadline
+  EXPECT_EQ(kernel.stats(task).omissions, 1u);
+  EXPECT_EQ(kernel.stats(task).completions, 0u);
+  EXPECT_EQ(kernel.stats(task).deadlineMisses, 0u);
+
+  const tem::TemStats& stats = temExecutor.stats(task);
+  EXPECT_EQ(stats.jobs, 1u);
+  EXPECT_EQ(stats.firstCopies, 1u);
+  EXPECT_EQ(stats.secondCopies, 1u);
+  EXPECT_EQ(stats.thirdCopies, 1u);  // the tie needed all three executions
+  EXPECT_EQ(stats.comparisonMismatches, 1u);
+  EXPECT_EQ(stats.omissionsVoteFailed, 1u);
+  EXPECT_EQ(stats.maskedByVote, 0u);
+  EXPECT_EQ(stats.deliveredCleanly, 0u);
 }
 
 TEST_F(KernelFixture, StopCancelsEverything) {

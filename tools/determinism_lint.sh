@@ -31,6 +31,22 @@ for pattern in "${patterns[@]}"; do
   fi
 done
 
+# Chrome-trace re-export determinism: exporting the same recorder twice must
+# produce byte-identical JSON (tests/obs_trace_test covers it). Runs whenever
+# a built test binary is found; on a fresh checkout the check is skipped.
+for build in build build-cov build-asan build-tsan; do
+  exe="$build/tests/obs_trace_test"
+  if [ -x "$exe" ]; then
+    if "$exe" --gtest_filter='*ReExportIsByteIdentical*' >/dev/null 2>&1; then
+      echo "determinism lint: trace re-export byte-identical ($exe)"
+    else
+      echo "determinism lint: Chrome-trace re-export is not byte-identical ($exe)" >&2
+      status=1
+    fi
+    break
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: clean"
 fi
