@@ -17,7 +17,6 @@
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -25,6 +24,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/time.hpp"
 
 namespace nlft::benchutil {
 
@@ -40,11 +41,13 @@ struct ScalingEntry {
   double speedupVsSerial = 1.0;
 };
 
-/// Wall-clock seconds for one invocation of `fn`.
+/// Wall-clock seconds for one invocation of `fn` (util::MonotonicStopwatch
+/// is the repository's single fenced gateway to the wall clock — see
+/// tools/determinism_lint.sh).
 inline double timeSeconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  const util::MonotonicStopwatch clock;
   fn();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return clock.elapsedSeconds();
 }
 
 /// Thread counts every scaling bench measures. Always includes the serial

@@ -123,40 +123,54 @@ BbwSimConfig makeSimConfig(const SystemCampaignConfig& config) {
   return sim;
 }
 
+/// Samples a scenario; `stratum == nullptr` is the crude sampler (kind by
+/// weight, node uniform, time over the whole window — the draw order here is
+/// frozen by the golden-trace tests), a non-null stratum pins kind, first
+/// target and window bin and draws only the remaining coordinates.
 SystemScenario sampleScenarioImpl(const SystemCampaignConfig& config, util::Rng& rng,
-                                  const GuestContext& ctx) {
+                                  const GuestContext& ctx,
+                                  const StratumSpec* stratum = nullptr) {
   SystemScenario scenario;
-  const double total = config.machineTransientWeight + config.busCorruptionWeight +
-                       config.nodeCrashWeight + config.correlatedBurstWeight;
-  if (total <= 0.0) throw std::invalid_argument("system campaign: all scenario weights zero");
-  const double pick = rng.uniform(0.0, total);
-  if (pick < config.machineTransientWeight) {
-    scenario.kind = ScenarioKind::MachineTransient;
-  } else if (pick < config.machineTransientWeight + config.busCorruptionWeight) {
-    scenario.kind = ScenarioKind::BusCorruption;
-  } else if (pick <
-             config.machineTransientWeight + config.busCorruptionWeight + config.nodeCrashWeight) {
-    scenario.kind = ScenarioKind::NodeCrash;
+  if (stratum != nullptr) {
+    scenario.kind = stratum->kind;
   } else {
-    scenario.kind = ScenarioKind::CorrelatedBurst;
+    const double total = config.machineTransientWeight + config.busCorruptionWeight +
+                         config.nodeCrashWeight + config.correlatedBurstWeight;
+    if (total <= 0.0) throw std::invalid_argument("system campaign: all scenario weights zero");
+    const double pick = rng.uniform(0.0, total);
+    if (pick < config.machineTransientWeight) {
+      scenario.kind = ScenarioKind::MachineTransient;
+    } else if (pick < config.machineTransientWeight + config.busCorruptionWeight) {
+      scenario.kind = ScenarioKind::BusCorruption;
+    } else if (pick < config.machineTransientWeight + config.busCorruptionWeight +
+                          config.nodeCrashWeight) {
+      scenario.kind = ScenarioKind::NodeCrash;
+    } else {
+      scenario.kind = ScenarioKind::CorrelatedBurst;
+    }
   }
 
-  scenario.at = SimTime::fromUs(static_cast<std::int64_t>(
-      std::llround(rng.uniform(config.injectEarliestS, config.injectLatestS) * 1e6)));
+  const double windowLoS = stratum != nullptr ? stratum->windowLoS : config.injectEarliestS;
+  const double windowHiS = stratum != nullptr ? stratum->windowHiS : config.injectLatestS;
+  scenario.at = SimTime::fromUs(
+      static_cast<std::int64_t>(std::llround(rng.uniform(windowLoS, windowHiS) * 1e6)));
 
   const auto pickNode = [&rng] {
     return static_cast<net::NodeId>(1 + rng.uniformInt(kNodeCount));
   };
+  const auto firstTarget = [&] {
+    return stratum != nullptr ? stratum->target : pickNode();
+  };
   switch (scenario.kind) {
     case ScenarioKind::MachineTransient: {
-      const net::NodeId target = pickNode();
+      const net::NodeId target = firstTarget();
       scenario.targets.push_back(target);
       scenario.fault = sampleFault(ctx.imageFor(target), ctx.goldenInstructionsFor(target),
                                    config.mix, rng);
       break;
     }
     case ScenarioKind::BusCorruption: {
-      scenario.targets.push_back(pickNode());
+      scenario.targets.push_back(firstTarget());
       const std::size_t flips = 1 + rng.uniformInt(3);
       for (std::size_t i = 0; i < flips; ++i) {
         scenario.flipBits.push_back(static_cast<std::uint32_t>(rng.uniformInt(512)));
@@ -164,12 +178,15 @@ SystemScenario sampleScenarioImpl(const SystemCampaignConfig& config, util::Rng&
       break;
     }
     case ScenarioKind::NodeCrash:
-      scenario.targets.push_back(pickNode());
+      scenario.targets.push_back(firstTarget());
       break;
     case ScenarioKind::CorrelatedBurst: {
       // A burst strikes 2..3 distinct nodes simultaneously (e.g. a power
       // glitch over one cabinet) — beyond the paper's independence
-      // assumption, mirroring sys::CorrelationModel.
+      // assumption, mirroring sys::CorrelationModel. In a stratum the
+      // pinned target leads the burst (consuming no draw, so the crude
+      // path's draw order stays frozen); partners draw as usual.
+      if (stratum != nullptr) scenario.targets.push_back(stratum->target);
       const std::size_t count = 2 + rng.uniformInt(2);
       while (scenario.targets.size() < count) {
         const net::NodeId candidate = pickNode();
@@ -376,39 +393,190 @@ struct ObsChunkStats {
   }
 };
 
+/// One sampled-and-classified experiment, folded into campaign statistics.
+/// `stratum == nullptr` samples crudely; otherwise inside the stratum.
+void runOneScenario(const SystemCampaignConfig& config, const GuestContext& ctx,
+                    const BbwSimResult& golden, const StratumSpec* stratum, util::Rng& rng,
+                    SystemCampaignStats& stats, obs::Registry* simMetrics) {
+  const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx, stratum);
+  const SystemExperiment experiment =
+      runSystemExperimentImpl(config, scenario, golden, ctx, simMetrics);
+  ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
+  ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
+                        [static_cast<std::size_t>(experiment.outcome)];
+  stats.nodeLevel.merge(experiment.nodeLevel);
+  stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
+  if (experiment.sim.stopped) ++stats.stops;
+}
+
 }  // namespace
 
 SystemCampaignStats runSystemCampaign(const SystemCampaignConfig& config) {
   const GuestContext ctx = makeGuestContext();
   const BbwSimResult golden = goldenStop(config);
-  const auto runOne = [&](util::Rng& rng, SystemCampaignStats& stats,
-                          obs::Registry* simMetrics) {
-    const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx);
-    const SystemExperiment experiment =
-        runSystemExperimentImpl(config, scenario, golden, ctx, simMetrics);
-    ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
-    ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
-                          [static_cast<std::size_t>(experiment.outcome)];
-    stats.nodeLevel.merge(experiment.nodeLevel);
-    stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
-    if (experiment.sim.stopped) ++stats.stops;
-  };
 
   if (config.metrics == nullptr) {
     return exec::runChunkedCampaign<SystemCampaignStats>(
         config.experiments, config.seed, config.parallelism, "runSystemCampaign",
-        [&](util::Rng& rng, SystemCampaignStats& stats) { runOne(rng, stats, nullptr); },
+        [&](util::Rng& rng, SystemCampaignStats& stats) {
+          runOneScenario(config, ctx, golden, nullptr, rng, stats, nullptr);
+        },
         config.cancel, config.onProgress);
   }
 
   ObsChunkStats total = exec::runChunkedCampaign<ObsChunkStats>(
       config.experiments, config.seed, config.parallelism, "runSystemCampaign",
-      [&](util::Rng& rng, ObsChunkStats& chunk) { runOne(rng, chunk.stats, &chunk.sims); },
+      [&](util::Rng& rng, ObsChunkStats& chunk) {
+        runOneScenario(config, ctx, golden, nullptr, rng, chunk.stats, &chunk.sims);
+      },
       config.cancel, config.onProgress, config.metrics);
   total.stats.experiments = total.experiments;
   config.metrics->merge(total.sims);
   addCampaignCounters(*config.metrics, total.stats);
   return total.stats;
+}
+
+util::ProportionEstimate StratumResult::outcomeRate(SystemOutcome outcome) const {
+  return util::wilsonInterval(stats.outcome(outcome), stats.experiments);
+}
+
+util::StratifiedProportionEstimate StratifiedCampaignResult::outcomeEstimate(
+    SystemOutcome outcome, double confidence) const {
+  std::vector<util::StratumProportion> cells;
+  cells.reserve(strata.size());
+  for (const StratumResult& stratum : strata) {
+    cells.push_back({stratum.spec.weight, stratum.stats.outcome(outcome),
+                     stratum.stats.experiments});
+  }
+  return util::stratifiedProportion(cells, confidence);
+}
+
+std::vector<StratumSpec> stratifySystemCampaign(const SystemCampaignConfig& config,
+                                                std::size_t windowBins) {
+  if (windowBins == 0)
+    throw std::invalid_argument("stratifySystemCampaign: windowBins must be >= 1");
+  if (!(config.injectLatestS > config.injectEarliestS))
+    throw std::invalid_argument("stratifySystemCampaign: empty injection window");
+  const std::array<double, kScenarioKindCount> kindWeights{
+      config.machineTransientWeight, config.busCorruptionWeight, config.nodeCrashWeight,
+      config.correlatedBurstWeight};
+  double totalWeight = 0.0;
+  for (const double w : kindWeights) {
+    if (w < 0.0) throw std::invalid_argument("stratifySystemCampaign: negative kind weight");
+    totalWeight += w;
+  }
+  if (totalWeight <= 0.0)
+    throw std::invalid_argument("stratifySystemCampaign: all scenario weights zero");
+
+  const double windowSpanS = config.injectLatestS - config.injectEarliestS;
+  std::vector<StratumSpec> strata;
+  for (std::size_t k = 0; k < kScenarioKindCount; ++k) {
+    if (kindWeights[k] <= 0.0) continue;
+    const double kindShare = kindWeights[k] / totalWeight;
+    for (net::NodeId node = 1; node <= kNodeCount; ++node) {
+      for (std::size_t bin = 0; bin < windowBins; ++bin) {
+        StratumSpec spec;
+        spec.kind = static_cast<ScenarioKind>(k);
+        spec.target = node;
+        spec.windowBin = bin;
+        spec.windowLoS = config.injectEarliestS +
+                         windowSpanS * static_cast<double>(bin) / static_cast<double>(windowBins);
+        spec.windowHiS = config.injectEarliestS + windowSpanS * static_cast<double>(bin + 1) /
+                                                      static_cast<double>(windowBins);
+        spec.weight = kindShare / static_cast<double>(kNodeCount) /
+                      static_cast<double>(windowBins);
+        strata.push_back(spec);
+      }
+    }
+  }
+
+  // Largest-remainder allocation of the budget, proportional to W_h.
+  // Deterministic: remainder ties break on the (fixed) stratum order.
+  std::size_t allocated = 0;
+  std::vector<double> remainders(strata.size());
+  for (std::size_t h = 0; h < strata.size(); ++h) {
+    const double quota = static_cast<double>(config.experiments) * strata[h].weight;
+    strata[h].experiments = static_cast<std::size_t>(quota);
+    remainders[h] = quota - static_cast<double>(strata[h].experiments);
+    allocated += strata[h].experiments;
+  }
+  std::vector<std::size_t> order(strata.size());
+  for (std::size_t h = 0; h < order.size(); ++h) order[h] = h;
+  std::stable_sort(order.begin(), order.end(), [&remainders](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t i = 0; allocated < config.experiments && i < order.size(); ++i) {
+    ++strata[order[i]].experiments;
+    ++allocated;
+  }
+  return strata;
+}
+
+SystemScenario sampleScenario(const SystemCampaignConfig& config, util::Rng& rng,
+                              const StratumSpec& stratum) {
+  return sampleScenarioImpl(config, rng, makeGuestContext(), &stratum);
+}
+
+StratifiedCampaignResult runStratifiedSystemCampaign(const SystemCampaignConfig& config,
+                                                     std::size_t windowBins) {
+  const GuestContext ctx = makeGuestContext();
+  const BbwSimResult golden = goldenStop(config);
+  StratifiedCampaignResult result;
+  obs::Registry sims;
+
+  const std::vector<StratumSpec> strata = stratifySystemCampaign(config, windowBins);
+  for (std::size_t h = 0; h < strata.size(); ++h) {
+    StratumResult stratumResult;
+    stratumResult.spec = strata[h];
+    if (strata[h].experiments > 0) {
+      // Independent, reproducible sub-seed per stratum: a fixed mix of the
+      // campaign seed and the stratum's position in the (deterministic)
+      // grid. Each sub-campaign keeps the usual chunk-order determinism.
+      const std::uint64_t stratumSeed =
+          config.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(h) + 1));
+      if (config.metrics == nullptr) {
+        stratumResult.stats = exec::runChunkedCampaign<SystemCampaignStats>(
+            strata[h].experiments, stratumSeed, config.parallelism, "runStratifiedSystemCampaign",
+            [&](util::Rng& rng, SystemCampaignStats& stats) {
+              runOneScenario(config, ctx, golden, &strata[h], rng, stats, nullptr);
+            },
+            config.cancel);
+      } else {
+        ObsChunkStats chunk = exec::runChunkedCampaign<ObsChunkStats>(
+            strata[h].experiments, stratumSeed, config.parallelism, "runStratifiedSystemCampaign",
+            [&](util::Rng& rng, ObsChunkStats& obsChunk) {
+              runOneScenario(config, ctx, golden, &strata[h], rng, obsChunk.stats,
+                             &obsChunk.sims);
+            },
+            config.cancel, {}, config.metrics);
+        chunk.stats.experiments = chunk.experiments;
+        stratumResult.stats = chunk.stats;
+        sims.merge(chunk.sims);
+      }
+    }
+    result.total.merge(stratumResult.stats);
+    result.strata.push_back(std::move(stratumResult));
+  }
+  result.experiments = result.total.experiments;
+
+  if (config.metrics != nullptr) {
+    config.metrics->merge(sims);
+    addCampaignCounters(*config.metrics, result.total);
+    std::size_t occupied = 0;
+    std::size_t minAlloc = result.strata.empty() ? 0 : result.strata.front().spec.experiments;
+    std::size_t maxAlloc = 0;
+    for (const StratumResult& stratum : result.strata) {
+      if (stratum.spec.experiments > 0) ++occupied;
+      minAlloc = std::min(minAlloc, stratum.spec.experiments);
+      maxAlloc = std::max(maxAlloc, stratum.spec.experiments);
+    }
+    config.metrics->add("campaign.strat.strata", result.strata.size());
+    config.metrics->add("campaign.strat.occupied", occupied);
+    config.metrics->add("campaign.strat.empty", result.strata.size() - occupied);
+    config.metrics->gaugeMax("campaign.strat.min_alloc", static_cast<double>(minAlloc));
+    config.metrics->gaugeMax("campaign.strat.max_alloc", static_cast<double>(maxAlloc));
+  }
+  return result;
 }
 
 }  // namespace nlft::fi

@@ -207,4 +207,75 @@ struct SystemExperiment {
 /// thread count.
 [[nodiscard]] SystemCampaignStats runSystemCampaign(const SystemCampaignConfig& config);
 
+// ---- Stratified campaign (docs/ESTIMATORS.md, docs/SYSTEM_FI.md) ----
+//
+// The crude campaign samples scenarios by the configured kind weights, so a
+// 2000-experiment run spends ~10 experiments per (rare kind, node) cell and
+// the per-cell rates are noisy. The stratified campaign partitions the
+// scenario space into strata — fault class x target node x injection-window
+// bin — runs a deterministic allocation of the budget inside every stratum,
+// and recombines with the post-stratified estimator
+// util::stratifiedProportion, using each stratum's nominal probability W_h
+// as its weight. Point estimates target exactly the same quantities as the
+// crude campaign; the variance drops because the between-strata component is
+// eliminated and no cell is left to sampling luck.
+
+/// One stratum: a fault class, a target node and an injection-window bin,
+/// with its nominal probability and allocated share of the budget.
+struct StratumSpec {
+  ScenarioKind kind = ScenarioKind::MachineTransient;
+  net::NodeId target = 1;
+  std::size_t windowBin = 0;
+  double windowLoS = 0.0;  ///< injection window [lo, hi) seconds
+  double windowHiS = 0.0;
+  /// W_h: probability of this stratum under the crude sampler (normalised
+  /// kind weight x 1/nodes x 1/windowBins). Sums to 1 over all strata.
+  double weight = 0.0;
+  std::size_t experiments = 0;  ///< allocated trials (largest remainder)
+};
+
+/// Per-stratum campaign statistics with Wilson intervals per outcome.
+struct StratumResult {
+  StratumSpec spec;
+  SystemCampaignStats stats;
+
+  /// Wilson interval for P(outcome | stratum).
+  [[nodiscard]] util::ProportionEstimate outcomeRate(SystemOutcome outcome) const;
+};
+
+struct StratifiedCampaignResult {
+  /// Kind-major, then node, then window bin; only kinds with positive
+  /// weight appear.
+  std::vector<StratumResult> strata;
+  /// All strata merged (NOT a crude-campaign sample: outcome mixes follow
+  /// the allocation, use outcomeEstimate() for population-level rates).
+  SystemCampaignStats total;
+  std::size_t experiments = 0;
+
+  /// Post-stratified estimate of the population outcome probability
+  /// P(outcome) = sum_h W_h p_h with its combination interval.
+  [[nodiscard]] util::StratifiedProportionEstimate outcomeEstimate(
+      SystemOutcome outcome, double confidence = 0.95) const;
+};
+
+/// Builds the stratum grid and the deterministic largest-remainder
+/// allocation of `config.experiments` proportional to the W_h.
+[[nodiscard]] std::vector<StratumSpec> stratifySystemCampaign(const SystemCampaignConfig& config,
+                                                              std::size_t windowBins = 3);
+
+/// Samples a scenario INSIDE one stratum: kind, first target and injection
+/// window are pinned; everything else (fault spec, flip bits, burst
+/// partners) draws as in the crude sampler.
+[[nodiscard]] SystemScenario sampleScenario(const SystemCampaignConfig& config, util::Rng& rng,
+                                            const StratumSpec& stratum);
+
+/// Stratified campaign: one deterministic chunked sub-campaign per stratum
+/// (sub-seeds derived from config.seed and the stratum index), results
+/// recombined by W_h. Bit-identical at every thread count for a fixed
+/// (seed, chunkSize, windowBins). Metrics (config.metrics) gain
+/// "campaign.strat.*" occupancy counters on top of the usual campaign and
+/// simulation metrics.
+[[nodiscard]] StratifiedCampaignResult runStratifiedSystemCampaign(
+    const SystemCampaignConfig& config, std::size_t windowBins = 3);
+
 }  // namespace nlft::fi

@@ -1,0 +1,198 @@
+// Internal shared core of the system-lifetime simulation.
+//
+// The event loop is templated over a Draws policy so the nominal Monte-Carlo
+// path (montecarlo.cpp) and the importance-sampling path (importance.cpp)
+// execute the SAME model code and differ only in how individual random
+// variables are drawn. The policy surface names every draw site by its role:
+//
+//   faultArrival(lambda, remainingHours)
+//                           exponential inter-arrival of the next fault;
+//                           remainingHours is the time left to the horizon,
+//                           so a biased policy can censor its likelihood
+//                           ratio there (the loop never looks at the exact
+//                           value of an arrival past the horizon)
+//   repairDelay(rate)       exponential repair / restart completion
+//   permanentSplit(p)       permanent-vs-transient classification
+//   covered(coverage)       error-detection coverage draw
+//   maskSplit()             NLFT mask / omission / fail-silent uniform
+//   correlatedHit(f)        correlated-burst coin
+//
+// A biased policy may change the distribution at a draw site as long as it
+// accounts for the likelihood ratio (docs/ESTIMATORS.md); the nominal policy
+// is a plain passthrough to util::Rng, consuming the stream in exactly the
+// order the pre-refactor simulateLifetime did, which keeps every seeded
+// result in tests and EXPERIMENTS.md bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sysmodel/montecarlo.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::sys::detail {
+
+enum class NodeState : std::uint8_t { Up, DownTemporary, DownPermanent };
+
+struct NodeRuntime {
+  NodeState state = NodeState::Up;
+  int group = 0;
+  double nextEventAt = 0.0;  ///< next fault (Up) or repair completion (DownTemporary)
+};
+
+/// Draws what happens when an activated fault hits an up node.
+struct FaultEffect {
+  bool systemFailure = false;
+  bool nodeDown = false;
+  bool permanent = false;
+  double repairRate = 0.0;
+};
+
+template <typename Draws>
+FaultEffect resolveFault(const SystemSpec& spec, Draws& draws) {
+  const NodeParameters& p = spec.params;
+  FaultEffect effect;
+
+  const double lambda = p.lambdaPermanent + p.lambdaTransient;
+  const bool permanentFault = draws.permanentSplit(p.lambdaPermanent / lambda);
+
+  // Pessimistic assumption of the paper: every non-covered error is fatal
+  // for the entire system.
+  if (!draws.covered(p.coverage)) {
+    effect.systemFailure = true;
+    return effect;
+  }
+
+  if (permanentFault) {
+    // Detected permanent fault: the node is taken down for good (repair of
+    // permanent faults is outside the model's scope).
+    effect.nodeDown = true;
+    effect.permanent = true;
+    return effect;
+  }
+
+  // Detected transient fault.
+  if (spec.behavior == NodeBehavior::FailSilent) {
+    // The node always restarts: down for ~Exp(muRestart).
+    effect.nodeDown = true;
+    effect.repairRate = p.muRestart;
+    return effect;
+  }
+
+  // NLFT node: mask / omission / fail-silent split.
+  const double u = draws.maskSplit();
+  if (u < p.pMask) {
+    return effect;  // masked by TEM: no visible effect at all
+  }
+  if (u < p.pMask + p.pOmission) {
+    effect.nodeDown = true;
+    effect.repairRate = p.muOmissionRepair;
+    return effect;
+  }
+  effect.nodeDown = true;
+  effect.repairRate = p.muRestart;
+  return effect;
+}
+
+/// Simulates one system lifetime under the given draw policy; returns the
+/// failure time in hours, capped at `horizonHours`.
+template <typename Draws>
+double simulateLifetimeImpl(const SystemSpec& spec, double horizonHours, Draws& draws) {
+  if (spec.groups.empty()) throw std::invalid_argument("simulateLifetime: no groups");
+  const double lambda = spec.params.lambdaPermanent + spec.params.lambdaTransient;
+
+  std::vector<NodeRuntime> nodes;
+  std::vector<int> upCount(spec.groups.size(), 0);
+  std::vector<int> required(spec.groups.size(), 0);
+  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+    const GroupSpec& group = spec.groups[g];
+    if (group.requiredUp < 0 || group.requiredUp > group.nodes)
+      throw std::invalid_argument("simulateLifetime: bad group requirement");
+    required[g] = group.requiredUp;
+    upCount[g] = group.nodes;
+    for (int n = 0; n < group.nodes; ++n) {
+      NodeRuntime node;
+      node.group = static_cast<int>(g);
+      node.nextEventAt = draws.faultArrival(lambda, horizonHours);
+      nodes.push_back(node);
+    }
+  }
+
+  double now = 0.0;
+  for (;;) {
+    // Next event over all nodes (faults of up nodes, repairs of down ones).
+    std::size_t nextIndex = nodes.size();
+    double nextAt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].state == NodeState::DownPermanent) continue;
+      if (nodes[i].nextEventAt < nextAt) {
+        nextAt = nodes[i].nextEventAt;
+        nextIndex = i;
+      }
+    }
+    if (nextAt >= horizonHours || nextIndex == nodes.size()) return horizonHours;
+    now = nextAt;
+    NodeRuntime& node = nodes[nextIndex];
+
+    if (node.state == NodeState::DownTemporary) {
+      // Repair completed: the node reintegrates.
+      node.state = NodeState::Up;
+      ++upCount[node.group];
+      node.nextEventAt = now + draws.faultArrival(lambda, horizonHours - now);
+      continue;
+    }
+
+    // An activated fault on an up node (possibly correlated across its
+    // whole group — an extension over the paper's independence assumption).
+    auto strike = [&](NodeRuntime& victim) -> bool /* system failed */ {
+      const FaultEffect effect = resolveFault(spec, draws);
+      if (effect.systemFailure) return true;
+      if (!effect.nodeDown) return false;  // masked
+      --upCount[victim.group];
+      if (upCount[victim.group] < required[victim.group]) return true;
+      if (effect.permanent) {
+        victim.state = NodeState::DownPermanent;
+      } else {
+        victim.state = NodeState::DownTemporary;
+        victim.nextEventAt = now + draws.repairDelay(effect.repairRate);
+      }
+      return false;
+    };
+
+    const bool correlated = spec.correlation.correlatedFraction > 0.0 &&
+                            draws.correlatedHit(spec.correlation.correlatedFraction);
+    const int group = node.group;
+    if (strike(node)) return now;
+    if (node.state == NodeState::Up)
+      node.nextEventAt = now + draws.faultArrival(lambda, horizonHours - now);
+
+    if (correlated) {
+      for (NodeRuntime& other : nodes) {
+        if (&other == &node || other.group != group) continue;
+        if (other.state != NodeState::Up) continue;
+        // The partner's own fault schedule is untouched (the correlated hit
+        // is extra; exponential memorylessness keeps this exact).
+        if (strike(other)) return now;
+      }
+    }
+  }
+}
+
+/// Passthrough policy: every draw site pulls straight from util::Rng, in the
+/// same order as the original hand-written loop.
+struct NominalDraws {
+  util::Rng& rng;
+
+  double faultArrival(double lambda, double /*remainingHours*/) {
+    return rng.exponential(lambda);
+  }
+  double repairDelay(double rate) { return rng.exponential(rate); }
+  bool permanentSplit(double pPermanent) { return rng.bernoulli(pPermanent); }
+  bool covered(double coverage) { return rng.bernoulli(coverage); }
+  double maskSplit() { return rng.uniform01(); }
+  bool correlatedHit(double fraction) { return rng.bernoulli(fraction); }
+};
+
+}  // namespace nlft::sys::detail

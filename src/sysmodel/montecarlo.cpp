@@ -4,257 +4,125 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/chunked_campaign.hpp"
+#include "sysmodel/lifetime_model.hpp"
 #include "util/time.hpp"
 
 namespace nlft::sys {
 
-namespace {
-
-enum class NodeState : std::uint8_t { Up, DownTemporary, DownPermanent };
-
-struct NodeRuntime {
-  NodeState state = NodeState::Up;
-  int group = 0;
-  double nextEventAt = 0.0;  ///< next fault (Up) or repair completion (DownTemporary)
-};
-
-/// Draws what happens when an activated fault hits an up node.
-/// Returns true if the system fails outright (undetected error).
-struct FaultEffect {
-  bool systemFailure = false;
-  bool nodeDown = false;
-  bool permanent = false;
-  double repairRate = 0.0;
-};
-
-FaultEffect resolveFault(const SystemSpec& spec, util::Rng& rng) {
-  const NodeParameters& p = spec.params;
-  FaultEffect effect;
-
-  const double lambda = p.lambdaPermanent + p.lambdaTransient;
-  const bool permanentFault = rng.bernoulli(p.lambdaPermanent / lambda);
-
-  // Pessimistic assumption of the paper: every non-covered error is fatal
-  // for the entire system.
-  if (!rng.bernoulli(p.coverage)) {
-    effect.systemFailure = true;
-    return effect;
-  }
-
-  if (permanentFault) {
-    // Detected permanent fault: the node is taken down for good (repair of
-    // permanent faults is outside the model's scope).
-    effect.nodeDown = true;
-    effect.permanent = true;
-    return effect;
-  }
-
-  // Detected transient fault.
-  if (spec.behavior == NodeBehavior::FailSilent) {
-    // The node always restarts: down for ~Exp(muRestart).
-    effect.nodeDown = true;
-    effect.repairRate = p.muRestart;
-    return effect;
-  }
-
-  // NLFT node: mask / omission / fail-silent split.
-  const double u = rng.uniform01();
-  if (u < p.pMask) {
-    return effect;  // masked by TEM: no visible effect at all
-  }
-  if (u < p.pMask + p.pOmission) {
-    effect.nodeDown = true;
-    effect.repairRate = p.muOmissionRepair;
-    return effect;
-  }
-  effect.nodeDown = true;
-  effect.repairRate = p.muRestart;
-  return effect;
-}
-
-}  // namespace
-
 double simulateLifetime(const SystemSpec& spec, double horizonHours, util::Rng& rng) {
-  if (spec.groups.empty()) throw std::invalid_argument("simulateLifetime: no groups");
-  const double lambda = spec.params.lambdaPermanent + spec.params.lambdaTransient;
-
-  std::vector<NodeRuntime> nodes;
-  std::vector<int> upCount(spec.groups.size(), 0);
-  std::vector<int> required(spec.groups.size(), 0);
-  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
-    const GroupSpec& group = spec.groups[g];
-    if (group.requiredUp < 0 || group.requiredUp > group.nodes)
-      throw std::invalid_argument("simulateLifetime: bad group requirement");
-    required[g] = group.requiredUp;
-    upCount[g] = group.nodes;
-    for (int n = 0; n < group.nodes; ++n) {
-      NodeRuntime node;
-      node.group = static_cast<int>(g);
-      node.nextEventAt = rng.exponential(lambda);
-      nodes.push_back(node);
-    }
-  }
-
-  double now = 0.0;
-  for (;;) {
-    // Next event over all nodes (faults of up nodes, repairs of down ones).
-    std::size_t nextIndex = nodes.size();
-    double nextAt = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i].state == NodeState::DownPermanent) continue;
-      if (nodes[i].nextEventAt < nextAt) {
-        nextAt = nodes[i].nextEventAt;
-        nextIndex = i;
-      }
-    }
-    if (nextAt >= horizonHours || nextIndex == nodes.size()) return horizonHours;
-    now = nextAt;
-    NodeRuntime& node = nodes[nextIndex];
-
-    if (node.state == NodeState::DownTemporary) {
-      // Repair completed: the node reintegrates.
-      node.state = NodeState::Up;
-      ++upCount[node.group];
-      node.nextEventAt = now + rng.exponential(lambda);
-      continue;
-    }
-
-    // An activated fault on an up node (possibly correlated across its
-    // whole group — an extension over the paper's independence assumption).
-    auto strike = [&](NodeRuntime& victim) -> bool /* system failed */ {
-      const FaultEffect effect = resolveFault(spec, rng);
-      if (effect.systemFailure) return true;
-      if (!effect.nodeDown) return false;  // masked
-      --upCount[victim.group];
-      if (upCount[victim.group] < required[victim.group]) return true;
-      if (effect.permanent) {
-        victim.state = NodeState::DownPermanent;
-      } else {
-        victim.state = NodeState::DownTemporary;
-        victim.nextEventAt = now + rng.exponential(effect.repairRate);
-      }
-      return false;
-    };
-
-    const bool correlated = spec.correlation.correlatedFraction > 0.0 &&
-                            rng.bernoulli(spec.correlation.correlatedFraction);
-    const int group = node.group;
-    if (strike(node)) return now;
-    if (node.state == NodeState::Up) node.nextEventAt = now + rng.exponential(lambda);
-
-    if (correlated) {
-      for (NodeRuntime& other : nodes) {
-        if (&other == &node || other.group != group) continue;
-        if (other.state != NodeState::Up) continue;
-        // The partner's own fault schedule is untouched (the correlated hit
-        // is extra; exponential memorylessness keeps this exact).
-        if (strike(other)) return now;
-      }
-    }
-  }
+  detail::NominalDraws draws{rng};
+  return detail::simulateLifetimeImpl(spec, horizonHours, draws);
 }
 
 namespace {
 
-/// One independent RNG sub-stream per chunk, forked from the root stream in
-/// chunk order. The mapping from trial to randomness therefore depends only
-/// on (seed, chunk layout) — never on the thread count.
-std::vector<util::Rng> forkChunkRngs(std::uint64_t seed, std::size_t chunks) {
-  util::Rng root{seed};
-  std::vector<util::Rng> rngs;
-  rngs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) rngs.push_back(root.fork(c));
-  return rngs;
-}
+/// Per-chunk accumulator for estimateReliability, mergeable in chunk order.
+struct ReliabilityChunk {
+  std::size_t experiments = 0;
+  std::vector<std::size_t> survivors;  ///< per checkpoint
+  std::size_t failures = 0;
+  util::RunningStats failureTimes;
+
+  void merge(const ReliabilityChunk& other) {
+    experiments += other.experiments;
+    failures += other.failures;
+    failureTimes.merge(other.failureTimes);
+    if (other.survivors.empty()) return;
+    if (survivors.empty()) survivors.assign(other.survivors.size(), 0);
+    for (std::size_t c = 0; c < survivors.size(); ++c) survivors[c] += other.survivors[c];
+  }
+};
 
 }  // namespace
 
 MonteCarloResult estimateReliability(const SystemSpec& spec, const MonteCarloConfig& config) {
   if (config.checkpointHours.empty())
     throw std::invalid_argument("estimateReliability: no checkpoints");
-  MonteCarloResult result;
-  result.trials = config.trials;
   const util::MonotonicStopwatch clock;
   const double horizon =
       *std::max_element(config.checkpointHours.begin(), config.checkpointHours.end());
+  const std::size_t checkpointCount = config.checkpointHours.size();
 
-  struct ChunkAccumulator {
-    std::vector<std::size_t> survivors;
-    std::size_t failures = 0;
-    util::RunningStats failureTimes;
-  };
+  exec::EarlyStopRule<ReliabilityChunk> rule;
+  if (config.target.ciHalfWidth > 0.0) {
+    rule.minItems = std::max<std::size_t>(config.target.minTrials, 1);
+    rule.shouldStop = [&config](const ReliabilityChunk& prefix, std::size_t items) {
+      if (prefix.survivors.empty()) return false;
+      for (const std::size_t survivors : prefix.survivors) {
+        const util::ProportionEstimate est = util::wilsonInterval(survivors, items);
+        if ((est.high - est.low) / 2.0 > config.target.ciHalfWidth) return false;
+      }
+      return true;
+    };
+  }
 
-  const std::size_t chunkSize = config.parallelism.resolvedChunkSize(config.trials);
-  const std::size_t chunks = exec::chunkCount(config.trials, chunkSize);
-  std::vector<util::Rng> chunkRngs = forkChunkRngs(config.seed, chunks);
-  std::vector<ChunkAccumulator> accumulators(chunks);
-
-  const std::size_t processed = exec::forEachChunk(
-      config.trials, config.parallelism,
-      [&](const exec::ChunkRange& range, unsigned) {
-        ChunkAccumulator& acc = accumulators[range.index];
-        acc.survivors.assign(config.checkpointHours.size(), 0);
-        util::Rng rng = chunkRngs[range.index];
-        for (std::size_t trial = range.begin; trial < range.end; ++trial) {
-          const double failedAt = simulateLifetime(spec, horizon, rng);
-          if (failedAt < horizon) {
-            ++acc.failures;
-            acc.failureTimes.add(failedAt);
-          }
-          for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
-            if (failedAt >= config.checkpointHours[c]) ++acc.survivors[c];
-          }
+  const auto run = exec::runStoppableChunkedCampaign<ReliabilityChunk>(
+      config.trials, config.seed, config.parallelism, "estimateReliability",
+      [&](util::Rng& rng, ReliabilityChunk& acc) {
+        if (acc.survivors.empty()) acc.survivors.assign(checkpointCount, 0);
+        const double failedAt = simulateLifetime(spec, horizon, rng);
+        if (failedAt < horizon) {
+          ++acc.failures;
+          acc.failureTimes.add(failedAt);
+        }
+        for (std::size_t c = 0; c < checkpointCount; ++c) {
+          if (failedAt >= config.checkpointHours[c]) ++acc.survivors[c];
         }
       },
-      config.cancel, {config.onProgress, 0.25});
-  if (processed < config.trials) throw std::runtime_error("estimateReliability: cancelled");
+      rule, config.cancel, config.onProgress);
 
-  // Merge in chunk order: deterministic regardless of completion order.
-  std::vector<std::size_t> survivors(config.checkpointHours.size(), 0);
-  for (const ChunkAccumulator& acc : accumulators) {
-    result.failuresWithinHorizon += acc.failures;
-    result.failureTimes.merge(acc.failureTimes);
-    for (std::size_t c = 0; c < survivors.size(); ++c) survivors[c] += acc.survivors[c];
-  }
-  for (std::size_t c = 0; c < config.checkpointHours.size(); ++c) {
+  MonteCarloResult result;
+  result.trials = run.itemsUsed;
+  result.stoppedEarly = run.stoppedEarly;
+  result.failuresWithinHorizon = run.stats.failures;
+  result.failureTimes = run.stats.failureTimes;
+  const std::vector<std::size_t>& survivors = run.stats.survivors;
+  for (std::size_t c = 0; c < checkpointCount; ++c) {
     ReliabilityEstimate estimate;
     estimate.tHours = config.checkpointHours[c];
-    estimate.reliability = util::wilsonInterval(survivors[c], config.trials);
+    const std::size_t up = survivors.empty() ? 0 : survivors[c];
+    estimate.reliability = util::wilsonInterval(up, run.itemsUsed);
     result.checkpoints.push_back(estimate);
   }
   if (config.metrics != nullptr) {
     config.metrics->add("mc.estimations");
-    config.metrics->add("mc.trials", config.trials);
+    config.metrics->add("mc.trials", result.trials);
     config.metrics->add("mc.failures_within_horizon", result.failuresWithinHorizon);
+    if (result.stoppedEarly) config.metrics->add("mc.early_stopped");
     const double elapsed = clock.elapsedSeconds();
     config.metrics->gaugeMax("wall.mc.seconds", elapsed);
     if (elapsed > 0.0) {
       config.metrics->gaugeMax("wall.mc.samples_per_second",
-                               static_cast<double>(config.trials) / elapsed);
+                               static_cast<double>(result.trials) / elapsed);
     }
   }
   return result;
 }
 
+namespace {
+
+struct MttfChunk {
+  std::size_t experiments = 0;
+  util::RunningStats lifetimes;
+
+  void merge(const MttfChunk& other) {
+    experiments += other.experiments;
+    lifetimes.merge(other.lifetimes);
+  }
+};
+
+}  // namespace
+
 util::RunningStats estimateMttf(const SystemSpec& spec, std::size_t trials, std::uint64_t seed,
                                 const exec::Parallelism& parallelism) {
   const double effectivelyForever = std::numeric_limits<double>::infinity();
-  const std::size_t chunkSize = parallelism.resolvedChunkSize(trials);
-  const std::size_t chunks = exec::chunkCount(trials, chunkSize);
-  std::vector<util::Rng> chunkRngs = forkChunkRngs(seed, chunks);
-  std::vector<util::RunningStats> accumulators(chunks);
-
-  exec::forEachChunk(trials, parallelism, [&](const exec::ChunkRange& range, unsigned) {
-    util::Rng rng = chunkRngs[range.index];
-    util::RunningStats& stats = accumulators[range.index];
-    for (std::size_t trial = range.begin; trial < range.end; ++trial) {
-      stats.add(simulateLifetime(spec, effectivelyForever, rng));
-    }
-  });
-
-  util::RunningStats stats;
-  for (const util::RunningStats& chunk : accumulators) stats.merge(chunk);
-  return stats;
+  return exec::runChunkedCampaign<MttfChunk>(
+             trials, seed, parallelism, "estimateMttf",
+             [&](util::Rng& rng, MttfChunk& acc) {
+               acc.lifetimes.add(simulateLifetime(spec, effectivelyForever, rng));
+             })
+      .lifetimes;
 }
 
 }  // namespace nlft::sys

@@ -82,9 +82,23 @@ struct ReliabilityEstimate {
 
 struct MonteCarloResult {
   std::vector<ReliabilityEstimate> checkpoints;
+  /// Trials the estimates are based on — the full budget, or less when a
+  /// PrecisionTarget stopped the campaign early.
   std::size_t trials = 0;
   std::size_t failuresWithinHorizon = 0;
+  bool stoppedEarly = false;
   util::RunningStats failureTimes;  ///< uncensored failure times only
+};
+
+/// Sequential precision target (docs/ESTIMATORS.md). When `ciHalfWidth` is
+/// positive, the campaign halts at the first chunk boundary where EVERY
+/// checkpoint's 95% interval half-width is at or below the target. The stop
+/// decision is evaluated on deterministic chunk prefixes only, so early-
+/// stopped results stay bit-identical at every thread count.
+struct PrecisionTarget {
+  double ciHalfWidth = 0.0;  ///< 0 disables early stopping
+  /// Never stop before this many trials (guards small-sample CI math).
+  std::size_t minTrials = 1000;
 };
 
 struct MonteCarloConfig {
@@ -104,6 +118,8 @@ struct MonteCarloConfig {
   /// Optional metrics sink (not owned): deterministic "mc.*" counters plus
   /// non-golden "wall.mc.*" throughput gauges (trials per second).
   obs::Registry* metrics = nullptr;
+  /// Optional sequential early stopping at a target interval half-width.
+  PrecisionTarget target{};
 };
 
 /// Estimates R(t) at every checkpoint (horizon = max checkpoint).

@@ -48,6 +48,92 @@ double RunningStats::confidenceHalfWidth(double confidence) const {
   return z * stddev() / std::sqrt(static_cast<double>(count_));
 }
 
+void WeightedStats::add(double x, double w) {
+  if (w < 0.0) throw std::invalid_argument("WeightedStats::add: negative weight");
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sumW2_ += w * w;
+  if (w == 0.0) return;  // a real draw, but no mass in the moments
+  sumW_ += w;
+  const double delta = x - mean_;
+  mean_ += delta * w / sumW_;
+  m2_ += w * delta * (x - mean_);
+}
+
+void WeightedStats::merge(const WeightedStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  count_ += other.count_;
+  sumW2_ += other.sumW2_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  if (other.sumW_ == 0.0) return;
+  if (sumW_ == 0.0) {
+    sumW_ = other.sumW_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    return;
+  }
+  const double w1 = sumW_;
+  const double w2 = other.sumW_;
+  const double delta = other.mean_ - mean_;
+  const double w = w1 + w2;
+  mean_ += delta * w2 / w;
+  m2_ += other.m2_ + delta * delta * w1 * w2 / w;
+  sumW_ = w;
+}
+
+double WeightedStats::mean() const { return sumW_ > 0.0 ? mean_ : 0.0; }
+
+double WeightedStats::variance() const { return sumW_ > 0.0 ? m2_ / sumW_ : 0.0; }
+
+double WeightedStats::effectiveSampleSize() const {
+  return sumW2_ > 0.0 ? sumW_ * sumW_ / sumW2_ : 0.0;
+}
+
+double WeightedStats::weightCv() const {
+  if (count_ == 0 || sumW_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double ratio = n * sumW2_ / (sumW_ * sumW_) - 1.0;
+  return ratio > 0.0 ? std::sqrt(ratio) : 0.0;
+}
+
+StratifiedProportionEstimate stratifiedProportion(const std::vector<StratumProportion>& strata,
+                                                  double confidence) {
+  StratifiedProportionEstimate est;
+  const double z = inverseNormalCdf(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  double variance = 0.0;
+  for (const StratumProportion& stratum : strata) {
+    if (stratum.weight < 0.0)
+      throw std::invalid_argument("stratifiedProportion: negative stratum weight");
+    est.trials += stratum.trials;
+    if (stratum.trials == 0) {
+      if (stratum.weight > 0.0) ++est.emptyStrata;
+      continue;
+    }
+    const double n = static_cast<double>(stratum.trials);
+    const double phat = static_cast<double>(stratum.successes) / n;
+    est.proportion += stratum.weight * phat;
+    // Agresti-Coull shrinkage for the variance term only: keeps degenerate
+    // strata (0 or n successes) from zeroing their width contribution.
+    const double ptilde = (static_cast<double>(stratum.successes) + z2 / 2.0) / (n + z2);
+    variance += stratum.weight * stratum.weight * ptilde * (1.0 - ptilde) / n;
+  }
+  est.halfWidth = z * std::sqrt(variance);
+  est.low = std::max(0.0, est.proportion - est.halfWidth);
+  est.high = std::min(1.0, est.proportion + est.halfWidth);
+  return est;
+}
+
 double inverseNormalCdf(double p) {
   if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("inverseNormalCdf: p outside (0,1)");
 
@@ -97,6 +183,11 @@ ProportionEstimate wilsonInterval(std::size_t successes, std::size_t trials, dou
   est.proportion = phat;
   est.low = std::max(0.0, center - half);
   est.high = std::min(1.0, center + half);
+  // At the degenerate ends center∓half is 0 or 1 exactly in real arithmetic
+  // (center = half = (z²/2n)/denom when s = 0); pin the bound so rounding
+  // residue (~1e-19) cannot leak a spurious open interval.
+  if (successes == 0) est.low = 0.0;
+  if (successes == trials) est.high = 1.0;
   return est;
 }
 

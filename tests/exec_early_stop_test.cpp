@@ -1,0 +1,123 @@
+// Sequential early stopping in exec::runStoppableChunkedCampaign: the stop
+// decision is taken on chunk boundaries only, so a stopped campaign returns
+// a deterministic prefix of the full run — bit-identical at every thread
+// count (docs/ESTIMATORS.md describes the contract).
+#include "exec/chunked_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nlft::exec {
+namespace {
+
+struct SumStats {
+  std::size_t experiments = 0;
+  double sum = 0.0;
+  std::size_t n = 0;
+
+  void merge(const SumStats& other) {
+    experiments += other.experiments;
+    sum += other.sum;
+    n += other.n;
+  }
+};
+
+void runOne(util::Rng& rng, SumStats& stats) {
+  stats.sum += rng.uniform01();
+  ++stats.n;
+}
+
+constexpr std::uint64_t kSeed = 99;
+
+ChunkedCampaignResult<SumStats> runWithRule(std::size_t experiments, unsigned threads,
+                                            std::size_t chunkSize,
+                                            const EarlyStopRule<SumStats>& rule,
+                                            CancellationToken* cancel = nullptr) {
+  Parallelism parallelism;
+  parallelism.threads = threads;
+  parallelism.chunkSize = chunkSize;
+  return runStoppableChunkedCampaign<SumStats>(experiments, kSeed, parallelism, "test", runOne,
+                                               rule, cancel);
+}
+
+TEST(EarlyStop, StopsOnChunkBoundaryOncePredicateHolds) {
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats&, std::size_t items) { return items >= 300; };
+  const auto result = runWithRule(1000, 1, 50, rule);
+  EXPECT_TRUE(result.stoppedEarly);
+  EXPECT_EQ(result.itemsUsed, 300u);  // first boundary satisfying the rule
+  EXPECT_EQ(result.chunksUsed, 6u);
+  EXPECT_EQ(result.stats.n, 300u);
+  EXPECT_EQ(result.stats.experiments, 300u);
+}
+
+TEST(EarlyStop, StoppedResultIsBitIdenticalToShorterCampaign) {
+  // A campaign stopped at 300 items must equal, bit for bit, a campaign
+  // whose whole budget is 300 items (same seed, same chunk size): early
+  // stopping returns a prefix, never a differently sampled run.
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats&, std::size_t items) { return items >= 300; };
+  const auto stopped = runWithRule(1000, 1, 50, rule);
+  const auto shortRun = runWithRule(300, 1, 50, {});
+  EXPECT_EQ(stopped.stats.n, shortRun.stats.n);
+  EXPECT_EQ(stopped.stats.sum, shortRun.stats.sum);  // exact double equality
+}
+
+TEST(EarlyStop, BitIdenticalAcrossThreadCounts) {
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats& prefix, std::size_t) { return prefix.sum >= 120.0; };
+  const auto serial = runWithRule(2000, 1, 25, rule);
+  ASSERT_TRUE(serial.stoppedEarly);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel = runWithRule(2000, threads, 25, rule);
+    EXPECT_EQ(parallel.itemsUsed, serial.itemsUsed) << "threads=" << threads;
+    EXPECT_EQ(parallel.chunksUsed, serial.chunksUsed) << "threads=" << threads;
+    EXPECT_EQ(parallel.stats.sum, serial.stats.sum) << "threads=" << threads;
+    EXPECT_EQ(parallel.stats.n, serial.stats.n) << "threads=" << threads;
+  }
+}
+
+TEST(EarlyStop, MinItemsDefersTheDecision) {
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats&, std::size_t) { return true; };  // eager
+  rule.minItems = 101;
+  const auto result = runWithRule(1000, 1, 50, rule);
+  EXPECT_TRUE(result.stoppedEarly);
+  // First boundary at or past minItems: 150, not 50.
+  EXPECT_EQ(result.itemsUsed, 150u);
+}
+
+TEST(EarlyStop, UnreachableRuleRunsTheFullBudget) {
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats&, std::size_t) { return false; };
+  const auto result = runWithRule(400, 2, 25, rule);
+  EXPECT_FALSE(result.stoppedEarly);
+  EXPECT_EQ(result.itemsUsed, 400u);
+  EXPECT_EQ(result.stats.n, 400u);
+  // And equals the plain (rule-free) campaign bit for bit.
+  const auto plain = runWithRule(400, 1, 25, {});
+  EXPECT_EQ(result.stats.sum, plain.stats.sum);
+}
+
+TEST(EarlyStop, CallerCancellationStillThrows) {
+  CancellationToken cancel;
+  cancel.requestCancel();
+  EarlyStopRule<SumStats> rule;
+  rule.shouldStop = [](const SumStats&, std::size_t items) { return items >= 1000000; };
+  EXPECT_THROW((void)runWithRule(1000, 2, 50, rule, &cancel), std::runtime_error);
+}
+
+TEST(EarlyStop, PlainWrapperMatchesStoppableWithoutRule) {
+  Parallelism parallelism;
+  parallelism.threads = 1;
+  parallelism.chunkSize = 50;
+  const SumStats wrapped =
+      runChunkedCampaign<SumStats>(500, kSeed, parallelism, "test", runOne);
+  const auto direct = runWithRule(500, 1, 50, {});
+  EXPECT_EQ(wrapped.sum, direct.stats.sum);
+  EXPECT_EQ(wrapped.n, direct.stats.n);
+}
+
+}  // namespace
+}  // namespace nlft::exec

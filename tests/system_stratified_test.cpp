@@ -1,0 +1,145 @@
+// Stratified system-campaign estimator (docs/ESTIMATORS.md):
+//  - the stratum grid reproduces the crude sampler's nominal distribution
+//    (weights sum to 1, largest-remainder allocation is exact and fair);
+//  - in-stratum sampling respects the pinned kind / target / window;
+//  - the post-stratified outcome estimate agrees with the crude campaign
+//    within overlapping 95% intervals;
+//  - results are bit-identical across thread counts.
+#include "faults/system_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace nlft::fi {
+namespace {
+
+SystemCampaignConfig smallConfig(std::size_t experiments, std::uint64_t seed) {
+  SystemCampaignConfig config;
+  config.experiments = experiments;
+  config.seed = seed;
+  return config;
+}
+
+TEST(StratifiedCampaign, GridMatchesNominalDistributionAndBudget) {
+  const SystemCampaignConfig config = smallConfig(500, 7);
+  const std::vector<StratumSpec> strata = stratifySystemCampaign(config, 3);
+  ASSERT_EQ(strata.size(), 4u * 6u * 3u);  // kinds x nodes x window bins
+
+  double weightSum = 0.0;
+  std::size_t allocated = 0;
+  for (const StratumSpec& stratum : strata) {
+    EXPECT_GT(stratum.weight, 0.0);
+    EXPECT_LT(stratum.windowLoS, stratum.windowHiS);
+    EXPECT_GE(stratum.windowLoS, config.injectEarliestS);
+    EXPECT_LE(stratum.windowHiS, config.injectLatestS + 1e-12);
+    weightSum += stratum.weight;
+    allocated += stratum.experiments;
+    // Largest remainder never strays more than one from the exact quota.
+    const double quota = 500.0 * stratum.weight;
+    EXPECT_GE(static_cast<double>(stratum.experiments), std::floor(quota));
+    EXPECT_LE(static_cast<double>(stratum.experiments), std::floor(quota) + 1.0);
+  }
+  EXPECT_NEAR(weightSum, 1.0, 1e-12);
+  EXPECT_EQ(allocated, 500u);
+}
+
+TEST(StratifiedCampaign, ZeroWeightKindsAreExcluded) {
+  SystemCampaignConfig config = smallConfig(100, 7);
+  config.correlatedBurstWeight = 0.0;
+  const std::vector<StratumSpec> strata = stratifySystemCampaign(config, 2);
+  EXPECT_EQ(strata.size(), 3u * 6u * 2u);
+  for (const StratumSpec& stratum : strata) {
+    EXPECT_NE(stratum.kind, ScenarioKind::CorrelatedBurst);
+  }
+}
+
+TEST(StratifiedCampaign, InStratumSamplingRespectsPins) {
+  const SystemCampaignConfig config = smallConfig(10, 7);
+  const std::vector<StratumSpec> strata = stratifySystemCampaign(config, 3);
+  util::Rng rng{42};
+  for (const std::size_t index : {0u, 25u, 47u, 71u}) {
+    const StratumSpec& stratum = strata[index];
+    for (int i = 0; i < 5; ++i) {
+      const SystemScenario scenario = sampleScenario(config, rng, stratum);
+      EXPECT_EQ(scenario.kind, stratum.kind);
+      ASSERT_FALSE(scenario.targets.empty());
+      EXPECT_EQ(scenario.targets.front(), stratum.target);
+      const double atS = static_cast<double>(scenario.at.us()) / 1e6;
+      EXPECT_GE(atS, stratum.windowLoS - 1e-6);
+      EXPECT_LE(atS, stratum.windowHiS + 1e-6);
+      if (scenario.kind == ScenarioKind::CorrelatedBurst) {
+        EXPECT_GE(scenario.targets.size(), 2u);
+      }
+    }
+  }
+}
+
+TEST(StratifiedCampaign, AgreesWithCrudeCampaignWithinIntervals) {
+  const SystemCampaignConfig config = smallConfig(600, 8);
+  const SystemCampaignStats crude = runSystemCampaign(config);
+  const StratifiedCampaignResult stratified = runStratifiedSystemCampaign(config, 3);
+
+  EXPECT_EQ(stratified.experiments, 600u);
+  for (const SystemOutcome outcome :
+       {SystemOutcome::Masked, SystemOutcome::OmissionDegradation}) {
+    const util::ProportionEstimate crudeRate =
+        util::wilsonInterval(crude.outcome(outcome), crude.experiments);
+    const util::StratifiedProportionEstimate stratRate = stratified.outcomeEstimate(outcome);
+    EXPECT_LT(stratRate.low, crudeRate.high) << describe(outcome);
+    EXPECT_GT(stratRate.high, crudeRate.low) << describe(outcome);
+  }
+}
+
+TEST(StratifiedCampaign, BitIdenticalAcrossThreadCounts) {
+  SystemCampaignConfig config = smallConfig(300, 9);
+  config.parallelism.chunkSize = 2;
+  config.parallelism.threads = 1;
+  const StratifiedCampaignResult serial = runStratifiedSystemCampaign(config, 3);
+  for (unsigned threads : {2u, 8u}) {
+    config.parallelism.threads = threads;
+    const StratifiedCampaignResult parallel = runStratifiedSystemCampaign(config, 3);
+    EXPECT_EQ(parallel.total.outcomes, serial.total.outcomes) << "threads=" << threads;
+    EXPECT_EQ(parallel.total.stops, serial.total.stops) << "threads=" << threads;
+    for (const SystemOutcome outcome : {SystemOutcome::Masked, SystemOutcome::MissedStop}) {
+      EXPECT_EQ(parallel.outcomeEstimate(outcome).proportion,
+                serial.outcomeEstimate(outcome).proportion)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(StratifiedCampaign, SmallBudgetFlagsEmptyStrata) {
+  const SystemCampaignConfig config = smallConfig(20, 10);  // < 72 strata
+  const StratifiedCampaignResult result = runStratifiedSystemCampaign(config, 3);
+  EXPECT_EQ(result.experiments, 20u);
+  const util::StratifiedProportionEstimate estimate =
+      result.outcomeEstimate(SystemOutcome::Masked);
+  EXPECT_GT(estimate.emptyStrata, 0u);
+}
+
+TEST(StratifiedCampaign, EmitsOccupancyMetrics) {
+  obs::Registry metrics;
+  SystemCampaignConfig config = smallConfig(150, 11);
+  config.metrics = &metrics;
+  const StratifiedCampaignResult result = runStratifiedSystemCampaign(config, 3);
+  EXPECT_EQ(metrics.count("campaign.strat.strata"), 72u);
+  EXPECT_EQ(metrics.count("campaign.strat.occupied") + metrics.count("campaign.strat.empty"),
+            72u);
+  EXPECT_EQ(metrics.count("campaign.experiments"), result.experiments);
+}
+
+TEST(StratifiedCampaign, RejectsDegenerateConfigs) {
+  SystemCampaignConfig config = smallConfig(10, 1);
+  EXPECT_THROW((void)stratifySystemCampaign(config, 0), std::invalid_argument);
+  config.machineTransientWeight = 0.0;
+  config.busCorruptionWeight = 0.0;
+  config.nodeCrashWeight = 0.0;
+  config.correlatedBurstWeight = 0.0;
+  EXPECT_THROW((void)stratifySystemCampaign(config, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nlft::fi

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Documentation checks (the CI `docs` job):
+#
+#  1. Relative markdown links — every [text](path) in *.md (repo root and
+#     docs/) that is not an absolute URL must point at an existing file,
+#     resolved relative to the document.
+#  2. Snippet compilation — every fenced ```cpp block under docs/ is
+#     compiled with g++ -fsyntax-only -std=c++20 as the body of a function,
+#     with tools/docs_snippet_prelude.hpp in scope providing the ambient
+#     objects the surrounding prose introduces (the simulator, a node, the
+#     assembled image, ...). Leading #include lines of a snippet are hoisted
+#     above the wrapper function.
+#
+# Both checks keep the docs honest: a renamed file breaks the links check,
+# an API drift breaks the snippet check.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+status=0
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# ---- 1. relative link check --------------------------------------------
+python3 - "$workdir" <<'PY' || status=1
+import os, re, sys
+
+link = re.compile(r'\[[^\]]*\]\(([^)\s]+)\)')
+docs = [os.path.join('docs', f) for f in sorted(os.listdir('docs')) if f.endswith('.md')]
+docs += [f for f in sorted(os.listdir('.')) if f.endswith('.md')]
+
+bad = 0
+for doc in docs:
+    with open(doc, encoding='utf-8') as fh:
+        for lineno, line in enumerate(fh, 1):
+            for target in link.findall(line):
+                if target.startswith(('http://', 'https://', 'mailto:', '#')):
+                    continue
+                path = target.split('#', 1)[0]
+                if not path:
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(doc), path))
+                if not os.path.exists(resolved):
+                    print(f'check_docs: {doc}:{lineno}: broken link -> {target}')
+                    bad += 1
+print(f'check_docs: link check: {len(docs)} documents, {bad} broken links')
+sys.exit(1 if bad else 0)
+PY
+
+# ---- 2. snippet compilation --------------------------------------------
+python3 - "$workdir" <<'PY' || status=1
+import os, re, sys
+
+workdir = sys.argv[1]
+snippets = []  # (doc, first_line, path)
+for name in sorted(os.listdir('docs')):
+    if not name.endswith('.md'):
+        continue
+    doc = os.path.join('docs', name)
+    with open(doc, encoding='utf-8') as fh:
+        lines = fh.read().splitlines()
+    in_cpp, start, body = False, 0, []
+    for lineno, line in enumerate(lines, 1):
+        if not in_cpp and line.strip() == '```cpp':
+            in_cpp, start, body = True, lineno + 1, []
+        elif in_cpp and line.strip() == '```':
+            in_cpp = False
+            includes = [l for l in body if l.lstrip().startswith('#include')]
+            rest = [l for l in body if not l.lstrip().startswith('#include')]
+            stem = f'{name[:-3]}_{start}'
+            path = os.path.join(workdir, f'{stem}.cpp')
+            with open(path, 'w', encoding='utf-8') as out:
+                out.write('#include "tools/docs_snippet_prelude.hpp"\n')
+                out.write('\n'.join(includes) + '\n')
+                out.write(f'void nlft_doc_snippet_{stem}() {{\n')
+                out.write('\n'.join(rest) + '\n')
+                out.write('}\n')
+            snippets.append((doc, start, path))
+        elif in_cpp:
+            body.append(line)
+    if in_cpp:
+        print(f'check_docs: {doc}: unterminated ```cpp fence starting at line {start - 1}')
+        sys.exit(1)
+
+with open(os.path.join(workdir, 'snippets.lst'), 'w', encoding='utf-8') as out:
+    for doc, start, path in snippets:
+        out.write(f'{doc}:{start}\t{path}\n')
+print(f'check_docs: extracted {len(snippets)} cpp snippets from docs/')
+PY
+
+failed=0
+total=0
+while IFS=$'\t' read -r origin tu; do
+  total=$((total + 1))
+  if ! "$CXX" -std=c++20 -fsyntax-only -I src -I . "$tu" 2>"$workdir/err.txt"; then
+    echo "check_docs: snippet at $origin does not compile:" >&2
+    sed 's/^/    /' "$workdir/err.txt" >&2
+    failed=$((failed + 1))
+  fi
+done <"$workdir/snippets.lst"
+echo "check_docs: snippet check: $total compiled, $failed failed"
+[ "$failed" -gt 0 ] && status=1
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: clean"
+fi
+exit "$status"

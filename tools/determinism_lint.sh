@@ -5,7 +5,9 @@
 #
 # Allowlist: src/util/rng.hpp (seeds the deterministic PRNG) and
 # src/util/time.hpp (MonotonicStopwatch, observability only). Everything else
-# under src/ must go through those two headers.
+# under src/ AND bench/ must go through those two headers — benches report
+# wall-clock throughput, but via the fenced stopwatch, so their STATISTICS
+# stay seed-reproducible.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -23,9 +25,9 @@ patterns=(
 allow='^src/util/(rng|time)\.hpp:'
 status=0
 for pattern in "${patterns[@]}"; do
-  hits=$(grep -rnE "$pattern" src --include='*.cpp' --include='*.hpp' | grep -Ev "$allow")
+  hits=$(grep -rnE "$pattern" src bench --include='*.cpp' --include='*.hpp' | grep -Ev "$allow")
   if [ -n "$hits" ]; then
-    echo "determinism lint: forbidden pattern '$pattern' in src/:" >&2
+    echo "determinism lint: forbidden pattern '$pattern' in src/ or bench/:" >&2
     echo "$hits" >&2
     status=1
   fi
