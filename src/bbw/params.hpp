@@ -1,16 +1,18 @@
 // Parameters of the paper's dependability analysis (Section 3.3).
 #pragma once
 
+#include <cstdint>
+
 namespace nlft::bbw {
 
 /// Node type compared in the paper's analysis.
-enum class NodeType {
+enum class NodeType : std::uint8_t {
   FailSilent,  // conventional fail-silent node: every detected error stops the node
   Nlft,        // light-weight NLFT node: most transients are masked by TEM
 };
 
 /// System functionality requirement (Section 3.2).
-enum class FunctionalityMode {
+enum class FunctionalityMode : std::uint8_t {
   Full,      // all four wheel nodes + one central-unit node must work
   Degraded,  // at least three wheel nodes + one central-unit node must work
 };

@@ -16,21 +16,34 @@ namespace {
 constexpr std::uint32_t kMsgCommand = 0xC0DE0001;
 constexpr std::uint32_t kMsgWheelStatus = 0xC0DE0002;
 constexpr std::uint32_t kMsgEmergency = 0xC0DE0003;
-
-net::TdmaConfig makeBusConfig() {
-  net::TdmaConfig config;
-  config.slotLength = Duration::microseconds(500);
-  config.staticSchedule = {kCuA, kCuB, kWheelNodeBase + 0, kWheelNodeBase + 1,
-                           kWheelNodeBase + 2, kWheelNodeBase + 3};
-  config.dynamicMinislots = 4;  // event-triggered segment (diagnostics)
-  config.minislotLength = Duration::microseconds(250);
-  return config;
-}
 }  // namespace
+
+const BbwDeployment& bbwDeployment() {
+  static const BbwDeployment deployment = [] {
+    BbwDeployment d;
+    d.bus.slotLength = Duration::microseconds(500);
+    d.bus.staticSchedule = {kCuA, kCuB, kWheelNodeBase + 0, kWheelNodeBase + 1,
+                            kWheelNodeBase + 2, kWheelNodeBase + 3};
+    d.bus.dynamicMinislots = 4;  // event-triggered segment (diagnostics)
+    d.bus.minislotLength = Duration::microseconds(250);
+    d.controlPeriod = Duration::milliseconds(5);
+    d.controlPriority = 10;
+    d.cuControlWcet = Duration::microseconds(400);
+    d.wheelControlWcet = Duration::microseconds(300);
+    d.emergencyPriority = 12;  // above the periodic control task
+    d.emergencyWcet = Duration::microseconds(150);
+    d.emergencyDeadline = Duration::milliseconds(5);
+    d.diagnosticPriority = 1;
+    d.diagnosticPeriod = Duration::milliseconds(50);
+    d.diagnosticWcet = Duration::microseconds(100);
+    return d;
+  }();
+  return deployment;
+}
 
 struct BbwSystemSim::Impl {
   explicit Impl(BbwSimConfig cfg)
-      : config{cfg}, bus{simulator, makeBusConfig()}, membership{simulator, bus},
+      : config{cfg}, bus{simulator, bbwDeployment().bus}, membership{simulator, bus},
         vehicle{cfg.vehicle} {}
 
   struct Node {
@@ -51,6 +64,9 @@ struct BbwSystemSim::Impl {
     // replica determinism (read input once per job, Fig. 2 task model).
     std::array<std::uint32_t, 4> jobInput{};
     std::uint64_t snapshotJob = ~0ULL;
+    // Wheel nodes: command sequence captured with the input snapshot, so the
+    // e2e.latency sample spans pedal-read (CU) -> torque-apply (this job).
+    std::uint64_t snapshotSeq = ~0ULL;
   };
 
   BbwSimConfig config;
@@ -69,6 +85,13 @@ struct BbwSystemSim::Impl {
       tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid},
       tem::DuplexArbiter{tem::DuplexArbiter::Policy::FirstValid}};
   std::array<std::int32_t, kWheelCount> wheelLimitQ8{-1, -1, -1, -1};
+  // End-to-end latency bookkeeping (simulated clock): when each command
+  // sequence's pedal input was sampled on a CU, which sequence each wheel
+  // last received, and which it already measured (one sample per wheel and
+  // sequence, taken at the first actuator apply).
+  std::map<std::uint64_t, SimTime> commandSampleTime;
+  std::array<std::uint64_t, kWheelCount> lastCommandSeq{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  std::array<std::uint64_t, kWheelCount> lastMeasuredSeq{~0ULL, ~0ULL, ~0ULL, ~0ULL};
   std::uint64_t commandFramesDelivered = 0;
   std::uint64_t failSilentEvents = 0;
   std::uint64_t commandsOmitted = 0;
@@ -120,11 +143,12 @@ struct BbwSystemSim::Impl {
       n.kernel->setFailSilentHook([this, id] { onNodeSilent(id, /*scheduleRestart=*/true); });
       n.kernel->setResultSink([this, id](const rt::JobResult& result) { onResult(id, result); });
 
+      const BbwDeployment& deployment = bbwDeployment();
       rt::TaskConfig control;
       control.name = isWheel(id) ? "wheel-control" : "brake-distribution";
-      control.priority = 10;
+      control.priority = deployment.controlPriority;
       control.period = config.controlPeriod;
-      control.wcet = Duration::microseconds(isWheel(id) ? 300 : 400);
+      control.wcet = isWheel(id) ? deployment.wheelControlWcet : deployment.cuControlWcet;
 
       auto behavior = [this, id](const tem::CopyContext& context) {
         return controlCopy(id, context);
@@ -143,12 +167,12 @@ struct BbwSystemSim::Impl {
         // periodic schedule via the dynamic segment at top priority.
         rt::TaskConfig emergency;
         emergency.name = "emergency-brake";
-        emergency.priority = 12;  // above the periodic control task
-        emergency.relativeDeadline = Duration::milliseconds(5);
-        emergency.wcet = Duration::microseconds(150);
+        emergency.priority = deployment.emergencyPriority;
+        emergency.relativeDeadline = deployment.emergencyDeadline;
+        emergency.wcet = deployment.emergencyWcet;
         auto emergencyBehavior = [](const tem::CopyContext&) {
           tem::CopyPlan plan;
-          plan.executionTime = Duration::microseconds(150);
+          plan.executionTime = bbwDeployment().emergencyWcet;
           plan.result = {kMsgEmergency};
           return plan;
         };
@@ -174,12 +198,12 @@ struct BbwSystemSim::Impl {
       // A non-critical diagnostic task rides the dynamic segment.
       rt::TaskConfig diagnostic;
       diagnostic.name = "diagnostic";
-      diagnostic.priority = 1;
-      diagnostic.period = Duration::milliseconds(50);
-      diagnostic.wcet = Duration::microseconds(100);
+      diagnostic.priority = deployment.diagnosticPriority;
+      diagnostic.period = deployment.diagnosticPeriod;
+      diagnostic.wcet = deployment.diagnosticWcet;
       tem::addNonCriticalTask(*n.kernel, diagnostic, [this, id](const tem::CopyContext&) {
         tem::CopyPlan plan;
-        plan.executionTime = Duration::microseconds(100);
+        plan.executionTime = bbwDeployment().diagnosticWcet;
         plan.result = {kMsgWheelStatus};
         bus.sendDynamic(id, id, {kMsgWheelStatus, static_cast<std::uint32_t>(id)});
         return plan;
@@ -195,7 +219,8 @@ struct BbwSystemSim::Impl {
   tem::CopyPlan controlCopy(net::NodeId id, const tem::CopyContext& context) {
     Node& n = node(id);
     tem::CopyPlan plan;
-    plan.executionTime = Duration::microseconds(isWheel(id) ? 300 : 400);
+    plan.executionTime =
+        isWheel(id) ? bbwDeployment().wheelControlWcet : bbwDeployment().cuControlWcet;
 
     if (context.jobIndex != n.snapshotJob) {
       // Read-input phase: snapshot the sensors once per job (the input read
@@ -210,7 +235,12 @@ struct BbwSystemSim::Impl {
         n.jobInput[0] = lastCommandQ8[w];
         n.jobInput[1] = static_cast<std::uint32_t>(std::lround(vehicle.slip(w) * 256.0));
         n.jobInput[2] = static_cast<std::uint32_t>(wheelLimitQ8[w]);
+        n.snapshotSeq = lastCommandSeq[w];
       } else {
+        // The pedal is read HERE; the job's sequence number equals its job
+        // index, so the e2e.latency clock for that sequence starts now (the
+        // earlier of the two CU replicas wins, which only widens the sample).
+        commandSampleTime.try_emplace(context.jobIndex, simulator.now());
         double pedal = config.pedalProfile
                            ? config.pedalProfile(simulator.now().toSeconds())
                            : config.pedal;
@@ -284,6 +314,7 @@ struct BbwSystemSim::Impl {
         const std::size_t w = wheelIndex(id);
         wheelLimitQ8[w] = static_cast<std::int32_t>(result.data[1]);
         vehicle.setBrakeTorque(w, static_cast<double>(result.data[0]) / 256.0);
+        observeEndToEnd(w, n.snapshotSeq);
       } else {
         // Replica determinism: both CUs tag the command of job k with
         // sequence number k, so receivers can arbitrate the duplex pair.
@@ -309,7 +340,22 @@ struct BbwSystemSim::Impl {
         replica, sequence, {data.begin() + 2, data.end()}, simulator.now());
     if (!accepted) return;  // duplicate from the partner CU
     lastCommandQ8[w] = (*accepted)[w];
+    lastCommandSeq[w] = sequence;
     ++commandFramesDelivered;
+  }
+
+  /// Records one pedal-sample -> actuator-apply latency into the metrics
+  /// registry: first apply of each command sequence per wheel, on the
+  /// simulated clock (deterministic, hence golden). No-op without a registry.
+  void observeEndToEnd(std::size_t wheel, std::uint64_t sequence) {
+    if (!metrics || sequence == ~0ULL) return;
+    if (lastMeasuredSeq[wheel] == sequence) return;  // later applies hold the value
+    const auto sampled = commandSampleTime.find(sequence);
+    if (sampled == commandSampleTime.end()) return;
+    lastMeasuredSeq[wheel] = sequence;
+    const auto latencyUs = static_cast<double>((simulator.now() - sampled->second).us());
+    metrics->observe("e2e.latency", obs::HistogramSpec{0.0, 50000.0, 50}, latencyUs);
+    metrics->gaugeMax("e2e.latency.max_us", latencyUs);
   }
 
   void onNodeSilent(net::NodeId id, bool scheduleRestart) {
@@ -320,6 +366,10 @@ struct BbwSystemSim::Impl {
     if (isWheel(id)) {
       // The actuator watchdog releases the brake of a dead wheel node.
       vehicle.setBrakeTorque(wheelIndex(id), 0.0);
+      // A restarting node re-applies the command it held when it died
+      // ("use a previous value"); that apply measures the outage, not a
+      // pedal->actuator chain traversal, so it must not enter e2e.latency.
+      lastCommandSeq[wheelIndex(id)] = ~0ULL;
     }
     if (scheduleRestart) {
       simulator.scheduleAfter(config.restartTime, [this, id] {

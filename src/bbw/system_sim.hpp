@@ -43,6 +43,26 @@ inline constexpr net::NodeId kCuA = 1;
 inline constexpr net::NodeId kCuB = 2;
 inline constexpr net::NodeId kWheelNodeBase = 3;  // +0..3 = FL, FR, RL, RR
 
+/// The fixed deployment constants shared by the simulator AND the static
+/// verifier (src/verify): TDMA bus layout and per-task timing of every node.
+/// Single source of truth so the configuration the verifier certifies is
+/// exactly the one the simulator executes.
+struct BbwDeployment {
+  net::TdmaConfig bus;
+  Duration controlPeriod{};   ///< periodic control tasks (CU + wheels)
+  int controlPriority = 0;
+  Duration cuControlWcet{};   ///< single-copy time of brake-distribution
+  Duration wheelControlWcet{};///< single-copy time of wheel-control
+  int emergencyPriority = 0;  ///< sporadic emergency-brake task (CUs)
+  Duration emergencyWcet{};
+  Duration emergencyDeadline{};
+  int diagnosticPriority = 0; ///< non-critical diagnostic task (all nodes)
+  Duration diagnosticPeriod{};
+  Duration diagnosticWcet{};
+};
+
+[[nodiscard]] const BbwDeployment& bbwDeployment();
+
 struct BbwSimConfig {
   NodeType nodeType = NodeType::Nlft;
   double initialSpeedMps = 27.8;   ///< ~100 km/h

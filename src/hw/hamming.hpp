@@ -12,7 +12,7 @@
 namespace nlft::hw {
 
 /// Result of decoding a codeword.
-enum class EccStatus {
+enum class EccStatus : std::uint8_t {
   Clean,          ///< no error
   Corrected,      ///< single-bit error corrected
   Uncorrectable,  ///< double-bit (or worse detectable) error

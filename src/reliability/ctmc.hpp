@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,7 +30,7 @@ struct StateId {
 };
 
 /// Transient solver selection.
-enum class TransientMethod { PadeExpm, Uniformization };
+enum class TransientMethod : std::uint8_t { PadeExpm, Uniformization };
 
 /// A finite-state CTMC with designated failure states.
 ///

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,7 @@ class FaultTree {
   [[nodiscard]] double birnbaumImportance(GateId basicEvent, double tHours) const;
 
  private:
-  enum class Kind { Basic, Or, And, KOfN };
+  enum class Kind : std::uint8_t { Basic, Or, And, KOfN };
   struct Node {
     Kind kind;
     std::string name;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,7 @@ class Rbd {
   [[nodiscard]] double mttf(double horizonHintHours) const;
 
  private:
-  enum class Kind { Component, Series, Parallel, KOfN };
+  enum class Kind : std::uint8_t { Component, Series, Parallel, KOfN };
   struct Block {
     Kind kind;
     std::string name;

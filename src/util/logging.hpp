@@ -5,12 +5,13 @@
 // design: the whole framework is a single-threaded discrete-event simulator.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 namespace nlft::util {
 
-enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
 
 /// Returns the process-wide minimum level that will be emitted.
 [[nodiscard]] LogLevel logLevel();

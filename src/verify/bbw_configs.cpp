@@ -1,0 +1,121 @@
+#include "verify/bbw_configs.hpp"
+
+#include "bbw/guest_programs.hpp"
+#include "bbw/system_sim.hpp"
+
+namespace nlft::verify {
+
+namespace {
+
+/// Interpreter cost scale used throughout the analysis tests: one simulated
+/// microsecond per guest instruction (tests/analysis_bbw_test.cpp).
+constexpr double kUsPerInstruction = 1.0;
+
+/// Attaches the analyzer outputs of the named guest program to a task spec.
+void linkGuestProgram(TaskSpec& task, const std::string& program) {
+  for (const bbw::GuestProgram& guest : bbw::guestPrograms()) {
+    if (guest.name != program) continue;
+    const analysis::ProgramAnalysis& analysis = guest.analyze();
+    task.guestProgram = program;
+    task.wcetInstructions = analysis.timing.wcetInstructions;
+    task.budgetInstructions = analysis.budgetInstructions;
+    task.legalPaths = analysis.paths.paths.size();
+    task.analysisClean = analysis.clean();
+    task.usPerInstruction = kUsPerInstruction;
+    task.mmuRegions = analysis.mmuRegions;
+    return;
+  }
+  // Unknown program: leave the linkage empty but flag it via zero paths.
+  task.guestProgram = program;
+}
+
+TaskSpec diagnosticTask(const bbw::BbwDeployment& d) {
+  TaskSpec task;
+  task.name = "diagnostic";
+  task.critical = false;
+  task.temProtected = false;
+  task.priority = d.diagnosticPriority;
+  task.period = d.diagnosticPeriod;
+  task.singleCopyWcet = d.diagnosticWcet;
+  return task;
+}
+
+SystemConfig makeBbwConfig(bool temProtected) {
+  const bbw::BbwDeployment& d = bbw::bbwDeployment();
+  SystemConfig config;
+  config.name = temProtected ? "bbw-nlft" : "bbw-fail-silent";
+  config.bus = d.bus;
+  config.clockSync.resyncInterval = config.cycleLength();
+
+  // Fault hypothesis and vehicle-level requirements (paper Section 2.8 uses
+  // T_F far above any response time; 10 ms keeps one recovery per window).
+  config.faultMinInterArrival = Duration::milliseconds(10);
+  config.vehicleBrakeDeadline = Duration::milliseconds(30);
+  config.detectionDeadline = Duration::milliseconds(10);
+  config.restartTime = Duration::seconds(3);
+  config.producerTask = "brake-distribution";
+  config.consumerTask = "wheel-control";
+  config.replicaGroups = {{bbw::kCuA, bbw::kCuB}};
+
+  TaskSpec cuControl;
+  cuControl.name = "brake-distribution";
+  cuControl.temProtected = temProtected;
+  cuControl.priority = d.controlPriority;
+  cuControl.period = d.controlPeriod;
+  cuControl.singleCopyWcet = d.cuControlWcet;
+  linkGuestProgram(cuControl, "cu");
+
+  TaskSpec emergency;
+  emergency.name = "emergency-brake";
+  emergency.temProtected = temProtected;
+  emergency.priority = d.emergencyPriority;
+  emergency.minInterArrival = d.controlPeriod;  // sporadic, pedal-press events
+  emergency.deadline = d.emergencyDeadline;
+  emergency.singleCopyWcet = d.emergencyWcet;
+
+  TaskSpec wheelControl;
+  wheelControl.name = "wheel-control";
+  wheelControl.temProtected = temProtected;
+  wheelControl.priority = d.controlPriority;
+  wheelControl.period = d.controlPeriod;
+  wheelControl.singleCopyWcet = d.wheelControlWcet;
+  linkGuestProgram(wheelControl, "wheel");
+
+  const char* cuNames[] = {"cu-a", "cu-b"};
+  for (net::NodeId id : {bbw::kCuA, bbw::kCuB}) {
+    NodeSpec node;
+    node.id = id;
+    node.name = cuNames[id - bbw::kCuA];
+    node.role = NodeRole::CentralUnit;
+    node.tasks = {cuControl, emergency, diagnosticTask(d)};
+    node.watchdogTimeout = Duration::milliseconds(10);
+    // Heartbeat word + message id + sequence + four torque words.
+    node.maxFrameWords = 7;
+    config.nodes.push_back(std::move(node));
+  }
+  const char* wheelNames[] = {"wheel-fl", "wheel-fr", "wheel-rl", "wheel-rr"};
+  for (net::NodeId id = bbw::kWheelNodeBase; id < bbw::kWheelNodeBase + 4; ++id) {
+    NodeSpec node;
+    node.id = id;
+    node.name = wheelNames[id - bbw::kWheelNodeBase];
+    node.role = NodeRole::WheelNode;
+    node.tasks = {wheelControl, diagnosticTask(d)};
+    node.watchdogTimeout = Duration::milliseconds(10);
+    node.maxFrameWords = 1;  // heartbeat only; status rides the dynamic segment
+    node.votesOnGroup = 0;
+    config.nodes.push_back(std::move(node));
+  }
+  return config;
+}
+
+}  // namespace
+
+SystemConfig bbwNlftConfig() { return makeBbwConfig(/*temProtected=*/true); }
+
+SystemConfig bbwFailSilentConfig() { return makeBbwConfig(/*temProtected=*/false); }
+
+std::vector<SystemConfig> registeredConfigurations() {
+  return {bbwNlftConfig(), bbwFailSilentConfig()};
+}
+
+}  // namespace nlft::verify

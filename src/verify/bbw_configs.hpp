@@ -1,0 +1,26 @@
+// The registered brake-by-wire deployments the verifier certifies.
+//
+// Both configurations are assembled from bbw::bbwDeployment() — the SAME
+// constants BbwSystemSim executes — plus the analyzer outputs of the real
+// guest programs (bbw::guestPrograms()), so `nlft-verify` analyses exactly
+// the system the simulator runs and the differential harness can compare the
+// static bounds against measured golden-trace latencies.
+#pragma once
+
+#include <vector>
+
+#include "verify/system_config.hpp"
+
+namespace nlft::verify {
+
+/// The paper's NLFT deployment: every critical task TEM-protected, one
+/// tolerated transient fault per 10 ms window.
+[[nodiscard]] SystemConfig bbwNlftConfig();
+
+/// The fail-silent baseline: single-copy critical tasks, no masking.
+[[nodiscard]] SystemConfig bbwFailSilentConfig();
+
+/// Every configuration `nlft-verify` checks by default (and CI gates on).
+[[nodiscard]] std::vector<SystemConfig> registeredConfigurations();
+
+}  // namespace nlft::verify

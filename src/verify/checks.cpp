@@ -1,0 +1,462 @@
+#include "verify/checks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "rtkernel/rta.hpp"
+
+namespace nlft::verify {
+
+namespace {
+
+std::string us(Duration d) { return std::to_string(d.us()) + "us"; }
+
+std::string fixed1(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+std::string nodeSubject(const NodeSpec& node) {
+  return "node=" + std::to_string(node.id) + "(" + node.name + ")";
+}
+
+std::string taskSubject(const NodeSpec& node, const TaskSpec& task) {
+  return nodeSubject(node) + " task=" + task.name;
+}
+
+bool writable(const hw::MmuRegion& region) {
+  return (region.permissions & hw::accessMask(hw::Access::Write)) != 0;
+}
+
+bool regionsOverlap(const hw::MmuRegion& a, const hw::MmuRegion& b) {
+  const std::uint64_t aEnd = std::uint64_t{a.base} + a.size;
+  const std::uint64_t bEnd = std::uint64_t{b.base} + b.size;
+  return a.base < bEnd && b.base < aEnd;
+}
+
+/// Minimum effective period on the node: the kernel kicks the watchdog on
+/// every job release, so releases are at most this far apart.
+Duration minReleaseGap(const NodeSpec& node) {
+  Duration gap{};
+  for (const TaskSpec& task : node.tasks) {
+    const Duration period = task.effectivePeriod();
+    if (period <= Duration{}) continue;
+    if (gap <= Duration{} || period < gap) gap = period;
+  }
+  return gap;
+}
+
+}  // namespace
+
+void checkTdma(const SystemConfig& config, Report& report) {
+  if (config.bus.staticSchedule.empty()) {
+    report.add("tdma.empty-schedule", Severity::Error, "bus",
+               "static TDMA schedule is empty — no node can ever transmit");
+    return;
+  }
+
+  // Slot ownership: every slot owner must exist, and every node must own
+  // exactly one static slot (zero = starved, >1 = it crowds out a peer).
+  for (std::size_t slot = 0; slot < config.bus.staticSchedule.size(); ++slot) {
+    const net::NodeId owner = config.bus.staticSchedule[slot];
+    if (config.findNode(owner) == nullptr) {
+      report.add("tdma.unknown-owner", Severity::Error, "slot=" + std::to_string(slot),
+                 "slot owner node " + std::to_string(owner) +
+                     " is not part of the deployment — the slot transmits nothing");
+    }
+  }
+  for (const NodeSpec& node : config.nodes) {
+    const std::size_t owned = config.slotsOwnedBy(node.id);
+    if (owned == 0) {
+      report.add("tdma.slot-ownership", Severity::Error, nodeSubject(node),
+                 "owns no static slot — it can neither heartbeat nor send commands, so "
+                 "peers will expel it after " +
+                     us(config.expulsionLatency()));
+    } else if (owned > 1) {
+      report.add("tdma.slot-ownership", Severity::Error, nodeSubject(node),
+                 "owns " + std::to_string(owned) +
+                     " static slots — duplicate ownership starves another node in a " +
+                     std::to_string(config.bus.staticSchedule.size()) + "-slot schedule");
+    }
+  }
+
+  // Frame width: the largest frame each node transmits must fit its slot.
+  for (const NodeSpec& node : config.nodes) {
+    const Duration frame = config.busTiming.frameTransmission(node.maxFrameWords);
+    if (frame > config.bus.slotLength) {
+      report.add("tdma.frame-width", Severity::Error, nodeSubject(node),
+                 "worst frame (" + std::to_string(node.maxFrameWords) + " words, " + us(frame) +
+                     ") exceeds the " + us(config.bus.slotLength) + " static slot");
+    }
+  }
+
+  // Clock-sync precision vs slot guard: a transmitter whose clock is ahead
+  // and a receiver whose clock is behind shave 2*precision off the slot.
+  if (config.clockSync.resyncInterval <= Duration{}) {
+    report.add("sync.resync-interval", Severity::Error, "clock-sync",
+               "no resynchronisation interval configured — clock skew grows without "
+               "bound and the TDMA slot windows eventually drift apart");
+  } else {
+    const double precisionUs = config.clockSync.precisionBoundUs();
+    for (const NodeSpec& node : config.nodes) {
+      const Duration frame = config.busTiming.frameTransmission(node.maxFrameWords);
+      if (frame > config.bus.slotLength) continue;  // already a frame-width error
+      const double neededUs = static_cast<double>(frame.us()) + 2.0 * precisionUs;
+      if (neededUs > static_cast<double>(config.bus.slotLength.us())) {
+        report.add("tdma.guard-precision", Severity::Error, nodeSubject(node),
+                   "frame " + us(frame) + " plus 2x clock precision (" + fixed1(precisionUs) +
+                       "us) needs " + fixed1(neededUs) + "us of a " +
+                       us(config.bus.slotLength) + " slot");
+      }
+    }
+  }
+
+  // Membership timing vs the vehicle-level detection deadline.
+  if (config.detectionDeadline > Duration{} &&
+      config.expulsionLatency() > config.detectionDeadline) {
+    report.add("sync.membership-timeout", Severity::Error, "membership",
+               "expulsion after " + std::to_string(config.membership.missTolerance + 1) +
+                   " silent cycles takes " + us(config.expulsionLatency()) +
+                   ", past the " + us(config.detectionDeadline) + " detection deadline");
+  }
+  if (config.membership.missTolerance <= 1) {
+    report.add("sync.single-loss-expulsion", Severity::Warning, "membership",
+               "missTolerance=" + std::to_string(config.membership.missTolerance) +
+                   ": a single lost or corrupted heartbeat already expels a node, so "
+                   "transient bus faults cause membership churn");
+  }
+  if (config.membership.reintegrationCycles == 0) {
+    report.add("sync.reintegration", Severity::Warning, "membership",
+               "reintegrationCycles=0 — a restarting node is re-admitted without "
+               "proving a stable heartbeat first");
+  }
+
+  // Watchdogs: must not trip between job releases, should fire inside the
+  // detection deadline.
+  for (const NodeSpec& node : config.nodes) {
+    if (node.watchdogTimeout <= Duration{}) {
+      report.add("sync.watchdog", Severity::Warning, nodeSubject(node),
+                 "no hardware watchdog — a hung kernel is only detected remotely via "
+                 "membership expulsion after " +
+                     us(config.expulsionLatency()));
+      continue;
+    }
+    const Duration gap = minReleaseGap(node);
+    if (gap > Duration{} && node.watchdogTimeout <= gap) {
+      report.add("sync.watchdog", Severity::Error, nodeSubject(node),
+                 "watchdog timeout " + us(node.watchdogTimeout) +
+                     " is not longer than the worst inter-release gap " + us(gap) +
+                     " — it would trip on a healthy kernel");
+    }
+    if (config.detectionDeadline > Duration{} &&
+        node.watchdogTimeout > config.detectionDeadline) {
+      report.add("sync.watchdog", Severity::Warning, nodeSubject(node),
+                 "watchdog timeout " + us(node.watchdogTimeout) +
+                     " exceeds the " + us(config.detectionDeadline) +
+                     " detection deadline — a hang is silenced later than peers assume");
+    }
+  }
+
+  obs::JsonValue bus = obs::JsonValue::object();
+  bus.set("cycle_us", obs::JsonValue::integer(config.cycleLength().us()));
+  bus.set("slot_us", obs::JsonValue::integer(config.bus.slotLength.us()));
+  bus.set("static_slots",
+          obs::JsonValue::integer(static_cast<std::int64_t>(config.bus.staticSchedule.size())));
+  bus.set("minislots",
+          obs::JsonValue::integer(static_cast<std::int64_t>(config.bus.dynamicMinislots)));
+  if (config.clockSync.resyncInterval > Duration{}) {
+    bus.set("precision_us", obs::JsonValue::number(config.clockSync.precisionBoundUs()));
+  }
+  report.certificates.set("bus", std::move(bus));
+
+  obs::JsonValue membership = obs::JsonValue::object();
+  membership.set("expulsion_us", obs::JsonValue::integer(config.expulsionLatency().us()));
+  membership.set("reintegration_us",
+                 obs::JsonValue::integer(config.reintegrationLatency().us()));
+  report.certificates.set("membership", std::move(membership));
+}
+
+void checkSchedulability(const SystemConfig& config, Report& report) {
+  obs::JsonValue nodeCerts = obs::JsonValue::object();
+  for (const NodeSpec& node : config.nodes) {
+    std::vector<rt::RtaTask> tasks;
+    tasks.reserve(node.tasks.size());
+    for (const TaskSpec& spec : node.tasks) tasks.push_back(spec.toRtaTask());
+    const rt::RtaResult result = rt::analyze(tasks, config.faultMinInterArrival);
+    const double util = rt::utilization(tasks);
+
+    obs::JsonValue taskCerts = obs::JsonValue::object();
+    for (std::size_t i = 0; i < node.tasks.size(); ++i) {
+      const TaskSpec& spec = node.tasks[i];
+      if (spec.critical && spec.singleCopyWcet <= Duration{}) {
+        report.add("sched.zero-wcet", Severity::Error, taskSubject(node, spec),
+                   "critical task has no execution-time bound configured");
+      }
+      const Duration response = result.responseTimes[i];
+      const Duration deadline = spec.effectiveDeadline();
+      const Severity miss = spec.critical ? Severity::Error : Severity::Warning;
+      if (response < Duration{}) {
+        report.add("sched.unschedulable", miss, taskSubject(node, spec),
+                   "fault-tolerant response-time recurrence diverges (demand " +
+                       us(tasks[i].wcet) + " + recovery " + us(tasks[i].recovery) +
+                       " per " + us(config.faultMinInterArrival) + " fault window)");
+      } else if (response > deadline) {
+        report.add("sched.unschedulable", miss, taskSubject(node, spec),
+                   "worst-case response " + us(response) + " under the " +
+                       us(config.faultMinInterArrival) +
+                       " fault hypothesis misses the " + us(deadline) + " deadline");
+      }
+
+      if (!spec.guestProgram.empty()) {
+        if (spec.budgetInstructions < spec.wcetInstructions) {
+          report.add("sched.budget-below-wcet", Severity::Error, taskSubject(node, spec),
+                     "execution-time budget " + std::to_string(spec.budgetInstructions) +
+                         " instructions is below the analyzer-derived worst legal path of " +
+                         std::to_string(spec.wcetInstructions) +
+                         " — the monitor would kill a healthy copy");
+        }
+        if (spec.usPerInstruction > 0.0) {
+          const auto derivedUs = static_cast<std::int64_t>(std::ceil(
+              static_cast<double>(spec.wcetInstructions) * spec.usPerInstruction));
+          if (derivedUs > spec.singleCopyWcet.us()) {
+            report.add("sched.wcet-underestimate", Severity::Error, taskSubject(node, spec),
+                       "analyzer-derived single-copy time " + std::to_string(derivedUs) +
+                           "us exceeds the deployed WCET of " + us(spec.singleCopyWcet));
+          }
+        }
+      }
+
+      obs::JsonValue cert = obs::JsonValue::object();
+      cert.set("demand_us", obs::JsonValue::integer(tasks[i].wcet.us()));
+      cert.set("recovery_us", obs::JsonValue::integer(tasks[i].recovery.us()));
+      cert.set("response_us", obs::JsonValue::integer(response.us()));
+      cert.set("deadline_us", obs::JsonValue::integer(deadline.us()));
+      if (response >= Duration{}) {
+        cert.set("slack_us", obs::JsonValue::integer((deadline - response).us()));
+      }
+      taskCerts.set(spec.name, std::move(cert));
+    }
+
+    if (util > 0.85) {
+      report.add("sched.utilization", Severity::Warning, nodeSubject(node),
+                 "fault-free utilisation " + fixed1(util * 100.0) +
+                     "% leaves little slack for recovery executions");
+    }
+
+    obs::JsonValue cert = obs::JsonValue::object();
+    cert.set("utilization", obs::JsonValue::number(util));
+    cert.set("tasks", std::move(taskCerts));
+    nodeCerts.set(node.name, std::move(cert));
+  }
+  report.certificates.set("nodes", std::move(nodeCerts));
+}
+
+void checkEndToEnd(const SystemConfig& config, Report& report) {
+  if (config.producerTask.empty() || config.consumerTask.empty()) {
+    report.add("e2e.chain", Severity::Warning, "e2e",
+               "no producer/consumer chain configured — end-to-end latency unchecked");
+    return;
+  }
+  const auto bound = computeEndToEndBound(config);
+  if (!bound) {
+    report.add("e2e.unbounded", Severity::Error, "e2e",
+               "no finite pedal->actuator bound: the chain tasks are missing or their "
+               "response-time recurrences diverge under the fault hypothesis");
+    return;
+  }
+
+  const Duration pedal = bound->pedalToApply();
+  if (config.vehicleBrakeDeadline > Duration{}) {
+    if (pedal > config.vehicleBrakeDeadline) {
+      report.add("e2e.deadline", Severity::Error, "e2e",
+                 "worst-case pedal->actuator latency " + us(pedal) + " exceeds the " +
+                     us(config.vehicleBrakeDeadline) + " vehicle brake deadline");
+    } else if (pedal.us() * 5 > config.vehicleBrakeDeadline.us() * 4) {
+      report.add("e2e.margin", Severity::Warning, "e2e",
+                 "worst-case pedal->actuator latency " + us(pedal) + " uses over 80% of the " +
+                     us(config.vehicleBrakeDeadline) + " vehicle brake deadline");
+    }
+  }
+
+  obs::JsonValue cert = obs::JsonValue::object();
+  cert.set("cu_sampling_us", obs::JsonValue::integer(bound->cuSamplingDelay.us()));
+  cert.set("cu_response_us", obs::JsonValue::integer(bound->cuResponse.us()));
+  cert.set("bus_phasing_us", obs::JsonValue::integer(bound->busPhasing.us()));
+  cert.set("wheel_sampling_us", obs::JsonValue::integer(bound->wheelSamplingDelay.us()));
+  cert.set("wheel_response_us", obs::JsonValue::integer(bound->wheelResponse.us()));
+  cert.set("sample_to_apply_us", obs::JsonValue::integer(bound->sampleToApply().us()));
+  cert.set("pedal_to_apply_us", obs::JsonValue::integer(pedal.us()));
+  cert.set("brake_deadline_us", obs::JsonValue::integer(config.vehicleBrakeDeadline.us()));
+
+  // Degraded modes: with either central unit removed (fail-silent CU loss)
+  // the surviving replica must still close the loop in time.
+  obs::JsonValue degraded = obs::JsonValue::object();
+  for (const NodeSpec& node : config.nodes) {
+    if (node.role != NodeRole::CentralUnit) continue;
+    SystemConfig reduced = config;
+    std::erase_if(reduced.nodes, [&](const NodeSpec& n) { return n.id == node.id; });
+    const auto reducedBound = computeEndToEndBound(reduced);
+    const std::string subject = "without " + nodeSubject(node);
+    if (!reducedBound) {
+      report.add("e2e.degraded", Severity::Error, subject,
+                 "losing this central unit leaves no bounded pedal->actuator chain");
+      continue;
+    }
+    const Duration reducedPedal = reducedBound->pedalToApply();
+    if (config.vehicleBrakeDeadline > Duration{} &&
+        reducedPedal > config.vehicleBrakeDeadline) {
+      report.add("e2e.degraded", Severity::Error, subject,
+                 "degraded-mode pedal->actuator latency " + us(reducedPedal) +
+                     " exceeds the " + us(config.vehicleBrakeDeadline) + " brake deadline");
+    }
+    degraded.set(node.name, obs::JsonValue::integer(reducedPedal.us()));
+  }
+  cert.set("degraded_pedal_to_apply_us", std::move(degraded));
+  report.certificates.set("e2e", std::move(cert));
+}
+
+void checkDeployment(const SystemConfig& config, Report& report) {
+  std::set<net::NodeId> seen;
+  for (const NodeSpec& node : config.nodes) {
+    if (!seen.insert(node.id).second) {
+      report.add("deploy.duplicate-node", Severity::Error, nodeSubject(node),
+                 "node id appears more than once in the deployment");
+    }
+  }
+
+  std::size_t centralUnits = 0;
+  std::size_t wheels = 0;
+  for (const NodeSpec& node : config.nodes) {
+    if (node.role == NodeRole::CentralUnit) ++centralUnits;
+    if (node.role == NodeRole::WheelNode) ++wheels;
+  }
+  if (centralUnits < 2) {
+    report.add("deploy.duplex-cu", Severity::Error, "deployment",
+               "only " + std::to_string(centralUnits) +
+                   " central unit(s) deployed — a single fail-silent CU failure loses "
+                   "all braking; the architecture requires a duplex pair");
+  }
+  if (wheels < config.requiredWheelNodes) {
+    report.add("deploy.redundancy", Severity::Error, "deployment",
+               std::to_string(wheels) + " wheel node(s) deployed, " +
+                   std::to_string(config.requiredWheelNodes) +
+                   " required for full functionality");
+  }
+  if (config.degradedWheelNodes > config.requiredWheelNodes) {
+    report.add("deploy.redundancy", Severity::Error, "deployment",
+               "degraded mode requires more wheel nodes (" +
+                   std::to_string(config.degradedWheelNodes) + ") than full mode (" +
+                   std::to_string(config.requiredWheelNodes) + ")");
+  }
+
+  // Replica groups: at least a pair, all members present, identical task sets.
+  for (std::size_t g = 0; g < config.replicaGroups.size(); ++g) {
+    const auto& group = config.replicaGroups[g];
+    const std::string subject = "group=" + std::to_string(g);
+    std::vector<const NodeSpec*> members;
+    for (const net::NodeId id : group) {
+      const NodeSpec* node = config.findNode(id);
+      if (node == nullptr) {
+        report.add("deploy.duplex-cu", Severity::Error, subject,
+                   "replica group references node " + std::to_string(id) +
+                       " which is not part of the deployment");
+        continue;
+      }
+      members.push_back(node);
+    }
+    if (members.size() < 2) {
+      report.add("deploy.duplex-cu", Severity::Error, subject,
+                 "replica group has " + std::to_string(members.size()) +
+                     " present member(s) — active replication needs at least two");
+      continue;
+    }
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      const NodeSpec& a = *members[0];
+      const NodeSpec& b = *members[m];
+      bool identical = a.tasks.size() == b.tasks.size();
+      for (std::size_t t = 0; identical && t < a.tasks.size(); ++t) {
+        identical = a.tasks[t].name == b.tasks[t].name &&
+                    a.tasks[t].priority == b.tasks[t].priority &&
+                    a.tasks[t].effectivePeriod() == b.tasks[t].effectivePeriod() &&
+                    a.tasks[t].singleCopyWcet == b.tasks[t].singleCopyWcet;
+      }
+      if (!identical) {
+        report.add("deploy.replica-divergence", Severity::Error, subject,
+                   "replicas " + a.name + " and " + b.name +
+                       " run different task sets — replica determinism is broken");
+      }
+    }
+  }
+
+  // Voter wiring: every wheel node must arbitrate between the outputs of an
+  // existing replica group, and every group must feed at least one voter.
+  std::vector<std::size_t> voters(config.replicaGroups.size(), 0);
+  for (const NodeSpec& node : config.nodes) {
+    if (node.role != NodeRole::WheelNode) continue;
+    if (node.votesOnGroup < 0 ||
+        static_cast<std::size_t>(node.votesOnGroup) >= config.replicaGroups.size()) {
+      report.add("deploy.voter-wiring", Severity::Error, nodeSubject(node),
+                 "wheel node is not wired to any replica group — it cannot arbitrate "
+                 "between duplex commands");
+      continue;
+    }
+    ++voters[static_cast<std::size_t>(node.votesOnGroup)];
+  }
+  for (std::size_t g = 0; g < config.replicaGroups.size(); ++g) {
+    if (voters[g] == 0) {
+      report.add("deploy.voter-wiring", Severity::Warning, "group=" + std::to_string(g),
+                 "replica group output is consumed by no voter");
+    }
+  }
+
+  // Per-task coverage of the analysis artefacts.
+  for (const NodeSpec& node : config.nodes) {
+    for (const TaskSpec& task : node.tasks) {
+      if (!task.critical || task.guestProgram.empty()) continue;
+      const std::string subject = taskSubject(node, task);
+      if (task.legalPaths == 0) {
+        report.add("task.signatures", Severity::Error, subject,
+                   "no legal signature paths derived — run-time control-flow checking "
+                   "would reject every execution");
+      }
+      if (!task.analysisClean) {
+        report.add("task.analysis-findings", Severity::Error, subject,
+                   "static analysis of guest program '" + task.guestProgram +
+                       "' reported findings that must be resolved before deployment");
+      }
+      if (task.mmuRegions.empty()) {
+        report.add("task.mmu-missing", Severity::Error, subject,
+                   "no MMU regions derived — the task would run without memory "
+                   "fault confinement");
+      }
+      for (std::size_t i = 0; i < task.mmuRegions.size(); ++i) {
+        for (std::size_t j = i + 1; j < task.mmuRegions.size(); ++j) {
+          const hw::MmuRegion& a = task.mmuRegions[i];
+          const hw::MmuRegion& b = task.mmuRegions[j];
+          if (a.owner == b.owner || !regionsOverlap(a, b)) continue;
+          if (!writable(a) && !writable(b)) continue;
+          report.add("task.mmu-overlap", Severity::Error, subject,
+                     "MMU regions '" + a.name + "' (task " + std::to_string(a.owner) +
+                         ") and '" + b.name + "' (task " + std::to_string(b.owner) +
+                         ") overlap with write access — confinement between tasks is void");
+        }
+      }
+    }
+  }
+}
+
+Report verifyConfiguration(const SystemConfig& config) {
+  Report report;
+  report.configName = config.name;
+  checkTdma(config, report);
+  checkSchedulability(config, report);
+  checkEndToEnd(config, report);
+  checkDeployment(config, report);
+  report.sortFindings();
+  return report;
+}
+
+}  // namespace nlft::verify

@@ -1,0 +1,43 @@
+// The verifier's check catalogue (see docs/VERIFY.md for the full table).
+//
+// Four families, in increasing ambition:
+//   (a) TDMA schedule sanity     tdma.* / sync.*   slot ownership, frame
+//       width vs slot, clock precision vs guard, membership/watchdog
+//       timeouts vs round length;
+//   (b) per-node FT schedulability  sched.*   fault-tolerant RTA on every
+//       node's task set, analyzer budget cross-checks;
+//   (c) holistic end-to-end      e2e.*     pedal -> actuator worst case
+//       under the transient-fault hypothesis, incl. degraded modes;
+//   (d) deployment/coverage      deploy.* / task.*  duplex + voter wiring,
+//       signature & MMU coverage of every critical guest task.
+//
+// Each family can be run alone (unit tests do); verifyConfiguration() runs
+// them all and returns the severity-ranked report with certificates.
+#pragma once
+
+#include "verify/findings.hpp"
+#include "verify/holistic.hpp"
+#include "verify/system_config.hpp"
+
+namespace nlft::verify {
+
+/// (a) Slot ownership, frame-fits-slot, clock-sync precision vs slot guard,
+/// membership expulsion/reintegration and watchdog timeouts vs round length.
+void checkTdma(const SystemConfig& config, Report& report);
+
+/// (b) Fault-tolerant RTA over every node's task set; execution-time-monitor
+/// budgets must cover the analyzer-derived worst legal path.
+void checkSchedulability(const SystemConfig& config, Report& report);
+
+/// (c) Worst-case pedal -> actuator latency vs the vehicle brake deadline,
+/// for the full deployment and with each replica-group member removed.
+void checkEndToEnd(const SystemConfig& config, Report& report);
+
+/// (d) Duplex/voter wiring completeness, redundancy levels, per-task
+/// signature and MMU-region coverage.
+void checkDeployment(const SystemConfig& config, Report& report);
+
+/// Runs every check family and ranks the findings.
+[[nodiscard]] Report verifyConfiguration(const SystemConfig& config);
+
+}  // namespace nlft::verify

@@ -1,0 +1,101 @@
+#include "verify/findings.hpp"
+
+#include <algorithm>
+
+namespace nlft::verify {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::Error:
+      return "error";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Info:
+      return "info";
+  }
+  return "unknown";
+}
+
+void Report::add(std::string check, Severity severity, std::string subject, std::string message) {
+  findings.push_back(
+      Finding{std::move(check), severity, std::move(subject), std::move(message)});
+}
+
+void Report::sortFindings() {
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.severity != b.severity) {
+      return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+    }
+    if (a.check != b.check) return a.check < b.check;
+    return a.subject < b.subject;
+  });
+}
+
+std::size_t Report::countAt(Severity severity) const {
+  std::size_t count = 0;
+  for (const Finding& finding : findings) {
+    if (finding.severity == severity) ++count;
+  }
+  return count;
+}
+
+std::vector<Finding> Report::byCheck(const std::string& check) const {
+  std::vector<Finding> matched;
+  for (const Finding& finding : findings) {
+    if (finding.check == check) matched.push_back(finding);
+  }
+  return matched;
+}
+
+obs::JsonValue Report::toJson() const {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("config", obs::JsonValue::string(configName));
+
+  obs::JsonValue summary = obs::JsonValue::object();
+  summary.set("errors", obs::JsonValue::integer(static_cast<std::int64_t>(countAt(Severity::Error))));
+  summary.set("warnings",
+              obs::JsonValue::integer(static_cast<std::int64_t>(countAt(Severity::Warning))));
+  summary.set("infos", obs::JsonValue::integer(static_cast<std::int64_t>(countAt(Severity::Info))));
+  summary.set("passed", obs::JsonValue::boolean(passed()));
+  root.set("summary", std::move(summary));
+
+  obs::JsonValue list = obs::JsonValue::array();
+  for (const Finding& finding : findings) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("check", obs::JsonValue::string(finding.check));
+    entry.set("severity", obs::JsonValue::string(severityName(finding.severity)));
+    entry.set("subject", obs::JsonValue::string(finding.subject));
+    entry.set("message", obs::JsonValue::string(finding.message));
+    list.push(std::move(entry));
+  }
+  root.set("findings", std::move(list));
+  root.set("certificates", certificates);
+  return root;
+}
+
+std::string Report::format() const {
+  std::string out = "=== " + configName + " ===\n";
+  out += "errors=" + std::to_string(countAt(Severity::Error)) +
+         " warnings=" + std::to_string(countAt(Severity::Warning)) +
+         " infos=" + std::to_string(countAt(Severity::Info)) +
+         (passed() ? "  [PASS]\n" : "  [FAIL]\n");
+  for (const Finding& finding : findings) {
+    out += "  [";
+    out += severityName(finding.severity);
+    out += "] " + finding.check;
+    if (!finding.subject.empty()) out += " (" + finding.subject + ")";
+    out += ": " + finding.message + "\n";
+  }
+  out += "certificates:\n";
+  const std::string dumped = certificates.dump(2);
+  std::size_t begin = 0;
+  while (begin < dumped.size()) {
+    std::size_t end = dumped.find('\n', begin);
+    if (end == std::string::npos) end = dumped.size();
+    out += "  " + dumped.substr(begin, end - begin) + "\n";
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace nlft::verify

@@ -1,0 +1,69 @@
+// Findings and reports of the system-level static verifier.
+//
+// Every check emits zero or more findings, each carrying a stable check id
+// (e.g. "tdma.slot-ownership"), a severity, the subject it is about (a node,
+// task or slot) and a human-readable message. A configuration PASSES when it
+// has no Error-severity findings; Warnings flag assumptions that hold with
+// little margin, Infos are derived certificates worth surfacing.
+//
+// Reports serialise through obs::json (sorted keys, fixed number format), so
+// `nlft-verify --json` is byte-identical across runs — the determinism lint
+// diff-checks a double run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace nlft::verify {
+
+enum class Severity : std::uint8_t {
+  Info,     ///< derived certificate / observation, no action needed
+  Warning,  ///< assumption holds but with little margin, or smells
+  Error,    ///< a documented deployment claim is refuted
+};
+
+[[nodiscard]] const char* severityName(Severity severity);
+
+struct Finding {
+  std::string check;    ///< stable id, e.g. "sched.unschedulable"
+  Severity severity = Severity::Info;
+  std::string subject;  ///< what it is about, e.g. "node=3 task=wheel-control"
+  std::string message;  ///< human-readable explanation with the numbers
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Severity-ranked findings plus the derived certificates of one verified
+/// configuration.
+struct Report {
+  std::string configName;
+  std::vector<Finding> findings;
+  /// Derived numbers the checks computed along the way (response times,
+  /// precision bounds, end-to-end latency composition, ...), as a JSON
+  /// object tree.
+  obs::JsonValue certificates = obs::JsonValue::object();
+
+  /// Appends a finding (sortFindings() ranks them afterwards).
+  void add(std::string check, Severity severity, std::string subject, std::string message);
+
+  /// Errors first, then warnings, then infos; ties by check id, then subject.
+  void sortFindings();
+
+  [[nodiscard]] std::size_t countAt(Severity severity) const;
+  /// True when the configuration has no Error-severity finding.
+  [[nodiscard]] bool passed() const { return countAt(Severity::Error) == 0; }
+
+  /// All findings with the given check id (mutation tests key off this).
+  [[nodiscard]] std::vector<Finding> byCheck(const std::string& check) const;
+
+  /// {"config":..., "summary": {...}, "findings": [...], "certificates": {...}}
+  [[nodiscard]] obs::JsonValue toJson() const;
+
+  /// Human-readable report (severity-ranked findings, then certificates).
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace nlft::verify

@@ -1,0 +1,66 @@
+#include "verify/holistic.hpp"
+
+namespace nlft::verify {
+
+namespace {
+
+/// Worst-case response time of the named task on `node` under the
+/// configured fault hypothesis; nullopt when absent or divergent.
+std::optional<Duration> taskResponse(const SystemConfig& config, const NodeSpec& node,
+                                     const std::string& taskName) {
+  std::vector<rt::RtaTask> tasks;
+  tasks.reserve(node.tasks.size());
+  std::optional<std::size_t> index;
+  for (const TaskSpec& spec : node.tasks) {
+    if (spec.name == taskName) index = tasks.size();
+    tasks.push_back(spec.toRtaTask());
+  }
+  if (!index) return std::nullopt;
+  return rt::responseTimeWithFaults(tasks, *index, config.faultMinInterArrival);
+}
+
+}  // namespace
+
+std::optional<EndToEndBound> computeEndToEndBound(const SystemConfig& config) {
+  // The chain is bounded by the WORST producer replica and the WORST
+  // consumer node, so the bound holds for every wiring of the duplex pair.
+  std::optional<Duration> cuResponse;
+  Duration cuPeriod{};
+  std::optional<Duration> wheelResponse;
+  Duration wheelPeriod{};
+
+  for (const NodeSpec& node : config.nodes) {
+    const std::string& taskName =
+        node.role == NodeRole::CentralUnit ? config.producerTask : config.consumerTask;
+    const auto response = taskResponse(config, node, taskName);
+    if (!response) {
+      // Role without the chain task: only fatal when ANY node of that role
+      // should carry it; a divergent recurrence also lands here.
+      for (const TaskSpec& spec : node.tasks) {
+        if (spec.name == taskName) return std::nullopt;  // present but divergent
+      }
+      continue;
+    }
+    for (const TaskSpec& spec : node.tasks) {
+      if (spec.name != taskName) continue;
+      if (node.role == NodeRole::CentralUnit) {
+        if (!cuResponse || *response > *cuResponse) cuResponse = response;
+        cuPeriod = std::max(cuPeriod, spec.effectivePeriod());
+      } else {
+        if (!wheelResponse || *response > *wheelResponse) wheelResponse = response;
+        wheelPeriod = std::max(wheelPeriod, spec.effectivePeriod());
+      }
+    }
+  }
+  if (!cuResponse || !wheelResponse) return std::nullopt;
+
+  EndToEndBound bound;
+  bound.cuSamplingDelay = cuPeriod;
+  bound.cuResponse = *cuResponse;
+  bound.busPhasing = config.cycleLength() + config.bus.slotLength;
+  bound.wheelSamplingDelay = wheelPeriod;
+  bound.wheelResponse = *wheelResponse;
+  return bound;
+}
+
+}  // namespace nlft::verify

@@ -1,0 +1,47 @@
+// Holistic end-to-end latency analysis of the pedal -> actuator chain.
+//
+// Composes per-node worst-case response times (fault-tolerant RTA,
+// rt::responseTimeWithFaults) with the bus slot phasing into the worst-case
+// pedal-sensor -> central-unit -> wheel-node -> actuator latency under the
+// configured transient-fault hypothesis — the time-triggered holistic-
+// schedulability composition: every hop of an unsynchronised periodic chain
+// contributes its sampling delay (one period) plus its response time, the
+// bus contributes one full communication cycle plus the slot itself.
+//
+//   pedalToApply = T_cu + R_cu + (cycle + slot) + T_w + R_w
+//   sampleToApply =        R_cu + (cycle + slot) + T_w + R_w
+//
+// sampleToApply starts the clock at the instant the CU job reads the pedal
+// — exactly what the simulator's e2e.latency metric measures — so the
+// differential harness can assert measured <= static bound on every golden
+// trace.
+#pragma once
+
+#include <optional>
+
+#include "verify/system_config.hpp"
+
+namespace nlft::verify {
+
+/// The composed worst-case chain, all components included so reports can
+/// show WHERE the latency budget goes.
+struct EndToEndBound {
+  Duration cuSamplingDelay{};    ///< pedal change waits for the next CU job
+  Duration cuResponse{};         ///< CU control-task WCRT under <=k faults
+  Duration busPhasing{};         ///< missed-slot wait: one cycle + one slot
+  Duration wheelSamplingDelay{}; ///< command waits for the next wheel job
+  Duration wheelResponse{};      ///< wheel control-task WCRT under <=k faults
+
+  [[nodiscard]] Duration sampleToApply() const {
+    return cuResponse + busPhasing + wheelSamplingDelay + wheelResponse;
+  }
+  [[nodiscard]] Duration pedalToApply() const { return cuSamplingDelay + sampleToApply(); }
+};
+
+/// Computes the bound for the configured producer/consumer chain. Returns
+/// std::nullopt when either response-time recurrence diverges (the chain is
+/// then unbounded; checks report e2e.unbounded) or the chain tasks are
+/// missing from the deployment.
+[[nodiscard]] std::optional<EndToEndBound> computeEndToEndBound(const SystemConfig& config);
+
+}  // namespace nlft::verify

@@ -1,0 +1,70 @@
+#include "verify/system_config.hpp"
+
+#include <cmath>
+
+namespace nlft::verify {
+
+Duration TaskSpec::effectivePeriod() const {
+  if (period > Duration{}) return period;
+  return minInterArrival;
+}
+
+Duration TaskSpec::effectiveDeadline() const {
+  if (deadline > Duration{}) return deadline;
+  return effectivePeriod();
+}
+
+rt::RtaTask TaskSpec::toRtaTask() const {
+  if (temProtected) {
+    return rt::temTask(singleCopyWcet, checkOverhead, effectivePeriod(), effectiveDeadline(),
+                       priority);
+  }
+  rt::RtaTask task;
+  task.wcet = singleCopyWcet;
+  task.period = effectivePeriod();
+  task.deadline = effectiveDeadline();
+  task.priority = priority;
+  task.recovery = Duration{};
+  return task;
+}
+
+double ClockSyncAssumptions::precisionBoundUs() const {
+  return 2.0 * maxDriftPpm * 1e-6 * static_cast<double>(resyncInterval.us()) + residualSkewUs;
+}
+
+Duration BusTiming::frameTransmission(std::uint32_t payloadWords) const {
+  const double bits = static_cast<double>(payloadWords) * 32.0 +
+                      static_cast<double>(frameOverheadBits);
+  return Duration::microseconds(
+      static_cast<std::int64_t>(std::ceil(bits / bitsPerMicrosecond)));
+}
+
+Duration SystemConfig::cycleLength() const {
+  return bus.slotLength * static_cast<std::int64_t>(bus.staticSchedule.size()) +
+         bus.minislotLength * static_cast<std::int64_t>(bus.dynamicMinislots);
+}
+
+const NodeSpec* SystemConfig::findNode(net::NodeId id) const {
+  for (const NodeSpec& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+std::size_t SystemConfig::slotsOwnedBy(net::NodeId id) const {
+  std::size_t owned = 0;
+  for (const net::NodeId owner : bus.staticSchedule) {
+    if (owner == id) ++owned;
+  }
+  return owned;
+}
+
+Duration SystemConfig::expulsionLatency() const {
+  return cycleLength() * static_cast<std::int64_t>(membership.missTolerance + 1);
+}
+
+Duration SystemConfig::reintegrationLatency() const {
+  return cycleLength() * static_cast<std::int64_t>(membership.reintegrationCycles);
+}
+
+}  // namespace nlft::verify

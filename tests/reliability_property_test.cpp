@@ -110,7 +110,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CtmcProperty, ::testing::Range<std::uint64_t>(1,
 /// be evaluated (a) by the Rbd engine and (b) by brute-force enumeration of
 /// component up/down states.
 struct Expr {
-  enum class Kind { Component, Series, Parallel, KOfN } kind;
+  enum class Kind : std::uint8_t { Component, Series, Parallel, KOfN } kind;
   std::size_t componentIndex = 0;
   std::size_t k = 0;
   std::vector<std::size_t> children;  // indices into the expression pool

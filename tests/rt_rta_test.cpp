@@ -122,6 +122,84 @@ TEST(Rta, TemSlackScenario) {
   EXPECT_FALSE(analyze(tasks, Duration::milliseconds(2)).schedulable);
 }
 
+// --- Edge-case audit of the fault-tolerant analysis (hp strict, hep
+// inclusive, divergence reporting), cross-checked against the formula in
+// rtkernel/rta.hpp and DESIGN.md's "recovery slack" claim. ---
+
+TEST(Rta, ZeroSlackTaskToleratesNoRecovery) {
+  // wcet == deadline: schedulable alone (R = C = D), but ANY recovery demand
+  // under a finite fault window pushes it past the deadline — the a-priori
+  // slack of Section 2.8 must come from somewhere.
+  std::vector<RtaTask> zeroSlack{task(10, 10, 1, 1)};
+  EXPECT_EQ(responseTime(zeroSlack, 0)->us(), Duration::milliseconds(10).us());
+  EXPECT_TRUE(analyze(zeroSlack).schedulable);
+  const RtaResult faulty = analyze(zeroSlack, Duration::milliseconds(100));
+  EXPECT_FALSE(faulty.schedulable);
+  // The recurrence still converges: R = 10 + ceil(R/100)*1 = 11.
+  EXPECT_EQ(faulty.responseTimes[0].us(), Duration::milliseconds(11).us());
+
+  // With zero recovery the fault window is irrelevant: k=0 faults to mask.
+  std::vector<RtaTask> noRecovery{task(10, 10, 1, 0)};
+  EXPECT_TRUE(analyze(noRecovery, Duration::milliseconds(100)).schedulable);
+}
+
+TEST(Rta, ZeroRecoverySetMatchesClassicAnalysisForAnyFaultWindow) {
+  const std::vector<RtaTask> tasks{task(3, 7, 3), task(3, 12, 2), task(5, 20, 1)};
+  for (const std::int64_t windowMs : {1, 6, 100}) {
+    const RtaResult faulty = analyze(tasks, Duration::milliseconds(windowMs));
+    const RtaResult classic = analyze(tasks);
+    ASSERT_TRUE(faulty.schedulable);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(faulty.responseTimes[i], classic.responseTimes[i]) << i;
+    }
+  }
+}
+
+TEST(Rta, HighestPriorityTaskStillPaysItsOwnRecovery) {
+  // hep(i) includes i itself: even the top task re-executes after a fault.
+  std::vector<RtaTask> tasks{task(2, 10, 5, 2), task(1, 20, 1, 0)};
+  const auto r = responseTimeWithFaults(tasks, 0, Duration::milliseconds(100));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->us(), Duration::milliseconds(4).us());
+}
+
+TEST(Rta, EqualPriorityRecoveryCountedButNotInterference) {
+  // hp(i) is strict (equal-priority peers do not preempt), while hep(i) is
+  // inclusive (their recovery can still steal the fault window's slack).
+  std::vector<RtaTask> tasks{task(2, 10, 3, 0), task(2, 10, 3, 4)};
+  const auto faultFree = responseTime(tasks, 0);
+  ASSERT_TRUE(faultFree.has_value());
+  EXPECT_EQ(faultFree->us(), Duration::milliseconds(2).us());  // no preemption
+  const auto faulty = responseTimeWithFaults(tasks, 0, Duration::milliseconds(100));
+  ASSERT_TRUE(faulty.has_value());
+  EXPECT_EQ(faulty->us(), Duration::milliseconds(6).us());  // + partner recovery
+}
+
+TEST(Rta, DivergentRecurrenceReportedAsNegativeResponse) {
+  // Higher-priority demand saturating the CPU (C=T): the lower task's busy
+  // period never ends and the recurrence grows without bound; analyze()
+  // reports -1 us (the documented "divergent" marker) and flags the set
+  // unschedulable instead of looping forever. (Mere utilisation > 1 can
+  // still hit a ceiling-induced fixed point past the deadline, which is
+  // reported as a finite response instead.)
+  std::vector<RtaTask> tasks{task(5, 5, 2), task(1, 12, 1)};
+  EXPECT_FALSE(responseTimeWithFaults(tasks, 1, Duration{}).has_value());
+  const RtaResult result = analyze(tasks);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_EQ(result.responseTimes[1].us(), -1);
+  EXPECT_EQ(result.responseTimes[0].us(), Duration::milliseconds(5).us());
+}
+
+TEST(Rta, TemTaskWithZeroCheckOverheadMatchesSimulatorConfig) {
+  // The BBW simulator runs TEM with zero comparison overhead: demand is
+  // exactly two copies and recovery exactly one.
+  const RtaTask t = temTask(Duration::microseconds(400), Duration{}, Duration::milliseconds(5),
+                            Duration::milliseconds(5), 10);
+  EXPECT_EQ(t.wcet.us(), 800);
+  EXPECT_EQ(t.recovery.us(), 400);
+  EXPECT_EQ(t.deadline, t.period);
+}
+
 TEST(Rta, InvalidInputsThrow) {
   std::vector<RtaTask> zeroWcet{task(0, 10, 1)};
   EXPECT_THROW((void)responseTime(zeroWcet, 0), std::invalid_argument);

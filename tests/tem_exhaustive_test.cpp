@@ -23,7 +23,7 @@ std::uint32_t copyValue(CopyFate fate, int copyIndex) {
 }
 
 struct Expected {
-  enum class Kind {
+  enum class Kind : std::uint8_t {
     DeliveredClean,
     MaskedByVote,
     MaskedByReplacement,

@@ -1,0 +1,212 @@
+// Unit and mutation tests of the system-level static verifier.
+//
+// The mutation half is the point: starting from the known-good registered
+// BBW configuration, each test corrupts ONE field the way a real deployment
+// mistake would (duplicate TDMA slot owner, budget under the derived WCET,
+// dropped CU replica, overlapping MMU regions, ...) and asserts the verifier
+// refutes exactly that corruption with the expected check id — no silent
+// passes, no unrelated collateral errors hiding the real one.
+#include "verify/checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bbw/system_sim.hpp"
+#include "verify/bbw_configs.hpp"
+
+namespace nlft::verify {
+namespace {
+
+using util::Duration;
+
+TaskSpec& findTask(SystemConfig& config, net::NodeId node, const std::string& name) {
+  for (NodeSpec& spec : config.nodes) {
+    if (spec.id != node) continue;
+    for (TaskSpec& task : spec.tasks) {
+      if (task.name == name) return task;
+    }
+  }
+  throw std::logic_error("no such task");
+}
+
+/// Asserts the report has >= 1 Error finding with the given check id and
+/// that every OTHER Error finding (if any) shares that id — the mutation
+/// must be diagnosed precisely.
+void expectOnlyError(const Report& report, const std::string& check) {
+  EXPECT_FALSE(report.passed()) << report.format();
+  const auto flagged = report.byCheck(check);
+  EXPECT_FALSE(flagged.empty()) << "expected finding " << check << "\n" << report.format();
+  for (const Finding& finding : report.findings) {
+    if (finding.severity != Severity::Error) continue;
+    EXPECT_EQ(finding.check, check) << report.format();
+  }
+}
+
+TEST(VerifyBbw, RegisteredConfigurationsPass) {
+  for (const SystemConfig& config : registeredConfigurations()) {
+    const Report report = verifyConfiguration(config);
+    EXPECT_TRUE(report.passed()) << report.format();
+    // The certificates carry the complete latency composition.
+    const obs::JsonValue& e2e = report.certificates.get("e2e");
+    EXPECT_GT(e2e.get("pedal_to_apply_us").asInt(), 0);
+    EXPECT_LE(e2e.get("pedal_to_apply_us").asInt(), e2e.get("brake_deadline_us").asInt());
+  }
+}
+
+TEST(VerifyBbw, NlftBoundMatchesHandComputation) {
+  // CU: TEM demand 800 us + emergency interference 300 us + one recovery
+  // 400 us = 1500 us; wheel: 600 us + 300 us recovery = 900 us; phasing one
+  // 4 ms cycle + one 500 us slot; sampling one 5 ms period per hop.
+  const Report report = verifyConfiguration(bbwNlftConfig());
+  const obs::JsonValue& e2e = report.certificates.get("e2e");
+  EXPECT_EQ(e2e.get("cu_response_us").asInt(), 1500);
+  EXPECT_EQ(e2e.get("wheel_response_us").asInt(), 900);
+  EXPECT_EQ(e2e.get("bus_phasing_us").asInt(), 4500);
+  EXPECT_EQ(e2e.get("sample_to_apply_us").asInt(), 11900);
+  EXPECT_EQ(e2e.get("pedal_to_apply_us").asInt(), 16900);
+}
+
+TEST(VerifyBbw, JsonOutputIsDeterministic) {
+  const Report a = verifyConfiguration(bbwNlftConfig());
+  const Report b = verifyConfiguration(bbwNlftConfig());
+  EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+  // Schema spot-checks: summary counts findings, severities serialise.
+  const obs::JsonValue json = a.toJson();
+  EXPECT_EQ(json.get("config").asString(), "bbw-nlft");
+  EXPECT_EQ(static_cast<std::size_t>(json.get("summary").get("errors").asInt()),
+            a.countAt(Severity::Error));
+  EXPECT_EQ(json.get("findings").size(), a.findings.size());
+}
+
+TEST(VerifyBbw, FindingsRankedErrorsFirst) {
+  Report report;
+  report.add("b.check", Severity::Info, "s", "m");
+  report.add("a.check", Severity::Warning, "s", "m");
+  report.add("z.check", Severity::Error, "s2", "m");
+  report.add("z.check", Severity::Error, "s1", "m");
+  report.sortFindings();
+  ASSERT_EQ(report.findings.size(), 4u);
+  EXPECT_EQ(report.findings[0].subject, "s1");  // errors first, ties by subject
+  EXPECT_EQ(report.findings[1].subject, "s2");
+  EXPECT_EQ(report.findings[2].check, "a.check");
+  EXPECT_EQ(report.findings[3].check, "b.check");
+}
+
+// --- Seeded mutations (the ISSUE's four, plus the rest of the catalogue) ---
+
+TEST(VerifyMutation, DuplicateSlotOwnerDetected) {
+  SystemConfig config = bbwNlftConfig();
+  config.bus.staticSchedule[2] = config.bus.staticSchedule[0];  // CU A owns two
+  const Report report = verifyConfiguration(config);
+  expectOnlyError(report, "tdma.slot-ownership");
+  // Both sides of the corruption are named: the double owner and the starved
+  // wheel node.
+  EXPECT_EQ(report.byCheck("tdma.slot-ownership").size(), 2u) << report.format();
+}
+
+TEST(VerifyMutation, BudgetBelowDerivedWcetDetected) {
+  SystemConfig config = bbwNlftConfig();
+  TaskSpec& wheel = findTask(config, bbw::kWheelNodeBase, "wheel-control");
+  ASSERT_GT(wheel.wcetInstructions, 0u);
+  wheel.budgetInstructions = wheel.wcetInstructions - 1;
+  expectOnlyError(verifyConfiguration(config), "sched.budget-below-wcet");
+}
+
+TEST(VerifyMutation, DroppedCuReplicaDetected) {
+  SystemConfig config = bbwNlftConfig();
+  std::erase_if(config.nodes, [](const NodeSpec& node) { return node.id == bbw::kCuB; });
+  const Report report = verifyConfiguration(config);
+  EXPECT_FALSE(report.passed()) << report.format();
+  // The missing replica surfaces as a wiring error; the freed slot is
+  // collateral the verifier must ALSO name (an unknown owner now transmits).
+  EXPECT_FALSE(report.byCheck("deploy.duplex-cu").empty()) << report.format();
+  EXPECT_FALSE(report.byCheck("tdma.unknown-owner").empty()) << report.format();
+}
+
+TEST(VerifyMutation, OverlappingMmuRegionsDetected) {
+  SystemConfig config = bbwNlftConfig();
+  TaskSpec& wheel = findTask(config, bbw::kWheelNodeBase, "wheel-control");
+  ASSERT_FALSE(wheel.mmuRegions.empty());
+  hw::MmuRegion intruder = wheel.mmuRegions.front();
+  intruder.owner = wheel.mmuRegions.front().owner + 1;  // a different task...
+  intruder.permissions = hw::accessMask(hw::Access::Write);
+  intruder.name = "intruder";
+  wheel.mmuRegions.push_back(intruder);  // ...writable into the same range
+  expectOnlyError(verifyConfiguration(config), "task.mmu-overlap");
+}
+
+TEST(VerifyMutation, ShrunkDeadlineMakesTemTaskUnschedulable) {
+  SystemConfig config = bbwNlftConfig();
+  // 1 ms deadline < the 1.5 ms fault-tolerant response: TEM triple execution
+  // no longer fits.
+  findTask(config, bbw::kCuA, "brake-distribution").deadline = Duration::milliseconds(1);
+  expectOnlyError(verifyConfiguration(config), "sched.unschedulable");
+}
+
+TEST(VerifyMutation, OversizedFrameDetected) {
+  SystemConfig config = bbwNlftConfig();
+  for (NodeSpec& node : config.nodes) {
+    if (node.id == bbw::kCuA) node.maxFrameWords = 200;  // 6464 bits > 500 us slot
+  }
+  expectOnlyError(verifyConfiguration(config), "tdma.frame-width");
+}
+
+TEST(VerifyMutation, DriftyClocksBreakSlotGuard) {
+  SystemConfig config = bbwNlftConfig();
+  config.clockSync.maxDriftPpm = 40000.0;  // 2*rho*R ~ 320 us of a 500 us slot
+  expectOnlyError(verifyConfiguration(config), "tdma.guard-precision");
+}
+
+TEST(VerifyMutation, SlowMembershipMissesDetectionDeadline) {
+  SystemConfig config = bbwNlftConfig();
+  config.membership.missTolerance = 4;  // 5 cycles * 4 ms = 20 ms > 10 ms
+  expectOnlyError(verifyConfiguration(config), "sync.membership-timeout");
+}
+
+TEST(VerifyMutation, TightWatchdogWouldTripHealthyKernel) {
+  SystemConfig config = bbwNlftConfig();
+  for (NodeSpec& node : config.nodes) node.watchdogTimeout = Duration::milliseconds(2);
+  expectOnlyError(verifyConfiguration(config), "sync.watchdog");
+}
+
+TEST(VerifyMutation, UnwiredVoterDetected) {
+  SystemConfig config = bbwNlftConfig();
+  for (NodeSpec& node : config.nodes) {
+    if (node.id == bbw::kWheelNodeBase + 1) node.votesOnGroup = -1;
+  }
+  expectOnlyError(verifyConfiguration(config), "deploy.voter-wiring");
+}
+
+TEST(VerifyMutation, MissingSignaturePathsDetected) {
+  SystemConfig config = bbwNlftConfig();
+  findTask(config, bbw::kWheelNodeBase + 2, "wheel-control").legalPaths = 0;
+  expectOnlyError(verifyConfiguration(config), "task.signatures");
+}
+
+TEST(VerifyMutation, MissingWheelNodeDetected) {
+  SystemConfig config = bbwNlftConfig();
+  std::erase_if(config.nodes,
+                [](const NodeSpec& node) { return node.id == bbw::kWheelNodeBase + 3; });
+  const Report report = verifyConfiguration(config);
+  EXPECT_FALSE(report.passed()) << report.format();
+  EXPECT_FALSE(report.byCheck("deploy.redundancy").empty()) << report.format();
+}
+
+TEST(VerifyMutation, EmptyScheduleIsFatal) {
+  SystemConfig config = bbwNlftConfig();
+  config.bus.staticSchedule.clear();
+  const Report report = verifyConfiguration(config);
+  EXPECT_FALSE(report.byCheck("tdma.empty-schedule").empty());
+}
+
+TEST(VerifyMutation, DivergedReplicaTaskSetsDetected) {
+  SystemConfig config = bbwNlftConfig();
+  findTask(config, bbw::kCuB, "brake-distribution").singleCopyWcet =
+      Duration::microseconds(500);
+  const Report report = verifyConfiguration(config);
+  EXPECT_FALSE(report.byCheck("deploy.replica-divergence").empty()) << report.format();
+}
+
+}  // namespace
+}  // namespace nlft::verify

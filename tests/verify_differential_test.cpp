@@ -1,0 +1,90 @@
+// Differential harness: static verifier vs simulation.
+//
+// Replays every checked-in golden-trace scenario with a metrics registry
+// attached and asserts that the OBSERVED end-to-end latency (the e2e.latency
+// histogram the simulation records from pedal sampling on a CU to the first
+// actuator apply of that command on a wheel) never exceeds the STATIC bound
+// the verifier derives for the matching configuration. A static bound that a
+// recorded execution beats is wrong — this is the cross-check the whole
+// verifier rests on. Also pins the golden traces themselves (replay must
+// still match tests/golden byte-for-byte with the metrics tap attached).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faults/golden_trace.hpp"
+#include "obs/metrics.hpp"
+#include "verify/bbw_configs.hpp"
+#include "verify/checks.hpp"
+#include "verify/holistic.hpp"
+
+namespace nlft::verify {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string{NLFT_GOLDEN_DIR} + "/" + name + ".trace";
+}
+
+/// The configuration a scenario executes: the "fs-" prefix marks the
+/// fail-silent baseline, everything else runs the NLFT deployment.
+SystemConfig scenarioConfig(const std::string& scenario) {
+  if (scenario.rfind("fs-", 0) == 0) return bbwFailSilentConfig();
+  return bbwNlftConfig();
+}
+
+TEST(VerifyDifferential, StaticBoundDominatesEveryGoldenTraceLatency) {
+  for (const std::string& scenario : fi::goldenScenarioNames()) {
+    const SystemConfig config = scenarioConfig(scenario);
+    const auto bound = computeEndToEndBound(config);
+    ASSERT_TRUE(bound.has_value()) << scenario;
+
+    obs::Registry metrics;
+    const std::vector<std::string> trace =
+        fi::recordScenarioTrace(scenario, {}, nullptr, &metrics);
+    ASSERT_FALSE(trace.empty()) << scenario;
+
+    // Thousands of command deliveries per 15 s stop: the histogram must be
+    // populated, and its max must respect the static sample->apply bound.
+    const obs::HistogramSnapshot histogram = metrics.histogram("e2e.latency");
+    EXPECT_GT(histogram.total, 100u) << scenario;
+    const double measuredMaxUs = metrics.gauge("e2e.latency.max_us");
+    EXPECT_GT(measuredMaxUs, 0.0) << scenario;
+    EXPECT_LE(measuredMaxUs, static_cast<double>(bound->sampleToApply().us()))
+        << scenario << ": measured " << measuredMaxUs << " us vs static bound "
+        << bound->sampleToApply().us() << " us";
+
+    // And the scenario's configuration is one the verifier certifies.
+    EXPECT_TRUE(verifyConfiguration(config).passed()) << scenario;
+  }
+}
+
+TEST(VerifyDifferential, MetricsTapDoesNotPerturbGoldenTraces) {
+  // The e2e instrumentation must be observation-only: replaying with the
+  // registry attached still reproduces the checked-in traces byte-for-byte.
+  for (const std::string& scenario : fi::goldenScenarioNames()) {
+    obs::Registry metrics;
+    const std::vector<std::string> actual =
+        fi::recordScenarioTrace(scenario, {}, nullptr, &metrics);
+    const std::vector<std::string> expected = fi::readTraceFile(goldenPath(scenario));
+    const fi::TraceDiff diff = fi::compareTraces(expected, actual);
+    EXPECT_TRUE(diff.identical) << scenario << " line " << diff.line << "\n  expected: "
+                                << diff.expected << "\n  actual:   " << diff.actual;
+  }
+}
+
+TEST(VerifyDifferential, ObservedLatencyIsPlausiblyTight) {
+  // Guard against a vacuous bound: the measured worst case should land in
+  // the same order of magnitude as the static bound (within 4x), otherwise
+  // the analysis is so loose it certifies nothing interesting.
+  const SystemConfig config = bbwNlftConfig();
+  const auto bound = computeEndToEndBound(config);
+  ASSERT_TRUE(bound.has_value());
+  obs::Registry metrics;
+  (void)fi::recordScenarioTrace("nlft-computation-fault", {}, nullptr, &metrics);
+  const double measuredMaxUs = metrics.gauge("e2e.latency.max_us");
+  EXPECT_GE(measuredMaxUs * 4.0, static_cast<double>(bound->sampleToApply().us()));
+}
+
+}  // namespace
+}  // namespace nlft::verify

@@ -49,6 +49,25 @@ for build in build build-cov build-asan build-tsan; do
   fi
 done
 
+# Static-verifier determinism: two nlft-verify --json runs over the full
+# configuration registry must produce byte-identical reports (src/verify is
+# pure analysis — any divergence means ambient state leaked in). Skipped on
+# a fresh checkout, like the trace check above.
+for build in build build-cov build-asan build-tsan; do
+  exe="$build/tools/nlft-verify"
+  if [ -x "$exe" ]; then
+    a=$("$exe" --json 2>/dev/null)
+    b=$("$exe" --json 2>/dev/null)
+    if [ -n "$a" ] && [ "$a" = "$b" ]; then
+      echo "determinism lint: nlft-verify --json byte-identical ($exe)"
+    else
+      echo "determinism lint: nlft-verify --json output is not byte-identical ($exe)" >&2
+      status=1
+    fi
+    break
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: clean"
 fi

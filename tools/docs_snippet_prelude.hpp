@@ -30,6 +30,8 @@
 #include "sysmodel/importance.hpp"
 #include "sysmodel/montecarlo.hpp"
 #include "util/statistics.hpp"
+#include "verify/bbw_configs.hpp"
+#include "verify/checks.hpp"
 
 // Doc snippets qualify names with the inner namespaces (sim::, tem::, ...)
 // and use util types (Duration, SimTime) unqualified, as the tutorial prose

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -74,9 +75,7 @@ int usage() {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::vector<std::string> names;
   std::size_t crossCheckRuns = 0;
   for (int i = 1; i < argc; ++i) {
@@ -113,4 +112,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "nlft-analyze: %s\n", error.what());
+    return 2;
+  }
 }

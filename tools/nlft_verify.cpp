@@ -1,0 +1,91 @@
+// nlft-verify: system-level static verification of registered deployments.
+//
+// Runs the whole-configuration analyzer (src/verify) over every registered
+// system configuration (or the named ones): TDMA schedule sanity, per-node
+// fault-tolerant schedulability, holistic end-to-end latency and
+// deployment/coverage checks. Prints a severity-ranked findings report per
+// configuration; with --json, a deterministic JSON document instead (sorted
+// keys, fixed number format — byte-identical across runs, which
+// tools/determinism_lint.sh enforces).
+//
+// Exit status: 0 when every checked configuration has zero Error-severity
+// findings, 1 otherwise, 2 on usage errors. CI gates on this.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "verify/bbw_configs.hpp"
+#include "verify/checks.hpp"
+
+namespace {
+
+using namespace nlft;
+
+int usage() {
+  std::fputs(
+      "usage: nlft-verify [--list] [--json] [config...]\n"
+      "  without names: verifies every registered configuration\n",
+      stderr);
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> names;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const verify::SystemConfig& config : verify::registeredConfigurations()) {
+        std::printf("%s\n", config.name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage();
+    names.emplace_back(arg);
+  }
+
+  bool matchedAny = false;
+  bool allPassed = true;
+  obs::JsonValue documents = obs::JsonValue::array();
+  for (const verify::SystemConfig& config : verify::registeredConfigurations()) {
+    if (!names.empty() &&
+        std::find(names.begin(), names.end(), config.name) == names.end()) {
+      continue;
+    }
+    matchedAny = true;
+    const verify::Report report = verify::verifyConfiguration(config);
+    allPassed = allPassed && report.passed();
+    if (json) {
+      documents.push(report.toJson());
+    } else {
+      std::fputs(report.format().c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+  }
+  if (!matchedAny) {
+    std::fputs("nlft-verify: no such configuration (try --list)\n", stderr);
+    return 2;
+  }
+  if (json) {
+    std::fputs(documents.dump(2).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return allPassed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "nlft-verify: %s\n", error.what());
+    return 2;
+  }
+}

@@ -6,11 +6,14 @@
 // Review the diff before committing — every changed line is a behavioural
 // change of the distributed simulation, not cosmetics.
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "faults/golden_trace.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: %s <output-directory>\n", argv[0]);
     return 2;
@@ -23,4 +26,15 @@ int main(int argc, char** argv) {
     std::printf("%-28s %4zu lines -> %s\n", name.c_str(), lines.size(), path.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "record-golden-traces: %s\n", error.what());
+    return 2;
+  }
 }
