@@ -1,0 +1,115 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/crc.hpp"
+
+namespace nlft::fuzz {
+
+CorpusEntry makeCorpusEntry(const Scenario& scenario, const ScenarioVerdict& verdict) {
+  CorpusEntry entry;
+  entry.scenario = scenario;
+  entry.outcome = fi::describe(verdict.outcome);
+  entry.signature = verdict.signature.canonical();
+  entry.key = verdict.signature.key();
+  return entry;
+}
+
+obs::JsonValue corpusEntryToJson(const CorpusEntry& entry) {
+  obs::JsonValue expect = obs::JsonValue::object();
+  expect.set("outcome", obs::JsonValue::string(entry.outcome));
+  expect.set("signature", obs::JsonValue::string(entry.signature));
+  if (!entry.expectedViolations.empty()) {
+    obs::JsonValue violations = obs::JsonValue::array();
+    for (const std::string& oracle : entry.expectedViolations) {
+      violations.push(obs::JsonValue::string(oracle));
+    }
+    expect.set("violations", std::move(violations));
+  }
+
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("format", obs::JsonValue::string("nlft-fuzz-case-v1"));
+  root.set("scenario", scenarioToJson(entry.scenario));
+  root.set("expect", std::move(expect));
+  return root;
+}
+
+CorpusEntry corpusEntryFromJson(const obs::JsonValue& json) {
+  if (json.kind() != obs::JsonValue::Kind::Object || !json.has("scenario")) {
+    throw std::runtime_error("corpusEntryFromJson: expected {format, scenario, expect}");
+  }
+  if (json.has("format") && json.get("format").asString() != "nlft-fuzz-case-v1") {
+    throw std::runtime_error("corpusEntryFromJson: unsupported format '" +
+                             json.get("format").asString() + "'");
+  }
+  CorpusEntry entry;
+  entry.scenario = scenarioFromJson(json.get("scenario"));
+  if (json.has("expect")) {
+    const obs::JsonValue& expect = json.get("expect");
+    if (expect.has("outcome")) entry.outcome = expect.get("outcome").asString();
+    if (expect.has("signature")) entry.signature = expect.get("signature").asString();
+    if (expect.has("violations")) {
+      const obs::JsonValue& violations = expect.get("violations");
+      for (std::size_t i = 0; i < violations.size(); ++i) {
+        entry.expectedViolations.push_back(violations.at(i).asString());
+      }
+    }
+  }
+  if (!entry.signature.empty()) {
+    entry.key = util::crc32({reinterpret_cast<const std::uint8_t*>(entry.signature.data()),
+                             entry.signature.size()});
+  }
+  return entry;
+}
+
+std::string corpusFileName(const CorpusEntry& entry) {
+  const std::string encoded = scenarioToJson(entry.scenario).dump();
+  const std::uint32_t id = util::crc32(
+      {reinterpret_cast<const std::uint8_t*>(encoded.data()), encoded.size()});
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "case-%08x.json", id);
+  return buffer;
+}
+
+bool Corpus::addIfNovel(CorpusEntry entry) {
+  if (byKey_.contains(entry.key)) return false;
+  byKey_.emplace(entry.key, entries_.size());
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+bool Corpus::seen(std::uint32_t key) const { return byKey_.contains(key); }
+
+void saveCorpusEntry(const CorpusEntry& entry, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("saveCorpusEntry: cannot open " + path);
+  out << corpusEntryToJson(entry).dump(2) << '\n';
+  if (!out) throw std::runtime_error("saveCorpusEntry: write failed for " + path);
+}
+
+CorpusEntry loadCorpusEntry(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("loadCorpusEntry: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return corpusEntryFromJson(obs::parseJson(text.str()));
+}
+
+std::vector<CorpusEntry> loadCorpusDir(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<CorpusEntry> entries;
+  entries.reserve(files.size());
+  for (const std::string& file : files) entries.push_back(loadCorpusEntry(file));
+  return entries;
+}
+
+}  // namespace nlft::fuzz

@@ -1,0 +1,72 @@
+// Regression corpus: novelty map + persistent JSON case files.
+//
+// Each corpus entry is a scenario together with the behaviour it pinned when
+// first discovered: the outcome class and the canonical behaviour signature.
+// The novelty map keys on ScenarioSignature::key() — a scenario only enters
+// the corpus when its signature has not been seen before, so the corpus
+// grows toward one representative per behaviour class instead of thousands
+// of near-duplicates.
+//
+// Case files are self-contained: tests/corpus/*.json replayed by
+// fuzz_corpus_test re-evaluates the scenario and checks that (a) no oracle
+// is violated and (b) the outcome and signature still match what the file
+// pinned — a behaviour change in the simulator surfaces as a corpus diff,
+// not as silent drift. Minimized oracle violations use the same format with
+// "expect.violations" listing the oracle ids that MUST fire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace nlft::fuzz {
+
+struct CorpusEntry {
+  Scenario scenario;
+  std::string outcome;     ///< fi::describe of the pinned outcome class
+  std::string signature;   ///< ScenarioSignature::canonical()
+  std::uint32_t key = 0;   ///< ScenarioSignature::key()
+  /// Oracle ids this case is EXPECTED to violate (empty for well-behaved
+  /// corpus seeds; non-empty only for pinned known-bug repros, none today).
+  std::vector<std::string> expectedViolations;
+};
+
+[[nodiscard]] CorpusEntry makeCorpusEntry(const Scenario& scenario,
+                                          const ScenarioVerdict& verdict);
+
+[[nodiscard]] obs::JsonValue corpusEntryToJson(const CorpusEntry& entry);
+/// Throws std::runtime_error on schema violations.
+[[nodiscard]] CorpusEntry corpusEntryFromJson(const obs::JsonValue& json);
+
+/// Deterministic case-file name: "case-<crc32 of the scenario JSON>.json".
+/// Keyed on the SCENARIO (not the signature) so two scenarios pinning the
+/// same behaviour class can coexist on disk without clobbering each other.
+[[nodiscard]] std::string corpusFileName(const CorpusEntry& entry);
+
+/// In-memory corpus with the novelty map.
+class Corpus {
+ public:
+  /// Adds the entry if its signature key is novel; returns true when added.
+  bool addIfNovel(CorpusEntry entry);
+  /// True when this signature key has been seen (in the corpus or rejected).
+  [[nodiscard]] bool seen(std::uint32_t key) const;
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::map<std::uint32_t, std::size_t> byKey_;
+};
+
+/// Writes the entry as a pretty-printed JSON case file. Throws on IO errors.
+void saveCorpusEntry(const CorpusEntry& entry, const std::string& path);
+/// Reads one case file. Throws std::runtime_error on IO/parse errors.
+[[nodiscard]] CorpusEntry loadCorpusEntry(const std::string& path);
+/// Loads every *.json in the directory, sorted by file name (deterministic).
+[[nodiscard]] std::vector<CorpusEntry> loadCorpusDir(const std::string& dir);
+
+}  // namespace nlft::fuzz

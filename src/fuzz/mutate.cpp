@@ -1,0 +1,129 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+
+namespace nlft::fuzz {
+
+namespace {
+
+[[nodiscard]] ScheduleEvent randomEvent(util::Rng& rng, const ScenarioLimits& limits) {
+  ScheduleEvent event;
+  event.kind = static_cast<EventKind>(rng.uniformInt(kEventKindCount));
+  event.node = static_cast<net::NodeId>(1 + rng.uniformInt(limits.nodeCount));
+  event.atUs = limits.minEventUs + static_cast<std::int64_t>(rng.uniformInt(
+      static_cast<std::uint64_t>(limits.maxEventUs - limits.minEventUs + 1)));
+  if (event.kind == EventKind::BusCorruption) {
+    const std::size_t flips = 1 + rng.uniformInt(limits.maxFlipBits);
+    for (std::size_t f = 0; f < flips; ++f) {
+      event.flipBits.push_back(static_cast<std::uint32_t>(rng.uniformInt(limits.flipBitSpace)));
+    }
+  }
+  return event;
+}
+
+void applyOne(util::Rng& rng, Scenario& scenario, const Scenario* donor,
+              const ScenarioLimits& limits, MutationKind kind) {
+  switch (kind) {
+    case MutationKind::ParamNudge: {
+      switch (rng.uniformInt(4)) {
+        case 0:
+          scenario.params.initialSpeedMps +=
+              rng.uniform(-3.0, 3.0);  // clamp pulls back into range
+          break;
+        case 1: scenario.params.pedal += rng.uniform(-0.1, 0.1); break;
+        case 2:
+          scenario.params.restartTimeUs +=
+              static_cast<std::int64_t>(rng.uniform(-500'000.0, 500'000.0));
+          break;
+        default:
+          scenario.params.nodeType = scenario.params.nodeType == bbw::NodeType::Nlft
+                                         ? bbw::NodeType::FailSilent
+                                         : bbw::NodeType::Nlft;
+          break;
+      }
+      break;
+    }
+    case MutationKind::TimeShift: {
+      if (scenario.events.empty()) break;
+      const auto delta = static_cast<std::int64_t>(rng.uniform(-400'000.0, 400'000.0));
+      if (rng.bernoulli(0.5)) {
+        scenario.events[rng.uniformInt(scenario.events.size())].atUs += delta;
+      } else {
+        for (ScheduleEvent& event : scenario.events) event.atUs += delta;
+      }
+      break;
+    }
+    case MutationKind::ScheduleSplice: {
+      const Scenario& source = donor != nullptr ? *donor : scenario;
+      if (source.events.empty()) break;
+      const std::size_t begin = rng.uniformInt(source.events.size());
+      const std::size_t count = 1 + rng.uniformInt(source.events.size() - begin);
+      scenario.events.insert(scenario.events.end(), source.events.begin() + begin,
+                             source.events.begin() + begin + count);
+      break;
+    }
+    case MutationKind::AddEvent: {
+      scenario.events.push_back(randomEvent(rng, limits));
+      break;
+    }
+    case MutationKind::DeleteEvent: {
+      if (scenario.events.empty()) break;
+      scenario.events.erase(scenario.events.begin() +
+                            static_cast<std::ptrdiff_t>(rng.uniformInt(scenario.events.size())));
+      break;
+    }
+    case MutationKind::RetargetEvent: {
+      if (scenario.events.empty()) break;
+      ScheduleEvent& event = scenario.events[rng.uniformInt(scenario.events.size())];
+      switch (rng.uniformInt(3)) {
+        case 0:
+          event.node = static_cast<net::NodeId>(1 + rng.uniformInt(limits.nodeCount));
+          break;
+        case 1:
+          event.kind = static_cast<EventKind>(rng.uniformInt(kEventKindCount));
+          break;
+        default:
+          if (event.kind == EventKind::BusCorruption) {
+            event.flipBits.clear();
+            const std::size_t flips = 1 + rng.uniformInt(limits.maxFlipBits);
+            for (std::size_t f = 0; f < flips; ++f) {
+              event.flipBits.push_back(
+                  static_cast<std::uint32_t>(rng.uniformInt(limits.flipBitSpace)));
+            }
+          } else {
+            event.kind = static_cast<EventKind>(rng.uniformInt(kEventKindCount));
+          }
+          break;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* describe(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::ParamNudge: return "param-nudge";
+    case MutationKind::TimeShift: return "time-shift";
+    case MutationKind::ScheduleSplice: return "schedule-splice";
+    case MutationKind::AddEvent: return "add-event";
+    case MutationKind::DeleteEvent: return "delete-event";
+    case MutationKind::RetargetEvent: return "retarget-event";
+  }
+  return "?";
+}
+
+Scenario mutateScenario(util::Rng& rng, const Scenario& base, const Scenario* donor,
+                        const ScenarioLimits& limits) {
+  Scenario scenario = base;
+  const std::size_t rounds = rng.bernoulli(0.25) ? 2 : 1;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto kind = static_cast<MutationKind>(rng.uniformInt(kMutationKindCount));
+    applyOne(rng, scenario, donor, limits, kind);
+  }
+  clampScenario(scenario, limits);
+  return scenario;
+}
+
+}  // namespace nlft::fuzz

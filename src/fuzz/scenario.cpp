@@ -1,0 +1,179 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace nlft::fuzz {
+
+namespace {
+
+[[nodiscard]] std::int64_t clampI64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+[[nodiscard]] double clampD(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+[[nodiscard]] auto eventOrderKey(const ScheduleEvent& e) {
+  return std::make_tuple(e.atUs, e.node, static_cast<std::uint8_t>(e.kind), e.flipBits);
+}
+
+}  // namespace
+
+const char* describe(EventKind kind) {
+  switch (kind) {
+    case EventKind::ComputationFault: return "computation-fault";
+    case EventKind::DetectedError: return "detected-error";
+    case EventKind::KernelError: return "kernel-error";
+    case EventKind::OmissionFailure: return "omission-failure";
+    case EventKind::ValueFailure: return "value-failure";
+    case EventKind::BusCorruption: return "bus-corruption";
+  }
+  return "?";
+}
+
+EventKind parseEventKind(const std::string& name) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == describe(kind)) return kind;
+  }
+  throw std::invalid_argument("parseEventKind: unknown event kind '" + name + "'");
+}
+
+void clampScenario(Scenario& scenario, const ScenarioLimits& limits) {
+  ScenarioParams& p = scenario.params;
+  p.initialSpeedMps = clampD(p.initialSpeedMps, limits.minSpeedMps, limits.maxSpeedMps);
+  p.pedal = clampD(p.pedal, limits.minPedal, limits.maxPedal);
+  p.restartTimeUs = clampI64(p.restartTimeUs, limits.minRestartUs, limits.maxRestartUs);
+
+  if (scenario.events.size() > limits.maxEvents) scenario.events.resize(limits.maxEvents);
+  for (ScheduleEvent& event : scenario.events) {
+    event.node = static_cast<net::NodeId>(
+        1 + (event.node == 0 ? 0 : (event.node - 1) % limits.nodeCount));
+    event.atUs = clampI64(event.atUs, limits.minEventUs, limits.maxEventUs);
+    if (event.kind == EventKind::BusCorruption) {
+      if (event.flipBits.empty()) event.flipBits.push_back(0);
+      if (event.flipBits.size() > limits.maxFlipBits) event.flipBits.resize(limits.maxFlipBits);
+      for (std::uint32_t& bit : event.flipBits) bit %= limits.flipBitSpace;
+      std::sort(event.flipBits.begin(), event.flipBits.end());
+    } else {
+      event.flipBits.clear();
+    }
+  }
+  std::sort(scenario.events.begin(), scenario.events.end(),
+            [](const ScheduleEvent& a, const ScheduleEvent& b) {
+              return eventOrderKey(a) < eventOrderKey(b);
+            });
+}
+
+bool isLegalScenario(const Scenario& scenario, const ScenarioLimits& limits) {
+  Scenario clamped = scenario;
+  clampScenario(clamped, limits);
+  return clamped == scenario;
+}
+
+Scenario randomScenario(util::Rng& rng, const ScenarioLimits& limits) {
+  Scenario scenario;
+  scenario.params.nodeType =
+      rng.bernoulli(0.5) ? bbw::NodeType::Nlft : bbw::NodeType::FailSilent;
+  scenario.params.initialSpeedMps = rng.uniform(limits.minSpeedMps, limits.maxSpeedMps);
+  scenario.params.pedal = rng.uniform(limits.minPedal, limits.maxPedal);
+  scenario.params.restartTimeUs = limits.minRestartUs + static_cast<std::int64_t>(rng.uniformInt(
+      static_cast<std::uint64_t>(limits.maxRestartUs - limits.minRestartUs + 1)));
+
+  const std::size_t count = 1 + rng.uniformInt(3);  // fresh seeds start small
+  for (std::size_t i = 0; i < count; ++i) {
+    ScheduleEvent event;
+    event.kind = static_cast<EventKind>(rng.uniformInt(kEventKindCount));
+    event.node = static_cast<net::NodeId>(1 + rng.uniformInt(limits.nodeCount));
+    event.atUs = limits.minEventUs + static_cast<std::int64_t>(rng.uniformInt(
+        static_cast<std::uint64_t>(limits.maxEventUs - limits.minEventUs + 1)));
+    if (event.kind == EventKind::BusCorruption) {
+      const std::size_t flips = 1 + rng.uniformInt(limits.maxFlipBits);
+      for (std::size_t f = 0; f < flips; ++f) {
+        event.flipBits.push_back(static_cast<std::uint32_t>(rng.uniformInt(limits.flipBitSpace)));
+      }
+    }
+    scenario.events.push_back(std::move(event));
+  }
+  clampScenario(scenario, limits);
+  return scenario;
+}
+
+obs::JsonValue scenarioToJson(const Scenario& scenario) {
+  obs::JsonValue params = obs::JsonValue::object();
+  params.set("node_type", obs::JsonValue::string(
+      scenario.params.nodeType == bbw::NodeType::Nlft ? "nlft" : "fail-silent"));
+  params.set("initial_speed_mps", obs::JsonValue::number(scenario.params.initialSpeedMps));
+  params.set("pedal", obs::JsonValue::number(scenario.params.pedal));
+  params.set("restart_time_us", obs::JsonValue::integer(scenario.params.restartTimeUs));
+
+  obs::JsonValue events = obs::JsonValue::array();
+  for (const ScheduleEvent& event : scenario.events) {
+    obs::JsonValue e = obs::JsonValue::object();
+    e.set("kind", obs::JsonValue::string(describe(event.kind)));
+    e.set("node", obs::JsonValue::integer(static_cast<std::int64_t>(event.node)));
+    e.set("at_us", obs::JsonValue::integer(event.atUs));
+    if (!event.flipBits.empty()) {
+      obs::JsonValue bits = obs::JsonValue::array();
+      for (const std::uint32_t bit : event.flipBits) {
+        bits.push(obs::JsonValue::integer(static_cast<std::int64_t>(bit)));
+      }
+      e.set("flip_bits", std::move(bits));
+    }
+    events.push(std::move(e));
+  }
+
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("params", std::move(params));
+  root.set("events", std::move(events));
+  return root;
+}
+
+Scenario scenarioFromJson(const obs::JsonValue& json) {
+  if (json.kind() != obs::JsonValue::Kind::Object || !json.has("params") ||
+      !json.has("events")) {
+    throw std::runtime_error("scenarioFromJson: expected {params, events}");
+  }
+  Scenario scenario;
+  const obs::JsonValue& params = json.get("params");
+  const std::string nodeType = params.get("node_type").asString();
+  if (nodeType == "nlft") {
+    scenario.params.nodeType = bbw::NodeType::Nlft;
+  } else if (nodeType == "fail-silent") {
+    scenario.params.nodeType = bbw::NodeType::FailSilent;
+  } else {
+    throw std::runtime_error("scenarioFromJson: unknown node_type '" + nodeType + "'");
+  }
+  scenario.params.initialSpeedMps = params.get("initial_speed_mps").asDouble();
+  scenario.params.pedal = params.get("pedal").asDouble();
+  scenario.params.restartTimeUs = params.get("restart_time_us").asInt();
+
+  const obs::JsonValue& events = json.get("events");
+  if (events.kind() != obs::JsonValue::Kind::Array) {
+    throw std::runtime_error("scenarioFromJson: events must be an array");
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::JsonValue& e = events.at(i);
+    ScheduleEvent event;
+    event.kind = parseEventKind(e.get("kind").asString());
+    event.node = static_cast<net::NodeId>(e.get("node").asInt());
+    event.atUs = e.get("at_us").asInt();
+    if (e.has("flip_bits")) {
+      const obs::JsonValue& bits = e.get("flip_bits");
+      for (std::size_t b = 0; b < bits.size(); ++b) {
+        event.flipBits.push_back(static_cast<std::uint32_t>(bits.at(b).asInt()));
+      }
+    }
+    scenario.events.push_back(std::move(event));
+  }
+  if (!isLegalScenario(scenario)) {
+    throw std::runtime_error("scenarioFromJson: scenario outside the legal ranges "
+                             "(re-canonicalise with clampScenario)");
+  }
+  return scenario;
+}
+
+}  // namespace nlft::fuzz

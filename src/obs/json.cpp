@@ -358,22 +358,32 @@ class Parser {
     }
   }
 
-  JsonValue parseNumber() {
+  /// Consumes one or more digits; fails when none are present.
+  void consumeDigits() {
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == start) fail("bad number");
+  }
+
+  JsonValue parseNumber() {
+    // Full JSON number grammar: -?int(.frac)?([eE][+-]?exp)? — anything
+    // looser (doubled signs, bare dots, "1e") would rely on strtod's
+    // undefined leniency and parse garbage as 0.
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    consumeDigits();
     bool isInteger = true;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        isInteger = false;
-        ++pos_;
-      } else {
-        break;
-      }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      isInteger = false;
+      ++pos_;
+      consumeDigits();
     }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      isInteger = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      consumeDigits();
+    }
     const std::string token = text_.substr(start, pos_ - start);
     if (isInteger) {
       try {

@@ -1,9 +1,21 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace nlft::obs {
+
+namespace {
+
+/// Renders a spec's bin edges for mismatch diagnostics: "[lo, hi) / N bins".
+std::string describeSpec(const HistogramSpec& spec) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "[%g, %g) / %zu bins", spec.lo, spec.hi, spec.buckets);
+  return buffer;
+}
+
+}  // namespace
 
 bool isNonGoldenMetric(const std::string& name) {
   return name.rfind(kNonGoldenPrefix, 0) == 0;
@@ -63,7 +75,9 @@ void Registry::observe(const std::string& name, const HistogramSpec& spec, doubl
     state.spec = spec;
     state.counts.assign(spec.buckets, 0);
   } else if (!(state.spec == spec)) {
-    throw std::invalid_argument("Registry::observe: histogram spec mismatch for " + name);
+    throw std::invalid_argument("Registry::observe: histogram spec mismatch for " + name +
+                                ": registered " + describeSpec(state.spec) + " vs observed " +
+                                describeSpec(spec));
   }
   const double clamped = std::min(std::max(value, spec.lo), spec.hi);
   const double width = (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
@@ -139,7 +153,9 @@ void Registry::merge(const Registry& other) {
     if (inserted) continue;
     HistogramState& mine = it->second;
     if (!(mine.spec == theirs.spec)) {
-      throw std::invalid_argument("Registry::merge: histogram spec mismatch for " + name);
+      throw std::invalid_argument("Registry::merge: histogram spec mismatch for " + name +
+                                  ": ours " + describeSpec(mine.spec) + " vs theirs " +
+                                  describeSpec(theirs.spec));
     }
     for (std::size_t b = 0; b < mine.counts.size(); ++b) mine.counts[b] += theirs.counts[b];
     mine.total += theirs.total;

@@ -1,7 +1,9 @@
 #include "util/statistics.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace nlft::util {
 
@@ -204,8 +206,13 @@ void Histogram::add(double x) {
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size())
-    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    char detail[128];
+    std::snprintf(detail, sizeof detail,
+                  ": ours [%g, %g) / %zu bins vs theirs [%g, %g) / %zu bins", lo_, hi_,
+                  counts_.size(), other.lo_, other.hi_, other.counts_.size());
+    throw std::invalid_argument(std::string{"Histogram::merge: incompatible layout"} + detail);
+  }
   for (std::size_t bin = 0; bin < counts_.size(); ++bin) counts_[bin] += other.counts_[bin];
   total_ += other.total_;
 }

@@ -1,0 +1,228 @@
+// Unit tests of the fuzzer's building blocks: scenario canonicalisation and
+// JSON round-trip, mutation legality, signature determinism, corpus novelty
+// gating and the shrinker on synthetic predicates (no simulation involved —
+// the sim-backed oracles are covered by fuzz_engine_test).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "util/rng.hpp"
+
+namespace nlft::fuzz {
+namespace {
+
+TEST(FuzzScenario, ClampCanonicalisesOrderAndRanges) {
+  Scenario scenario;
+  scenario.params.initialSpeedMps = 500.0;  // out of range
+  scenario.params.pedal = -1.0;
+  scenario.params.restartTimeUs = 0;
+  ScheduleEvent late;
+  late.kind = EventKind::KernelError;
+  late.node = 99;  // wraps into 1..6
+  late.atUs = 99'000'000;
+  ScheduleEvent early;
+  early.kind = EventKind::BusCorruption;
+  early.node = 2;
+  early.atUs = 1;  // below minEventUs
+  early.flipBits = {1000, 3, 3000};  // out of bit space, unsorted
+  scenario.events = {late, early};
+
+  clampScenario(scenario);
+  const ScenarioLimits limits;
+  EXPECT_EQ(scenario.params.initialSpeedMps, limits.maxSpeedMps);
+  EXPECT_EQ(scenario.params.pedal, limits.minPedal);
+  EXPECT_EQ(scenario.params.restartTimeUs, limits.minRestartUs);
+  ASSERT_EQ(scenario.events.size(), 2u);
+  // Canonical order is by time: the clamped "early" event comes first.
+  EXPECT_EQ(scenario.events[0].kind, EventKind::BusCorruption);
+  EXPECT_EQ(scenario.events[0].atUs, limits.minEventUs);
+  for (const std::uint32_t bit : scenario.events[0].flipBits) {
+    EXPECT_LT(bit, limits.flipBitSpace);
+  }
+  EXPECT_TRUE(std::is_sorted(scenario.events[0].flipBits.begin(),
+                             scenario.events[0].flipBits.end()));
+  EXPECT_EQ(scenario.events[1].atUs, limits.maxEventUs);
+  EXPECT_GE(scenario.events[1].node, 1u);
+  EXPECT_LE(scenario.events[1].node, limits.nodeCount);
+  // Non-bus events carry no flip bits.
+  EXPECT_TRUE(scenario.events[1].flipBits.empty());
+  EXPECT_TRUE(isLegalScenario(scenario));
+}
+
+TEST(FuzzScenario, JsonRoundTripIsExact) {
+  util::Rng rng{42};
+  for (int i = 0; i < 200; ++i) {
+    const Scenario scenario = randomScenario(rng);
+    const Scenario back = scenarioFromJson(scenarioToJson(scenario));
+    EXPECT_EQ(scenario, back);
+    // And the encoding itself is deterministic.
+    EXPECT_EQ(scenarioToJson(scenario).dump(), scenarioToJson(back).dump());
+  }
+}
+
+TEST(FuzzScenario, FromJsonRejectsIllegalAndMalformed) {
+  EXPECT_THROW((void)scenarioFromJson(obs::parseJson("{}")), std::runtime_error);
+  EXPECT_THROW((void)scenarioFromJson(obs::parseJson(
+                   R"({"params":{"node_type":"magic","initial_speed_mps":20,)"
+                   R"("pedal":1,"restart_time_us":2000000},"events":[]})")),
+               std::runtime_error);
+  // Legal JSON but out-of-range speed: rejected, not silently clamped.
+  EXPECT_THROW((void)scenarioFromJson(obs::parseJson(
+                   R"({"params":{"node_type":"nlft","initial_speed_mps":900,)"
+                   R"("pedal":1,"restart_time_us":2000000},"events":[]})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseEventKind("definitely-not-a-kind"), std::invalid_argument);
+}
+
+TEST(FuzzMutate, MutantsAreAlwaysLegalAndUsuallyDifferent) {
+  util::Rng rng{7};
+  std::size_t changed = 0;
+  const Scenario base = randomScenario(rng);
+  const Scenario donor = randomScenario(rng);
+  for (int i = 0; i < 500; ++i) {
+    const Scenario mutant = mutateScenario(rng, base, &donor);
+    EXPECT_TRUE(isLegalScenario(mutant));
+    if (!(mutant == base)) ++changed;
+  }
+  // Some operators no-op on some draws (e.g. deleting from a short
+  // schedule), but the vast majority of mutants must differ.
+  EXPECT_GT(changed, 400u);
+}
+
+TEST(FuzzMutate, DeterministicForFixedSeed) {
+  util::Rng a{99};
+  util::Rng b{99};
+  const Scenario base = randomScenario(a);
+  const Scenario baseB = randomScenario(b);
+  ASSERT_EQ(base, baseB);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(mutateScenario(a, base), mutateScenario(b, baseB));
+  }
+}
+
+TEST(FuzzSignature, CanonicalFormIsStableAndKeyed) {
+  ScenarioSignature sig;
+  sig.outcome = "masked";
+  sig.nodeType = "nlft";
+  sig.stopped = true;
+  sig.distanceBucket = 1;
+  sig.eventKindBuckets[2] = 2;
+  const std::string canonical = sig.canonical();
+  EXPECT_EQ(canonical, "masked|nlft|stopped|d1|o0|b0|down0|-|-|-|ev002000");
+  EXPECT_EQ(sig.key(), sig.key());
+  ScenarioSignature other = sig;
+  other.masking = true;
+  EXPECT_NE(other.canonical(), canonical);
+  EXPECT_NE(other.key(), sig.key());
+}
+
+TEST(FuzzCorpus, NoveltyMapAdmitsEachSignatureOnce) {
+  Corpus corpus;
+  CorpusEntry entry;
+  entry.signature = "masked|nlft|stopped";
+  entry.key = 17;
+  EXPECT_TRUE(corpus.addIfNovel(entry));
+  EXPECT_FALSE(corpus.addIfNovel(entry));
+  entry.key = 18;
+  EXPECT_TRUE(corpus.addIfNovel(entry));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_TRUE(corpus.seen(17));
+  EXPECT_FALSE(corpus.seen(99));
+}
+
+TEST(FuzzCorpus, EntryJsonRoundTripKeepsExpectations) {
+  util::Rng rng{5};
+  CorpusEntry entry;
+  entry.scenario = randomScenario(rng);
+  entry.outcome = "omission-degradation";
+  entry.signature = "omission-degradation|nlft|stopped|d1|o1|b0|down0|-|-|-|ev100000";
+  entry.expectedViolations = {"diff.e2e-bound"};
+  const CorpusEntry back = corpusEntryFromJson(corpusEntryToJson(entry));
+  EXPECT_EQ(back.scenario, entry.scenario);
+  EXPECT_EQ(back.outcome, entry.outcome);
+  EXPECT_EQ(back.signature, entry.signature);
+  EXPECT_EQ(back.expectedViolations, entry.expectedViolations);
+  EXPECT_NE(back.key, 0u);  // recomputed from the signature
+  EXPECT_THROW((void)corpusEntryFromJson(obs::parseJson(R"({"format":"v999"})")),
+               std::runtime_error);
+}
+
+TEST(FuzzShrink, DeletesEveryIrrelevantEvent) {
+  // Predicate: "fails" iff the schedule contains a kernel error on node 1.
+  const auto stillFails = [](const Scenario& scenario) {
+    for (const ScheduleEvent& event : scenario.events) {
+      if (event.kind == EventKind::KernelError && event.node == 1) return true;
+    }
+    return false;
+  };
+
+  util::Rng rng{11};
+  Scenario noisy = randomScenario(rng);
+  noisy.events.clear();
+  for (int i = 0; i < 7; ++i) {
+    ScheduleEvent filler;
+    filler.kind = EventKind::OmissionFailure;
+    filler.node = static_cast<net::NodeId>(2 + (i % 5));
+    filler.atUs = 200'000 + 100'000 * i;
+    noisy.events.push_back(filler);
+  }
+  ScheduleEvent culprit;
+  culprit.kind = EventKind::KernelError;
+  culprit.node = 1;
+  culprit.atUs = 700'000;
+  noisy.events.push_back(culprit);
+  clampScenario(noisy);
+  ASSERT_TRUE(stillFails(noisy));
+
+  const ShrinkResult result = shrinkScenario(noisy, stillFails);
+  ASSERT_EQ(result.scenario.events.size(), 1u);
+  EXPECT_EQ(result.scenario.events[0].kind, EventKind::KernelError);
+  EXPECT_EQ(result.scenario.events[0].node, 1u);
+  EXPECT_EQ(result.removedEvents, 7u);
+  // Parameter bisection pulled the deployment back to the defaults and time
+  // bisection normalised the injection instant (neither affects this
+  // predicate, so both collapse fully).
+  EXPECT_EQ(result.scenario.params, ScenarioParams{});
+  EXPECT_EQ(result.scenario.events[0].atUs, ScenarioLimits{}.minEventUs);
+}
+
+TEST(FuzzShrink, ReturnsSeedWhenPredicateDoesNotFail) {
+  util::Rng rng{3};
+  const Scenario seed = randomScenario(rng);
+  const ShrinkResult result =
+      shrinkScenario(seed, [](const Scenario&) { return false; });
+  EXPECT_EQ(result.scenario, seed);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(FuzzShrink, RespectsEvaluationBudget) {
+  util::Rng rng{13};
+  Scenario big = randomScenario(rng);
+  while (big.events.size() < 8) {
+    ScheduleEvent extra;
+    extra.kind = EventKind::DetectedError;
+    extra.node = 3;
+    extra.atUs = 500'000 + static_cast<std::int64_t>(big.events.size()) * 100'000;
+    big.events.push_back(extra);
+  }
+  clampScenario(big);
+  std::size_t calls = 0;
+  const ShrinkResult result = shrinkScenario(
+      big,
+      [&calls](const Scenario&) {
+        ++calls;
+        return true;  // everything "fails": worst case for the search
+      },
+      {}, 25);
+  EXPECT_LE(result.evaluations, 26u);  // budget + the initial probe
+  EXPECT_LE(calls, 26u);
+}
+
+}  // namespace
+}  // namespace nlft::fuzz

@@ -183,6 +183,39 @@ TEST(ObsMetrics, SelfMergeThrows) {
   EXPECT_THROW(registry.merge(registry), std::invalid_argument);
 }
 
+TEST(ObsMetrics, MismatchedHistogramSpecsAreRejectedWithBothLayouts) {
+  Registry a;
+  a.observe("e2e.latency", HistogramSpec{0.0, 50000.0, 50}, 100.0);
+  Registry b;
+  b.observe("e2e.latency", HistogramSpec{0.0, 25000.0, 40}, 100.0);
+
+  // merge(): the diagnostic must carry the metric name and BOTH bin-edge
+  // layouts — a silent merge of mismatched edges would corrupt every
+  // percentile downstream.
+  try {
+    a.merge(b);
+    FAIL() << "merge of mismatched specs did not throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("e2e.latency"), std::string::npos) << message;
+    EXPECT_NE(message.find("[0, 50000) / 50 bins"), std::string::npos) << message;
+    EXPECT_NE(message.find("[0, 25000) / 40 bins"), std::string::npos) << message;
+  }
+
+  // observe() with a drifted spec on an existing histogram: same contract.
+  try {
+    a.observe("e2e.latency", HistogramSpec{0.0, 50000.0, 25}, 1.0);
+    FAIL() << "observe with mismatched spec did not throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("registered [0, 50000) / 50 bins"), std::string::npos) << message;
+    EXPECT_NE(message.find("observed [0, 50000) / 25 bins"), std::string::npos) << message;
+  }
+
+  // The failed merge must not have corrupted the target.
+  EXPECT_EQ(a.histogram("e2e.latency").total, 1u);
+}
+
 TEST(ObsMetrics, GoldenFingerprintExcludesWallMetrics) {
   Registry a;
   a.add("tem.jobs", 10);

@@ -14,6 +14,7 @@
 
 #include "bbw/system_sim.hpp"
 #include "verify/bbw_configs.hpp"
+#include "verify/holistic.hpp"
 
 namespace nlft::verify {
 namespace {
@@ -206,6 +207,116 @@ TEST(VerifyMutation, DivergedReplicaTaskSetsDetected) {
       Duration::microseconds(500);
   const Report report = verifyConfiguration(config);
   EXPECT_FALSE(report.byCheck("deploy.replica-divergence").empty()) << report.format();
+}
+
+// --- Degraded-mode paths of the holistic end-to-end analysis -------------
+//
+// The 13 seeded mutations above exercise the fault-free checks; the tests
+// below cover the single-replica-loss branch of checkEndToEnd (zero-slack
+// boundary, unbounded survivor) and the bus-phase wraparound term of the
+// composed bound.
+
+TEST(VerifyDegraded, ZeroSlackSingleReplicaLossSitsExactlyOnTheDeadline) {
+  SystemConfig config = bbwNlftConfig();
+  const Report base = verifyConfiguration(config);
+  const obs::JsonValue& e2e = base.certificates.get("e2e");
+  const std::int64_t full = e2e.get("pedal_to_apply_us").asInt();
+  const obs::JsonValue& degraded = e2e.get("degraded_pedal_to_apply_us");
+  std::int64_t worstDegraded = 0;
+  for (const auto& [cu, latency] : degraded.members()) {
+    worstDegraded = std::max(worstDegraded, latency.asInt());
+  }
+  // The symmetric duplex loses nothing analytically when one replica dies:
+  // the FT-RTA response of the survivor IS the full-chain worst case, so
+  // the degraded latency equals the full bound — zero slack between them.
+  ASSERT_EQ(degraded.members().size(), 2u);
+  EXPECT_EQ(worstDegraded, full);
+
+  // Deadline exactly at the degraded bound: zero slack, still certified
+  // (the checks are strict-exceed), no e2e.degraded or e2e.deadline error.
+  config.vehicleBrakeDeadline = Duration::microseconds(worstDegraded);
+  const Report zeroSlack = verifyConfiguration(config);
+  EXPECT_TRUE(zeroSlack.passed()) << zeroSlack.format();
+  EXPECT_TRUE(zeroSlack.byCheck("e2e.degraded").empty()) << zeroSlack.format();
+  // 100% of the budget consumed: the margin warning must flag it.
+  EXPECT_FALSE(zeroSlack.byCheck("e2e.margin").empty()) << zeroSlack.format();
+
+  // One microsecond less and the degraded mode (and with it the full chain,
+  // since they coincide here) busts the deadline.
+  config.vehicleBrakeDeadline = Duration::microseconds(worstDegraded - 1);
+  const Report busted = verifyConfiguration(config);
+  EXPECT_FALSE(busted.passed());
+  EXPECT_FALSE(busted.byCheck("e2e.degraded").empty()) << busted.format();
+  EXPECT_FALSE(busted.byCheck("e2e.deadline").empty()) << busted.format();
+  // Both single-CU-loss modes are past the deadline.
+  EXPECT_EQ(busted.byCheck("e2e.degraded").size(), 2u) << busted.format();
+}
+
+TEST(VerifyDegraded, ReplicaLossLeavingNoProducerIsUnboundedNotSilent) {
+  // Asymmetric deployment: only CU-A still carries the producer task. The
+  // FULL chain remains bounded (CU-A closes it), but losing CU-A leaves no
+  // producer anywhere — the degraded check must refuse to certify rather
+  // than skip the mode.
+  SystemConfig config = bbwNlftConfig();
+  for (NodeSpec& node : config.nodes) {
+    if (node.id != bbw::kCuB) continue;
+    std::erase_if(node.tasks,
+                  [&](const TaskSpec& task) { return task.name == config.producerTask; });
+  }
+  const Report report = verifyConfiguration(config);
+  EXPECT_FALSE(report.passed());
+  // The full chain kept its bound, so this is NOT the e2e.unbounded path.
+  EXPECT_TRUE(report.byCheck("e2e.unbounded").empty()) << report.format();
+  bool unboundedDegraded = false;
+  for (const Finding& finding : report.byCheck("e2e.degraded")) {
+    unboundedDegraded =
+        unboundedDegraded ||
+        finding.message.find("leaves no bounded") != std::string::npos;
+  }
+  EXPECT_TRUE(unboundedDegraded) << report.format();
+}
+
+TEST(VerifyDegraded, BusPhasingCoversTheWraparoundAtTheFrameBoundary) {
+  const SystemConfig config = bbwNlftConfig();
+  const auto bound = computeEndToEndBound(config);
+  ASSERT_TRUE(bound.has_value());
+  const std::int64_t cycleUs = config.cycleLength().us();
+  const std::int64_t slotUs = config.bus.slotLength.us();
+  ASSERT_GT(cycleUs, 0);
+  EXPECT_EQ(bound->busPhasing.us(), cycleUs + slotUs);
+
+  // First static slot owned by CU-A within the cycle.
+  std::int64_t slotStartUs = -1;
+  for (std::size_t s = 0; s < config.bus.staticSchedule.size(); ++s) {
+    if (config.bus.staticSchedule[s] == bbw::kCuA) {
+      slotStartUs = static_cast<std::int64_t>(s) * slotUs;
+      break;
+    }
+  }
+  ASSERT_GE(slotStartUs, 0);
+
+  // Sweep the command-ready instant over two full cycles (so the phase
+  // wraps the frame boundary at least once): a command ready at phase r is
+  // transmitted in the first owned slot starting STRICTLY after r and is
+  // on the wire for the whole slot.
+  std::int64_t worstUs = 0;
+  std::int64_t worstPhaseUs = -1;
+  for (std::int64_t readyUs = 0; readyUs < 2 * cycleUs; ++readyUs) {
+    std::int64_t startUs = slotStartUs;
+    while (startUs <= readyUs) startUs += cycleUs;
+    const std::int64_t latencyUs = startUs + slotUs - readyUs;
+    EXPECT_LE(latencyUs, bound->busPhasing.us()) << "ready at " << readyUs;
+    if (latencyUs > worstUs) {
+      worstUs = latencyUs;
+      worstPhaseUs = readyUs % cycleUs;
+    }
+  }
+  // The bound is TIGHT, and the worst case is a command that becomes ready
+  // exactly at its slot's start — it misses the frame and wraps the whole
+  // cycle. A bound computed without the wraparound term (slot only, or
+  // cycle only) would be refuted by this sweep.
+  EXPECT_EQ(worstUs, cycleUs + slotUs);
+  EXPECT_EQ(worstPhaseUs, slotStartUs);
 }
 
 }  // namespace

@@ -49,6 +49,32 @@ for build in build build-cov build-asan build-tsan; do
   fi
 done
 
+# Fuzzer-replay determinism: replaying a checked-in corpus case twice must
+# print byte-identical reports (the replay path exercises the simulator, the
+# oracles and the signature fingerprint end to end — any divergence means a
+# nondeterminism crept into the scenario pipeline). Skipped on a fresh
+# checkout, like the trace check above.
+for build in build build-cov build-asan build-tsan; do
+  exe="$build/tools/nlft-fuzz"
+  if [ -x "$exe" ]; then
+    case=$(ls tests/corpus/case-*.json 2>/dev/null | head -n 1)
+    if [ -n "$case" ]; then
+      a=$("$exe" --replay "$case" 2>&1)
+      rc_a=$?
+      b=$("$exe" --replay "$case" 2>&1)
+      rc_b=$?
+      if [ "$rc_a" -eq 0 ] && [ "$rc_b" -eq 0 ] && [ "$a" = "$b" ]; then
+        echo "determinism lint: nlft-fuzz --replay byte-identical ($exe)"
+      else
+        echo "determinism lint: nlft-fuzz --replay diverged or failed ($exe, $case)" >&2
+        echo "$a" >&2
+        status=1
+      fi
+    fi
+    break
+  fi
+done
+
 # Static-verifier determinism: two nlft-verify --json runs over the full
 # configuration registry must produce byte-identical reports (src/verify is
 # pure analysis — any divergence means ambient state leaked in). Skipped on
