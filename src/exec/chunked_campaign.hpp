@@ -59,6 +59,23 @@ struct ChunkedCampaignResult {
   bool stoppedEarly = false;
 };
 
+/// Placeholder context for campaigns that need no per-chunk state.
+struct NoChunkContext {};
+
+/// Optional per-chunk lifecycle hooks. `setup(chunkIndex)` builds a
+/// chunk-private context before the chunk's first experiment (e.g. the
+/// snapshot cache and fast-forwarded baseline of a copy-on-inject
+/// campaign); `teardown(ctx, stats)` runs after the chunk's last experiment,
+/// INSIDE the worker and BEFORE the chunk is merged, so deferred work it
+/// performs (and any counters it folds into `stats`) still lands in the
+/// deterministic chunk-order merge. Empty hooks default-construct the
+/// context and skip teardown.
+template <typename Stats, typename Ctx>
+struct ChunkHooks {
+  std::function<Ctx(std::size_t chunkIndex)> setup;
+  std::function<void(Ctx& ctx, Stats& stats)> teardown;
+};
+
 /// Runs `experiments` seeded experiments chunk by chunk, merging chunk-local
 /// statistics in chunk order, with optional sequential early stopping.
 ///
@@ -75,12 +92,18 @@ struct ChunkedCampaignResult {
 /// every thread count even when workers speculate past the stop boundary)
 /// plus non-golden "wall." metrics (per-chunk wall-time histogram,
 /// throughput, worker utilization — these do include speculative work).
-template <typename Stats, typename RunOne>
-ChunkedCampaignResult<Stats> runStoppableChunkedCampaign(
+/// The hooked core: like runStoppableChunkedCampaign (below), but each chunk
+/// owns a `Ctx` built by `hooks.setup` and finalized by `hooks.teardown`,
+/// and `runOne(rng, stats, ctx)` receives it. A campaign that samples into
+/// the context during runOne and executes the (sorted) batch in teardown
+/// keeps the RNG stream AND the merged statistics bit-identical to the
+/// unhooked per-experiment execution at every thread count.
+template <typename Stats, typename Ctx, typename RunOne>
+ChunkedCampaignResult<Stats> runStoppableChunkedCampaignWithHooks(
     std::size_t experiments, std::uint64_t seed, const Parallelism& parallelism,
-    const char* what, RunOne runOne, const EarlyStopRule<Stats>& stop = {},
-    CancellationToken* cancel = nullptr, const ProgressFn& onProgress = {},
-    obs::Registry* profile = nullptr) {
+    const char* what, RunOne runOne, const ChunkHooks<Stats, Ctx>& hooks,
+    const EarlyStopRule<Stats>& stop = {}, CancellationToken* cancel = nullptr,
+    const ProgressFn& onProgress = {}, obs::Registry* profile = nullptr) {
   const std::size_t chunkSize = parallelism.resolvedChunkSize(experiments);
   const std::size_t chunks = chunkCount(experiments, chunkSize);
   util::Rng root{seed};
@@ -122,7 +145,9 @@ ChunkedCampaignResult<Stats> runStoppableChunkedCampaign(
         util::Rng rng = chunkRngs[range.index];
         Stats& stats = accumulators[range.index];
         stats.experiments = range.end - range.begin;
-        for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats);
+        Ctx ctx = hooks.setup ? hooks.setup(range.index) : Ctx{};
+        for (std::size_t i = range.begin; i < range.end; ++i) runOne(rng, stats, ctx);
+        if (hooks.teardown) hooks.teardown(ctx, stats);
         if (profile != nullptr) {
           const double seconds = chunkClock.elapsedSeconds();
           busySeconds.fetch_add(seconds, std::memory_order_relaxed);
@@ -188,6 +213,21 @@ ChunkedCampaignResult<Stats> runStoppableChunkedCampaign(
     }
   }
   return result;
+}
+
+/// Hook-free wrapper: `runOne(rng, stats)` with no per-chunk context. This
+/// is the entry point documented at the top of the file; the contract notes
+/// on Stats, cancellation and profiling live here.
+template <typename Stats, typename RunOne>
+ChunkedCampaignResult<Stats> runStoppableChunkedCampaign(
+    std::size_t experiments, std::uint64_t seed, const Parallelism& parallelism,
+    const char* what, RunOne runOne, const EarlyStopRule<Stats>& stop = {},
+    CancellationToken* cancel = nullptr, const ProgressFn& onProgress = {},
+    obs::Registry* profile = nullptr) {
+  return runStoppableChunkedCampaignWithHooks<Stats, NoChunkContext>(
+      experiments, seed, parallelism, what,
+      [&runOne](util::Rng& rng, Stats& stats, NoChunkContext&) { runOne(rng, stats); },
+      ChunkHooks<Stats, NoChunkContext>{}, stop, cancel, onProgress, profile);
 }
 
 /// Runs `experiments` seeded experiments chunk by chunk and merges the

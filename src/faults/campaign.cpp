@@ -1,11 +1,16 @@
 #include "faults/campaign.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
 #include "core/result.hpp"
 #include "exec/chunked_campaign.hpp"
+#include "faults/snapshot_exec.hpp"
+#include "obs/metrics.hpp"
+#include "snap/cache.hpp"
+#include "util/time.hpp"
 
 namespace nlft::fi {
 
@@ -154,10 +159,166 @@ void countMechanism(DetectionMechanismCounts* counts, const CopyRun& run) {
   }
 }
 
-TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
-                       const ExperimentFault& fault, double jobBudgetFactor,
-                       DetectionMechanismCounts* mechanisms = nullptr) {
+/// Straight copy source: one fresh machine per experiment, every copy
+/// executed in full. This IS the original execution path — the snapshot
+/// engine below must be indistinguishable from it.
+class StraightSource {
+ public:
+  StraightSource(const TaskImage& image, const ExperimentFault& fault, SnapCounters* snap)
+      : image_(image), fault_(fault), snap_(snap), machine_(makeMachine(image)) {}
+
+  CopyRun runCopy(int copy) {
+    const bool faultHere = fault_.targetCopy == copy;
+    CopyRun run = runCopyWithInjection(machine_, image_, fault_.afterInstructions,
+                                       faultHere ? fault_.locations : std::vector<FaultLocation>{});
+    if (snap_ != nullptr) {
+      snap_->simulatedCycles += run.instructions;
+      ++snap_->executedCopies;
+    }
+    return run;
+  }
+
+  [[nodiscard]] bool eccCorrected() const { return machine_.memory().correctedErrors() > 0; }
+
+ private:
+  const TaskImage& image_;
+  const ExperimentFault& fault_;
+  SnapCounters* snap_;
+  hw::Machine machine_;
+};
+
+[[nodiscard]] bool copyRunsEqual(const CopyRun& a, const CopyRun& b) {
+  return a.end == b.end && a.exception == b.exception && a.output == b.output &&
+         a.instructions == b.instructions;
+}
+
+/// Snapshot execution plan for one (image, golden) pair. Built once per
+/// campaign by the clean-fixed-point protocol (docs/SNAPSHOT.md): two clean
+/// copies are executed back to back on one machine and must reproduce the
+/// golden run byte for byte, with the post-reset behavior digest reaching a
+/// fixed point. Only then may the engine (a) replay clean copies without
+/// executing them and (b) fork faulted copy >= 2 from the fixed-point start
+/// state. Images that fail any check run straight (snap.straightFallbacks).
+struct TemSnapshotPlan {
+  bool supported = false;
+  CopyRun cleanRun;               ///< byte-equal to the golden run (verified)
+  std::uint64_t cleanDigest = 0;  ///< behaviorDigest of the post-reset fixed point
+  hw::Machine startMachine1;      ///< fresh machine, context reset (copy-1 band)
+  hw::Machine startMachine2;      ///< after one clean copy + reset (copy->=2 band)
+  std::vector<std::uint8_t> startBlob1;  ///< serialized startMachine1 (round-trip checked)
+  std::vector<std::uint8_t> startBlob2;  ///< serialized startMachine2 (round-trip checked)
+  std::uint64_t planInstructions = 0;    ///< verification cycles (charged to snap mode)
+};
+
+TemSnapshotPlan buildTemSnapshotPlan(const TaskImage& image, const CopyRun& golden) {
+  TemSnapshotPlan plan;
   hw::Machine machine = makeMachine(image);
+  resetContext(machine, image);
+  plan.startMachine1 = machine;
+  plan.startBlob1 = machine.saveState();
+  const CopyRun first = runCopyWithInjection(machine, image, 0, {});
+  plan.planInstructions += first.instructions;
+  if (!copyRunsEqual(first, golden)) return plan;
+  resetContext(machine, image);
+  plan.startMachine2 = machine;
+  plan.startBlob2 = machine.saveState();
+  plan.cleanDigest = behaviorDigest(machine);
+  const CopyRun second = runCopyWithInjection(machine, image, 0, {});
+  plan.planInstructions += second.instructions;
+  if (!copyRunsEqual(second, first)) return plan;
+  resetContext(machine, image);
+  if (behaviorDigest(machine) != plan.cleanDigest) return plan;
+  // The serialized start states must round-trip to the exact live state —
+  // this pins the snapshot format against the campaign engine on every
+  // campaign, not only in the dedicated round-trip tests.
+  hw::Machine roundTrip;
+  roundTrip.restoreState(plan.startBlob2);
+  if (behaviorDigest(roundTrip) != plan.cleanDigest) return plan;
+  plan.cleanRun = first;
+  plan.supported = true;
+  return plan;
+}
+
+/// Copy-on-inject source: the faulted copy forks from the band baseline at
+/// the injection instant; clean copies before the fault replay the verified
+/// clean run at zero cost; copies after the fault replay it only when the
+/// post-reset machine digests back to the clean fixed point, and execute
+/// for real otherwise (conservative: any residual fault effect — latent
+/// memory upsets, stuck-at faults, ECC counter changes — forces execution).
+class SnapshotSource {
+ public:
+  SnapshotSource(const TaskImage& image, const TemSnapshotPlan& plan,
+                 const ExperimentFault& fault, MachineBaseline& band1, MachineBaseline& band2,
+                 hw::Machine& scratch, SnapCounters& snap)
+      : image_(image),
+        plan_(plan),
+        fault_(fault),
+        band1_(band1),
+        band2_(band2),
+        scratch_(scratch),
+        snap_(snap) {}
+
+  CopyRun runCopy(int copy) {
+    const std::uint64_t budget = image_.maxInstructionsPerCopy;
+    if (copy == fault_.targetCopy) {
+      MachineBaseline& band = copy == 1 ? band1_ : band2_;
+      band.forkAt(fault_.afterInstructions, scratch_);
+      for (const FaultLocation& location : fault_.locations) inject(scratch_, location);
+      const hw::RunResult phase2 = scratch_.run(budget - fault_.afterInstructions);
+      snap_.simulatedCycles += phase2.executedInstructions;
+      ++snap_.executedCopies;
+      faulted_ = true;
+      return finishRun(scratch_, image_, phase2, fault_.afterInstructions);
+    }
+    if (!faulted_) {
+      // Clean copy before the fault: the machine is at the verified fixed
+      // point, so the copy reproduces the clean run without executing.
+      ++snap_.replayedCopies;
+      return plan_.cleanRun;
+    }
+    // Copy after the faulted one: the kernel's context reset may or may not
+    // return the machine to the clean fixed point.
+    resetContext(scratch_, image_);
+    if (behaviorDigest(scratch_) == plan_.cleanDigest) {
+      faulted_ = false;  // back at the fixed point; later copies stay clean
+      recovered_ = true;
+      ++snap_.replayedCopies;
+      return plan_.cleanRun;
+    }
+    const hw::RunResult run = scratch_.run(budget);
+    snap_.simulatedCycles += run.executedInstructions;
+    ++snap_.executedCopies;
+    return finishRun(scratch_, image_, run, 0);
+  }
+
+  [[nodiscard]] bool eccCorrected() const {
+    // The scratch machine is shared across the chunk's experiments; only
+    // consult it when THIS experiment executed something on it.
+    return faultedEver() && scratch_.memory().correctedErrors() > 0;
+  }
+
+ private:
+  [[nodiscard]] bool faultedEver() const { return faulted_ || recovered_; }
+
+  const TaskImage& image_;
+  const TemSnapshotPlan& plan_;
+  const ExperimentFault& fault_;
+  MachineBaseline& band1_;
+  MachineBaseline& band2_;
+  hw::Machine& scratch_;
+  SnapCounters& snap_;
+  bool faulted_ = false;
+  bool recovered_ = false;
+};
+
+/// The TEM protocol (two copies, comparison, recovery copy, vote, job
+/// budget), parametrized over where copy runs come from. The straight and
+/// snapshot sources produce byte-identical CopyRuns, so the classification
+/// is a pure function of the experiment either way.
+template <typename Source>
+TemOutcome classifyTemWith(const TaskImage& image, const CopyRun& golden,
+                           double jobBudgetFactor, DetectionMechanismCounts* mechanisms,
+                           Source& source) {
   auto remaining =
       static_cast<std::int64_t>(jobBudgetFactor * static_cast<double>(golden.instructions));
 
@@ -171,10 +332,7 @@ TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
     if (remaining < static_cast<std::int64_t>(golden.instructions)) {
       return TemOutcome::OmissionNoBudget;
     }
-    const bool faultHere = fault.targetCopy == copy;
-    const CopyRun run = runCopyWithInjection(
-        machine, image, fault.afterInstructions,
-        faultHere ? fault.locations : std::vector<FaultLocation>{});
+    const CopyRun run = source.runCopy(copy);
     remaining -= static_cast<std::int64_t>(run.instructions);
 
     if (run.end != CopyRun::End::Output) {
@@ -198,7 +356,7 @@ TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
         if (*voted != golden.output) return TemOutcome::UndetectedWrongOutput;
         if (mismatchDetected) return TemOutcome::MaskedByVote;
         if (edmDetected) return TemOutcome::MaskedByRestart;
-        if (machine.memory().correctedErrors() > 0) {
+        if (source.eccCorrected()) {
           if (mechanisms) ++mechanisms->eccCorrected;
           return TemOutcome::MaskedByEcc;
         }
@@ -211,11 +369,19 @@ TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
   return TemOutcome::OmissionNoBudget;
 }
 
-FsOutcome classifyFs(const TaskImage& image, const CopyRun& golden,
-                     const ExperimentFault& fault) {
-  hw::Machine machine = makeMachine(image);
-  const CopyRun run =
-      runCopyWithInjection(machine, image, fault.afterInstructions, fault.locations);
+TemOutcome classifyTem(const TaskImage& image, const CopyRun& golden,
+                       const ExperimentFault& fault, double jobBudgetFactor,
+                       DetectionMechanismCounts* mechanisms = nullptr,
+                       SnapCounters* snap = nullptr) {
+  StraightSource source{image, fault, snap};
+  return classifyTemWith(image, golden, jobBudgetFactor, mechanisms, source);
+}
+
+/// The fail-silent-node check (single copy, EDM + end-to-end checksum),
+/// parametrized like classifyTemWith.
+template <typename Source>
+FsOutcome classifyFsWith(const TaskImage& image, const CopyRun& golden, Source& source) {
+  const CopyRun run = source.runCopy(1);
   if (run.end != CopyRun::End::Output) return FsOutcome::FailSilent;
   if (run.output != golden.output) {
     if (image.outputHasChecksum && !endToEndChecksumValid(run.output)) {
@@ -223,8 +389,76 @@ FsOutcome classifyFs(const TaskImage& image, const CopyRun& golden,
     }
     return FsOutcome::UndetectedWrongOutput;
   }
-  if (machine.memory().correctedErrors() > 0) return FsOutcome::MaskedByEcc;
+  if (source.eccCorrected()) return FsOutcome::MaskedByEcc;
   return FsOutcome::NotActivated;
+}
+
+FsOutcome classifyFs(const TaskImage& image, const CopyRun& golden,
+                     const ExperimentFault& fault, SnapCounters* snap = nullptr) {
+  StraightSource source{image, fault, snap};
+  return classifyFsWith(image, golden, source);
+}
+
+void tallyTem(TemCampaignStats& stats, TemOutcome outcome) {
+  switch (outcome) {
+    case TemOutcome::NotActivated: ++stats.notActivated; break;
+    case TemOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+    case TemOutcome::MaskedByVote: ++stats.maskedByVote; break;
+    case TemOutcome::MaskedByRestart: ++stats.maskedByRestart; break;
+    case TemOutcome::OmissionVoteFailed: ++stats.omissionVoteFailed; break;
+    case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
+    case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+  }
+}
+
+void tallyFs(FsCampaignStats& stats, FsOutcome outcome) {
+  switch (outcome) {
+    case FsOutcome::NotActivated: ++stats.notActivated; break;
+    case FsOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
+    case FsOutcome::FailSilent: ++stats.failSilent; break;
+    case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
+    case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+  }
+}
+
+/// True when the experiment must run straight even inside a snapshot
+/// campaign: the fault targets a copy the protocol never reaches via a
+/// band baseline, or strikes at/after the clean completion instant (the
+/// baseline sweep only covers the clean prefix [0, golden.instructions)).
+[[nodiscard]] bool needsStraightFallback(const ExperimentFault& fault, const CopyRun& golden) {
+  return fault.targetCopy < 1 || fault.targetCopy > 2 ||
+         fault.afterInstructions >= golden.instructions;
+}
+
+/// Folds the engine counters into an attached metrics registry.
+void exportSnapMetrics(obs::Registry* metrics, const SnapCounters& snap, double wallSeconds) {
+  if (metrics == nullptr) return;
+  metrics->add("snap.cycles", snap.simulatedCycles);
+  metrics->add("snap.hits", snap.snapshotHits);
+  metrics->add("snap.misses", snap.snapshotMisses);
+  metrics->add("snap.bytes", snap.snapshotBytes);
+  metrics->add("snap.resume_points", snap.resumePoints);
+  metrics->add("snap.copies.replayed", snap.replayedCopies);
+  metrics->add("snap.copies.executed", snap.executedCopies);
+  metrics->add("snap.fallbacks.straight", snap.straightFallbacks);
+  metrics->gaugeMax("wall.snap.campaign_seconds", wallSeconds);
+}
+
+/// Sorted execution order of a chunk's deferred experiments: by copy band,
+/// then injection time, so each band's baseline sweeps the clean prefix
+/// monotonically. std::iota + stable_sort keep the order a pure function of
+/// the chunk contents (deterministic at every thread count).
+[[nodiscard]] std::vector<std::size_t> snapshotExecutionOrder(
+    const std::vector<ExperimentFault>& pending) {
+  std::vector<std::size_t> order(pending.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&pending](std::size_t a, std::size_t b) {
+    if (pending[a].targetCopy != pending[b].targetCopy) {
+      return pending[a].targetCopy < pending[b].targetCopy;
+    }
+    return pending[a].afterInstructions < pending[b].afterInstructions;
+  });
+  return order;
 }
 
 }  // namespace
@@ -241,9 +475,19 @@ CopyRun runCopy(hw::Machine& machine, const TaskImage& image, std::optional<Faul
   return runCopyWithInjection(machine, image, fault->afterInstructions, {fault->location});
 }
 
-TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault) {
+std::vector<std::uint8_t> machineBaselineSnapshot(const TaskImage& image) {
+  return makeMachine(image).saveState();
+}
+
+TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault,
+                        const std::vector<std::uint8_t>* campaignBaseline) {
   TracedRun traced;
   hw::Machine machine = makeMachine(image);
+  if (campaignBaseline != nullptr && machine.saveState() != *campaignBaseline) {
+    throw std::runtime_error(
+        "runTracedCopy: reconstructed machine diverges from the campaign baseline snapshot "
+        "(the image changed between the campaign and the traced run)");
+  }
   machine.setTraceSink(&traced.pcTrace);
   traced.run = runCopy(machine, image, fault);
   return traced;
@@ -307,42 +551,150 @@ FaultSpec sampleFault(const TaskImage& image, std::uint64_t goldenInstructions,
 }
 
 TemCampaignStats runTemCampaign(const TaskImage& image, const CampaignConfig& config) {
+  const util::MonotonicStopwatch clock;
   const CopyRun golden = goldenRun(image);
-  return exec::runChunkedCampaign<TemCampaignStats>(
-      config.experiments, config.seed, config.parallelism, "runTemCampaign",
-      [&](util::Rng& rng, TemCampaignStats& stats) {
-        const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
-        switch (classifyTem(image, golden, normalize(fault, rng), config.jobBudgetFactor,
-                            &stats.mechanisms)) {
-          case TemOutcome::NotActivated: ++stats.notActivated; break;
-          case TemOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
-          case TemOutcome::MaskedByVote: ++stats.maskedByVote; break;
-          case TemOutcome::MaskedByRestart: ++stats.maskedByRestart; break;
-          case TemOutcome::OmissionVoteFailed: ++stats.omissionVoteFailed; break;
-          case TemOutcome::OmissionNoBudget: ++stats.omissionNoBudget; break;
-          case TemOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+  TemSnapshotPlan plan;
+  if (config.mode != ExecutionMode::Straight) plan = buildTemSnapshotPlan(image, golden);
+  if (config.mode == ExecutionMode::Snapshot && !plan.supported) {
+    throw std::runtime_error(
+        "runTemCampaign: image fails the snapshot support check (no clean fixed point)");
+  }
+
+  TemCampaignStats stats;
+  if (!plan.supported) {
+    stats = exec::runChunkedCampaign<TemCampaignStats>(
+        config.experiments, config.seed, config.parallelism, "runTemCampaign",
+        [&](util::Rng& rng, TemCampaignStats& chunk) {
+          const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+          const ExperimentFault experiment = normalize(fault, rng);
+          tallyTem(chunk, classifyTem(image, golden, experiment, config.jobBudgetFactor,
+                                      &chunk.mechanisms, &chunk.snap));
+        },
+        config.cancel, config.onProgress);
+  } else {
+    // Copy-on-inject: runOne only SAMPLES (so the per-chunk RNG stream is
+    // byte-identical to straight mode); the chunk teardown executes the
+    // batch sorted by (band, injection time) against chunk-private
+    // baselines and a chunk-private snapshot cache. Outcome tallies are
+    // commutative sums, so the merged statistics match straight execution
+    // bit for bit at every thread count.
+    struct ChunkContext {
+      std::vector<ExperimentFault> pending;
+    };
+    exec::ChunkHooks<TemCampaignStats, ChunkContext> hooks;
+    hooks.teardown = [&](ChunkContext& ctx, TemCampaignStats& chunk) {
+      snap::SnapshotCache cache{config.snapshotCacheBytes};
+      const std::uint64_t stride = std::max<std::uint64_t>(golden.instructions / 8, 1);
+      MachineBaseline band1{plan.startMachine1, 1, stride, cache};
+      MachineBaseline band2{plan.startMachine2, 2, stride, cache};
+      hw::Machine scratch{image.memBytes};
+      for (const std::size_t index : snapshotExecutionOrder(ctx.pending)) {
+        const ExperimentFault& fault = ctx.pending[index];
+        if (needsStraightFallback(fault, golden)) {
+          ++chunk.snap.straightFallbacks;
+          tallyTem(chunk, classifyTem(image, golden, fault, config.jobBudgetFactor,
+                                      &chunk.mechanisms, &chunk.snap));
+          continue;
         }
-      },
-      config.cancel, config.onProgress);
+        SnapshotSource source{image, plan, fault, band1, band2, scratch, chunk.snap};
+        tallyTem(chunk, classifyTemWith(image, golden, config.jobBudgetFactor,
+                                        &chunk.mechanisms, source));
+      }
+      chunk.snap.snapshotHits += cache.hits();
+      chunk.snap.snapshotMisses += cache.misses();
+      chunk.snap.snapshotBytes += cache.insertedBytes();
+      chunk.snap.resumePoints += band1.resumePoints() + band2.resumePoints();
+      chunk.snap.simulatedCycles += band1.sweepInstructions() + band2.sweepInstructions();
+    };
+    stats = exec::runStoppableChunkedCampaignWithHooks<TemCampaignStats, ChunkContext>(
+                config.experiments, config.seed, config.parallelism, "runTemCampaign",
+                [&](util::Rng& rng, TemCampaignStats&, ChunkContext& ctx) {
+                  const FaultSpec fault =
+                      sampleFault(image, golden.instructions, config.mix, rng);
+                  ctx.pending.push_back(normalize(fault, rng));
+                },
+                hooks, {}, config.cancel, config.onProgress)
+                .stats;
+    stats.snap.simulatedCycles += plan.planInstructions;
+  }
+  exportSnapMetrics(config.metrics, stats.snap, clock.elapsedSeconds());
+  return stats;
 }
 
 FsCampaignStats runFsCampaign(const TaskImage& image, const CampaignConfig& config) {
+  const util::MonotonicStopwatch clock;
   const CopyRun golden = goldenRun(image);
-  return exec::runChunkedCampaign<FsCampaignStats>(
-      config.experiments, config.seed, config.parallelism, "runFsCampaign",
-      [&](util::Rng& rng, FsCampaignStats& stats) {
-        const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
-        ExperimentFault experiment = normalize(fault, rng);
-        experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
-        switch (classifyFs(image, golden, experiment)) {
-          case FsOutcome::NotActivated: ++stats.notActivated; break;
-          case FsOutcome::MaskedByEcc: ++stats.maskedByEcc; break;
-          case FsOutcome::FailSilent: ++stats.failSilent; break;
-          case FsOutcome::DetectedByEndToEnd: ++stats.detectedByEndToEnd; break;
-          case FsOutcome::UndetectedWrongOutput: ++stats.undetected; break;
+  TemSnapshotPlan plan;
+  if (config.mode != ExecutionMode::Straight) plan = buildTemSnapshotPlan(image, golden);
+  if (config.mode == ExecutionMode::Snapshot && !plan.supported) {
+    throw std::runtime_error(
+        "runFsCampaign: image fails the snapshot support check (no clean fixed point)");
+  }
+
+  FsCampaignStats stats;
+  if (!plan.supported) {
+    stats = exec::runChunkedCampaign<FsCampaignStats>(
+        config.experiments, config.seed, config.parallelism, "runFsCampaign",
+        [&](util::Rng& rng, FsCampaignStats& chunk) {
+          const FaultSpec fault = sampleFault(image, golden.instructions, config.mix, rng);
+          ExperimentFault experiment = normalize(fault, rng);
+          experiment.targetCopy = 1;  // single-copy node: the fault strikes that copy
+          tallyFs(chunk, classifyFs(image, golden, experiment, &chunk.snap));
+        },
+        config.cancel, config.onProgress);
+  } else {
+    struct ChunkContext {
+      std::vector<ExperimentFault> pending;
+    };
+    exec::ChunkHooks<FsCampaignStats, ChunkContext> hooks;
+    hooks.teardown = [&](ChunkContext& ctx, FsCampaignStats& chunk) {
+      snap::SnapshotCache cache{config.snapshotCacheBytes};
+      const std::uint64_t stride = std::max<std::uint64_t>(golden.instructions / 8, 1);
+      MachineBaseline band1{plan.startMachine1, 1, stride, cache};
+      MachineBaseline band2{plan.startMachine2, 2, stride, cache};
+      hw::Machine scratch{image.memBytes};
+      for (const std::size_t index : snapshotExecutionOrder(ctx.pending)) {
+        const ExperimentFault& fault = ctx.pending[index];
+        if (needsStraightFallback(fault, golden)) {
+          ++chunk.snap.straightFallbacks;
+          tallyFs(chunk, classifyFs(image, golden, fault, &chunk.snap));
+          continue;
         }
-      },
-      config.cancel, config.onProgress);
+        SnapshotSource source{image, plan, fault, band1, band2, scratch, chunk.snap};
+        tallyFs(chunk, classifyFsWith(image, golden, source));
+      }
+      chunk.snap.snapshotHits += cache.hits();
+      chunk.snap.snapshotMisses += cache.misses();
+      chunk.snap.snapshotBytes += cache.insertedBytes();
+      chunk.snap.resumePoints += band1.resumePoints() + band2.resumePoints();
+      chunk.snap.simulatedCycles += band1.sweepInstructions() + band2.sweepInstructions();
+    };
+    stats = exec::runStoppableChunkedCampaignWithHooks<FsCampaignStats, ChunkContext>(
+                config.experiments, config.seed, config.parallelism, "runFsCampaign",
+                [&](util::Rng& rng, FsCampaignStats&, ChunkContext& ctx) {
+                  const FaultSpec fault =
+                      sampleFault(image, golden.instructions, config.mix, rng);
+                  ExperimentFault experiment = normalize(fault, rng);
+                  experiment.targetCopy = 1;
+                  ctx.pending.push_back(std::move(experiment));
+                },
+                hooks, {}, config.cancel, config.onProgress)
+                .stats;
+    stats.snap.simulatedCycles += plan.planInstructions;
+  }
+  exportSnapMetrics(config.metrics, stats.snap, clock.elapsedSeconds());
+  return stats;
+}
+
+void SnapCounters::merge(const SnapCounters& other) {
+  simulatedCycles += other.simulatedCycles;
+  snapshotHits += other.snapshotHits;
+  snapshotMisses += other.snapshotMisses;
+  snapshotBytes += other.snapshotBytes;
+  resumePoints += other.resumePoints;
+  replayedCopies += other.replayedCopies;
+  executedCopies += other.executedCopies;
+  straightFallbacks += other.straightFallbacks;
 }
 
 void DetectionMechanismCounts::merge(const DetectionMechanismCounts& other) {
@@ -361,6 +713,7 @@ void DetectionMechanismCounts::merge(const DetectionMechanismCounts& other) {
 
 void TemCampaignStats::merge(const TemCampaignStats& other) {
   mechanisms.merge(other.mechanisms);
+  snap.merge(other.snap);
   experiments += other.experiments;
   notActivated += other.notActivated;
   maskedByEcc += other.maskedByEcc;
@@ -372,6 +725,7 @@ void TemCampaignStats::merge(const TemCampaignStats& other) {
 }
 
 void FsCampaignStats::merge(const FsCampaignStats& other) {
+  snap.merge(other.snap);
   experiments += other.experiments;
   notActivated += other.notActivated;
   maskedByEcc += other.maskedByEcc;

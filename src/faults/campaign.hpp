@@ -20,6 +20,10 @@
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
 
+namespace nlft::obs {
+class Registry;
+}
+
 namespace nlft::fi {
 
 /// A task program plus everything needed to run one copy of it.
@@ -87,6 +91,38 @@ enum class FsOutcome : std::uint8_t {
   UndetectedWrongOutput,  ///< wrong result delivered without any indication
 };
 
+/// How a campaign executes its experiments.
+enum class ExecutionMode : std::uint8_t {
+  /// Snapshot-fork (copy-on-inject) when the image supports it — verified
+  /// per campaign by the clean-fixed-point protocol (docs/SNAPSHOT.md) —
+  /// with a transparent fallback to straight execution otherwise. The
+  /// default: results are bit-identical either way.
+  Auto,
+  /// One fresh machine per experiment, every copy executed in full.
+  Straight,
+  /// Force snapshot-fork; throws std::runtime_error if the image fails the
+  /// fixed-point support check (used by tests and the speedup bench).
+  Snapshot,
+};
+
+/// Deterministic counters of the snapshot/copy-on-inject engine, embedded
+/// in the campaign statistics (pure sums: merging is exact and commutative,
+/// so they are bit-identical at every thread count). `simulatedCycles` is
+/// counted in BOTH modes — the speedup bench reports the straight/snapshot
+/// cycle ratio from it.
+struct SnapCounters {
+  std::uint64_t simulatedCycles = 0;   ///< machine instructions actually executed
+  std::uint64_t snapshotHits = 0;      ///< snapshot-cache hits
+  std::uint64_t snapshotMisses = 0;    ///< snapshot-cache misses
+  std::uint64_t snapshotBytes = 0;     ///< bytes of snapshot blobs saved
+  std::uint64_t resumePoints = 0;      ///< forks served from a snapshot
+  std::uint64_t replayedCopies = 0;    ///< clean copies answered by replay
+  std::uint64_t executedCopies = 0;    ///< copies actually executed
+  std::uint64_t straightFallbacks = 0; ///< experiments run straight inside snapshot mode
+
+  void merge(const SnapCounters& other);
+};
+
 /// Which mechanism detected the error first (Table 1 of the paper): CPU
 /// hardware exceptions, ECC, the execution-time monitor, or the TEM
 /// comparison. Aggregated over a campaign.
@@ -109,6 +145,7 @@ struct DetectionMechanismCounts {
 
 struct TemCampaignStats {
   DetectionMechanismCounts mechanisms;
+  SnapCounters snap;
   std::size_t experiments = 0;
   std::size_t notActivated = 0;
   std::size_t maskedByEcc = 0;
@@ -134,6 +171,7 @@ struct TemCampaignStats {
 };
 
 struct FsCampaignStats {
+  SnapCounters snap;
   std::size_t experiments = 0;
   std::size_t notActivated = 0;
   std::size_t maskedByEcc = 0;
@@ -179,6 +217,14 @@ struct CampaignConfig {
   /// Optional cooperative cancellation. A cancelled campaign throws
   /// std::runtime_error rather than returning truncated statistics.
   exec::CancellationToken* cancel = nullptr;
+  /// Execution engine (see ExecutionMode). Outcome statistics are
+  /// bit-identical across modes; only the snap.* counters differ.
+  ExecutionMode mode = ExecutionMode::Auto;
+  /// Byte budget of each chunk-private snapshot cache (snapshot mode).
+  std::size_t snapshotCacheBytes = 8u << 20;
+  /// Optional metrics sink: receives the deterministic "snap.*" counters
+  /// and the non-golden "wall.snap.*" timings after the campaign.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs one copy of the task (optionally with a fault striking mid-run).
@@ -191,10 +237,23 @@ struct TracedRun {
   std::vector<std::uint32_t> pcTrace;
 };
 
+/// Snapshot of the pristine campaign machine for `image` (the state right
+/// after construction and image load, before any context reset) — the
+/// baseline later runTracedCopy calls can be verified against.
+[[nodiscard]] std::vector<std::uint8_t> machineBaselineSnapshot(const TaskImage& image);
+
 /// Runs one copy on a fresh machine while recording the PC trace — the
 /// input to analysis::checkTrace, which validates the executed control flow
 /// against the statically derived CFG (ground truth for campaigns).
-[[nodiscard]] TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault);
+///
+/// `campaignBaseline` (optional) closes a silent-drift hazard: the traced
+/// copy runs on a RECONSTRUCTED machine, so an image mutated between the
+/// campaign and the trace would silently yield a trace of a different
+/// program. Passing the campaign's machineBaselineSnapshot() makes the call
+/// verify — byte for byte — that the reconstructed machine equals the
+/// campaign's, throwing std::runtime_error on drift.
+[[nodiscard]] TracedRun runTracedCopy(const TaskImage& image, std::optional<FaultSpec> fault,
+                                      const std::vector<std::uint8_t>* campaignBaseline = nullptr);
 
 /// Golden (fault-free) run; throws std::runtime_error if the program fails.
 [[nodiscard]] CopyRun goldenRun(const TaskImage& image);

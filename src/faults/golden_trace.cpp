@@ -108,6 +108,28 @@ std::vector<std::string> recordScenarioTrace(const std::string& name, const bbw:
   throw std::invalid_argument("unknown golden-trace scenario: " + name);
 }
 
+std::vector<std::string> recordScenarioTraceResumed(const std::string& name,
+                                                    std::int64_t splitAtUs,
+                                                    const bbw::BbwSimConfig& base) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name != entry.name) continue;
+    BbwSimConfig config = base;
+    config.nodeType = entry.nodeType;
+    BbwSystemSim producer{config};
+    entry.arm(producer);
+    producer.runUntil(SimTime::fromUs(splitAtUs));
+    const std::vector<std::uint8_t> checkpoint = producer.saveState();
+
+    BbwSystemSim resumed{config};
+    std::vector<std::string> lines;
+    resumed.setTraceSink([&lines](const std::string& line) { lines.push_back(line); });
+    resumed.restoreState(checkpoint);
+    appendResultSummary(resumed.run(), lines);
+    return lines;
+  }
+  throw std::invalid_argument("unknown golden-trace scenario: " + name);
+}
+
 TraceDiff compareTraces(const std::vector<std::string>& expected,
                         const std::vector<std::string>& actual) {
   TraceDiff diff;

@@ -38,6 +38,17 @@ namespace nlft::fi {
                                                            obs::TraceRecorder* recorder,
                                                            obs::Registry* metrics = nullptr);
 
+/// Snapshot-resume variant of recordScenarioTrace (the differential suite,
+/// tests/snapshot_differential_test.cpp): a producer simulation is armed
+/// with the same scenario, advanced to `splitAtUs` and checkpointed
+/// (BbwSystemSim::saveState); the returned trace comes from a FRESH
+/// simulation that restores the checkpoint — with its trace sink attached
+/// before restoreState, so the replayed prefix re-emits its events — and
+/// then runs to completion. Must be line-identical to the straight
+/// recording for every scenario and every split point.
+[[nodiscard]] std::vector<std::string> recordScenarioTraceResumed(
+    const std::string& name, std::int64_t splitAtUs, const bbw::BbwSimConfig& base = {});
+
 /// First divergence between an expected and an actual trace.
 struct TraceDiff {
   bool identical = true;

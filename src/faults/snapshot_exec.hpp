@@ -1,0 +1,82 @@
+// Machine-level snapshot forking for copy-on-inject campaigns.
+//
+// A campaign chunk sorts its sampled faults by (copy band, injection time)
+// and advances a shared baseline machine monotonically through the clean
+// prefix ONCE; every experiment then forks a scratch machine from the
+// baseline at its injection instant instead of re-executing the prefix.
+// While sweeping, the baseline drops a snapshot blob into a bounded LRU
+// cache at every quantized resume point, so out-of-order forks (rewinds)
+// resume from the nearest cached snapshot at or below the target instant
+// rather than replaying from instruction zero.
+//
+// Because a forked machine is bit-identical to the straight-through machine
+// at the same instruction index, the fork path produces byte-identical
+// CopyRuns — the differential suite (tests/snapshot_differential_test.cpp)
+// pins this. See docs/SNAPSHOT.md for the full equivalence methodology.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "snap/cache.hpp"
+
+namespace nlft::fi {
+
+/// 64-bit digest of the BEHAVIOR-RELEVANT machine state: CPU context, raw
+/// memory codewords, halted flag, armed fetch corruption and stuck-at
+/// faults. Deliberately EXCLUDES the executed-instruction counter, the MMU
+/// violation counter and the ECC error counters — all monotone bookkeeping
+/// that never feeds back into execution — so a machine that returns to the
+/// clean fixed point after a fault digests clean again. In particular a
+/// correctable memory flip that was scrubbed on read leaves only a bumped
+/// correctedErrors counter behind; the machine then behaves exactly like
+/// the clean one, and the classification still sees the correction because
+/// it reads the counter off the live scratch machine, not the digest.
+[[nodiscard]] std::uint64_t behaviorDigest(const hw::Machine& machine);
+
+/// A fast-forwardable baseline: a start-state machine plus a sweep machine
+/// advanced monotonically through the clean prefix. `forkAt(t, scratch)`
+/// copies the baseline state after exactly `t` instructions into `scratch`.
+/// Callers that fork in nondecreasing `t` order never rewind the sweep, so
+/// the whole chunk executes the clean prefix at most once per band and the
+/// fork path is a pure in-memory state copy — profiling showed that
+/// serializing a blob per fork costs ~20x more than interpreting the short
+/// guest programs it would skip. Serialization is reserved for the
+/// out-of-order case: after the first rewind the sweep caches a CRC-checked
+/// snapshot blob at every quantized resume point it crosses, so later
+/// rewinds restore from the nearest cached snapshot at or below the target
+/// instead of replaying from instruction zero.
+class MachineBaseline {
+ public:
+  /// `start` must outlive the baseline (it lives in the campaign plan).
+  /// `snapshotStride` is the resume-point quantum: after a rewind, the
+  /// sweep caches a snapshot each time it crosses a multiple of it
+  /// (0 = stride 1).
+  MachineBaseline(const hw::Machine& start, std::uint64_t tag, std::uint64_t snapshotStride,
+                  snap::SnapshotCache& cache);
+
+  /// Makes `scratch` bit-identical to the baseline state advanced by
+  /// `instructions`.
+  void forkAt(std::uint64_t instructions, hw::Machine& scratch);
+
+  /// Clean-prefix instructions executed by the sweep machine (simulated
+  /// cycles charged to the snapshot engine).
+  [[nodiscard]] std::uint64_t sweepInstructions() const { return sweepInstructions_; }
+  /// Number of forks served (scratch copies of the baseline state).
+  [[nodiscard]] std::uint64_t resumePoints() const { return resumePoints_; }
+
+ private:
+  const hw::Machine& start_;
+  std::uint64_t tag_;
+  std::uint64_t stride_;
+  snap::SnapshotCache& cache_;
+  std::optional<hw::Machine> sweep_;
+  std::uint64_t position_ = 0;  ///< instructions the sweep has executed
+  bool rewound_ = false;        ///< a fork ever targeted the sweep's past
+  std::uint64_t sweepInstructions_ = 0;
+  std::uint64_t resumePoints_ = 0;
+};
+
+}  // namespace nlft::fi

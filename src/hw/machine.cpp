@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/blob.hpp"
+
 namespace nlft::hw {
 
 Machine::Machine(std::uint32_t memBytes) : memory_{memBytes} {}
@@ -265,5 +267,122 @@ void Machine::flipMemoryBit(std::uint32_t address, int bit) { memory_.flipBit(ad
 void Machine::addStuckAtFault(StuckAtFault fault) { stuckAt_.push_back(fault); }
 void Machine::clearStuckAtFaults() { stuckAt_.clear(); }
 void Machine::armFetchCorruption(int bit) { fetchCorruptionBit_ = bit & 31; }
+
+std::vector<std::uint8_t> Machine::saveState() const {
+  snap::BlobWriter w{snap::kMachineSnapshot, kMachineStateVersion};
+
+  w.beginSection("cpu");
+  w.u32Vec({cpu_.regs.data(), cpu_.regs.size()});
+  w.u32(cpu_.pc);
+  w.boolean(cpu_.flagZero);
+  w.boolean(cpu_.flagNegative);
+  w.endSection();
+
+  w.beginSection("mem");
+  w.u64Vec(memory_.rawCodewords());
+  w.u64(memory_.correctedErrors());
+  w.u64(memory_.uncorrectableErrors());
+  w.endSection();
+
+  w.beginSection("mmu");
+  w.boolean(mmu_.enabled());
+  w.u32(mmu_.activeTask());
+  w.u64(mmu_.violationCount());
+  w.u32(static_cast<std::uint32_t>(mmu_.regions().size()));
+  for (const MmuRegion& region : mmu_.regions()) {
+    w.u32(region.base);
+    w.u32(region.size);
+    w.u32(region.owner);
+    w.u8(region.permissions);
+    w.str(region.name);
+  }
+  w.endSection();
+
+  w.beginSection("exec");
+  w.boolean(halted_);
+  w.u64(executed_);
+  w.i64(fetchCorruptionBit_);
+  w.u32(static_cast<std::uint32_t>(stuckAt_.size()));
+  for (const StuckAtFault& fault : stuckAt_) {
+    w.u32(static_cast<std::uint32_t>(fault.reg));
+    w.u32(static_cast<std::uint32_t>(fault.bit));
+    w.boolean(fault.stuckHigh);
+  }
+  w.endSection();
+
+  return w.finish();
+}
+
+void Machine::restoreState(std::span<const std::uint8_t> blob) {
+  snap::BlobReader r{blob, snap::kMachineSnapshot, kMachineStateVersion};
+
+  r.openSection("cpu");
+  const std::vector<std::uint32_t> regs = r.u32Vec();
+  if (regs.size() != cpu_.regs.size()) {
+    throw snap::BlobError("snapshot section 'cpu': register count " +
+                          std::to_string(regs.size()) + ", expected " +
+                          std::to_string(cpu_.regs.size()));
+  }
+  CpuState cpu;
+  for (std::size_t i = 0; i < regs.size(); ++i) cpu.regs[i] = regs[i];
+  cpu.pc = r.u32();
+  cpu.flagZero = r.boolean();
+  cpu.flagNegative = r.boolean();
+  r.closeSection();
+
+  r.openSection("mem");
+  std::vector<std::uint64_t> codewords = r.u64Vec();
+  const std::uint64_t corrected = r.u64();
+  const std::uint64_t uncorrectable = r.u64();
+  r.closeSection();
+
+  r.openSection("mmu");
+  const bool mmuEnabled = r.boolean();
+  const MmuTaskId activeTask = r.u32();
+  const std::uint64_t violations = r.u64();
+  const std::uint32_t regionCount = r.u32();
+  std::vector<MmuRegion> regions;
+  regions.reserve(regionCount);
+  for (std::uint32_t i = 0; i < regionCount; ++i) {
+    MmuRegion region;
+    region.base = r.u32();
+    region.size = r.u32();
+    region.owner = r.u32();
+    region.permissions = r.u8();
+    region.name = r.str();
+    regions.push_back(std::move(region));
+  }
+  r.closeSection();
+
+  r.openSection("exec");
+  const bool halted = r.boolean();
+  const std::uint64_t executed = r.u64();
+  const std::int64_t fetchBit = r.i64();
+  const std::uint32_t stuckCount = r.u32();
+  std::vector<StuckAtFault> stuck;
+  stuck.reserve(stuckCount);
+  for (std::uint32_t i = 0; i < stuckCount; ++i) {
+    StuckAtFault fault;
+    fault.reg = static_cast<int>(r.u32());
+    fault.bit = static_cast<int>(r.u32());
+    fault.stuckHigh = r.boolean();
+    stuck.push_back(fault);
+  }
+  r.closeSection();
+  r.finish();
+
+  // All sections parsed and CRC-verified — only now mutate the machine, so a
+  // corrupted blob never leaves it half-restored.
+  cpu_ = cpu;
+  memory_.restoreRaw(std::move(codewords), corrected, uncorrectable);
+  mmu_.restoreRegions(std::move(regions));
+  mmu_.setEnabled(mmuEnabled);
+  mmu_.setActiveTask(activeTask);
+  mmu_.setViolationCount(violations);
+  halted_ = halted;
+  executed_ = executed;
+  fetchCorruptionBit_ = static_cast<int>(fetchBit);
+  stuckAt_ = std::move(stuck);
+}
 
 }  // namespace nlft::hw

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hw/cpu.hpp"
@@ -39,6 +40,10 @@ struct StuckAtFault {
   bool stuckHigh = true;
 };
 
+/// Format version of Machine::saveState() blobs. Bump on any layout change;
+/// restoreState() refuses blobs of any other version.
+inline constexpr std::uint16_t kMachineStateVersion = 1;
+
 class Machine {
  public:
   /// Creates a machine with `memBytes` of ECC memory (default 64 KiB).
@@ -54,7 +59,9 @@ class Machine {
   /// Restores a previously saved context (registers, PC, SP, flags).
   void restoreContext(const CpuState& context) { cpu_ = context; }
   [[nodiscard]] EccMemory& memory() { return memory_; }
+  [[nodiscard]] const EccMemory& memory() const { return memory_; }
   [[nodiscard]] Mmu& mmu() { return mmu_; }
+  [[nodiscard]] const Mmu& mmu() const { return mmu_; }
 
   /// Loads words at a byte address (e.g. program text or input data).
   void loadWords(std::uint32_t address, const std::vector<std::uint32_t>& words);
@@ -96,6 +103,26 @@ class Machine {
   /// address is captured). The static analyzer cross-checks such traces
   /// against the program's CFG. Pass nullptr to detach.
   void setTraceSink(std::vector<std::uint32_t>* sink) { traceSink_ = sink; }
+
+  // --- Whole-machine snapshots (copy-on-inject campaign engine) ---
+
+  /// Serializes the COMPLETE deterministic machine state — CPU context, raw
+  /// memory codewords + ECC counters, MMU configuration + violation count,
+  /// and execution state (halted flag, instruction counter, armed fetch
+  /// corruption, stuck-at faults) — into a versioned, sectioned, CRC-32
+  /// protected blob (see src/snap/blob.hpp and docs/SNAPSHOT.md). The trace
+  /// sink attachment is NOT part of the state.
+  [[nodiscard]] std::vector<std::uint8_t> saveState() const;
+
+  /// Restores a saveState() blob, replacing the entire machine state
+  /// (including the memory size). Throws snap::BlobError on a truncated,
+  /// bit-flipped or version-mismatched blob, naming the damaged section.
+  void restoreState(std::span<const std::uint8_t> blob);
+
+  /// The pending one-shot fetch corruption bit, or -1 when none is armed.
+  [[nodiscard]] int armedFetchCorruptionBit() const { return fetchCorruptionBit_; }
+  /// The installed stuck-at faults (snapshot + state-digest support).
+  [[nodiscard]] const std::vector<StuckAtFault>& stuckAtFaults() const { return stuckAt_; }
 
  private:
   [[nodiscard]] std::optional<HwException> raise(ExceptionKind kind, std::uint32_t address = 0);

@@ -41,6 +41,14 @@ std::uint64_t EccMemory::rawCodeword(std::uint32_t wordIndex) const {
   return wordIndex < wordCount_ ? codewords_[wordIndex] : 0;
 }
 
+void EccMemory::restoreRaw(std::vector<std::uint64_t> codewords, std::uint64_t correctedErrors,
+                           std::uint64_t uncorrectableErrors) {
+  wordCount_ = static_cast<std::uint32_t>(codewords.size());
+  codewords_ = std::move(codewords);
+  correctedErrors_ = correctedErrors;
+  uncorrectableErrors_ = uncorrectableErrors;
+}
+
 std::uint32_t EccMemory::scrub() {
   std::uint32_t corrected = 0;
   for (std::uint32_t word = 0; word < wordCount_; ++word) {

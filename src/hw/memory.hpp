@@ -40,6 +40,15 @@ class EccMemory {
   /// Raw read without ECC decode (for golden-run snapshots and scrubbing).
   [[nodiscard]] std::uint64_t rawCodeword(std::uint32_t wordIndex) const;
 
+  /// The whole codeword array, raw (for machine snapshots and state digests).
+  [[nodiscard]] const std::vector<std::uint64_t>& rawCodewords() const { return codewords_; }
+
+  /// Restores the exact raw state captured by a snapshot: one codeword per
+  /// word (resizing the memory to match) plus both error counters. Latent
+  /// upsets present at save time come back latent.
+  void restoreRaw(std::vector<std::uint64_t> codewords, std::uint64_t correctedErrors,
+                  std::uint64_t uncorrectableErrors);
+
   /// Flips one codeword bit (0..38) of the addressed word; the model for a
   /// memory single-event upset. Returns false on bad address/bit.
   bool flipBit(std::uint32_t address, int bitIndex);

@@ -61,6 +61,11 @@ class Mmu {
 
   [[nodiscard]] const std::vector<MmuRegion>& regions() const { return regions_; }
 
+  /// Replaces the whole region table (snapshot restore).
+  void restoreRegions(std::vector<MmuRegion> regions) { regions_ = std::move(regions); }
+  /// Restores the violation counter (snapshot restore).
+  void setViolationCount(std::uint64_t count) { violations_ = count; }
+
  private:
   std::vector<MmuRegion> regions_;
   MmuTaskId activeTask_ = kKernelTask;

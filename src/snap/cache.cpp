@@ -1,0 +1,36 @@
+#include "snap/cache.hpp"
+
+namespace nlft::snap {
+
+const std::vector<std::uint8_t>* SnapshotCache::find(Key key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->blob;
+}
+
+void SnapshotCache::insert(Key key, std::vector<std::uint8_t> blob) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytesInUse_ -= it->second->blob.size();
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  insertedBytes_ += blob.size();
+  bytesInUse_ += blob.size();
+  lru_.push_front(Entry{key, std::move(blob)});
+  entries_.emplace(key, lru_.begin());
+  while (bytesInUse_ > maxBytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytesInUse_ -= victim.blob.size();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace nlft::snap

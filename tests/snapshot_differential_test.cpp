@@ -1,0 +1,259 @@
+// Differential equivalence suite of the snapshot/copy-on-inject engine
+// (ctest label "snapshot"; docs/SNAPSHOT.md).
+//
+// The engine's only correctness claim is EQUIVALENCE: everything observable
+// — trace-sink event streams, metrics fingerprints, campaign statistics —
+// must be bit-identical whether a run executes straight through or resumes
+// from a snapshot, at every split point and every thread count. This suite
+// pins that claim on:
+//   - every checked-in golden trace, straight vs snapshot-resume at 5
+//     seeded split points;
+//   - every checked-in fuzz-corpus case, comparing metrics fingerprints and
+//     state fingerprints the same way;
+//   - the machine-level TEM and fail-silent campaigns, straight vs
+//     snapshot execution across threads {1, 2, 8};
+//   - the MachineBaseline fork path, including out-of-order forks that
+//     exercise the rewind + snapshot-cache resume;
+//   - the fuzzer's det.replay oracle, which must report a deliberately
+//     corrupted checkpoint restore as a violation instead of caching it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbw/guest_programs.hpp"
+#include "bbw/system_sim.hpp"
+#include "faults/campaign.hpp"
+#include "faults/golden_trace.hpp"
+#include "faults/snapshot_exec.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/oracles.hpp"
+#include "obs/metrics.hpp"
+#include "snap/cache.hpp"
+#include "util/rng.hpp"
+
+namespace nlft {
+namespace {
+
+using bbw::BbwSimConfig;
+using bbw::BbwSystemSim;
+
+/// Five deterministic split points per case, spread over the braking
+/// manoeuvre (the stop completes within ~3.5 simulated seconds).
+std::vector<std::int64_t> seededSplitPoints(std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<std::int64_t> splits;
+  for (int i = 0; i < 5; ++i) {
+    splits.push_back(static_cast<std::int64_t>(100'000 + rng.uniformInt(3'200'000)));
+  }
+  return splits;
+}
+
+TEST(SnapshotDifferential, EveryGoldenTraceIsSplitInvariant) {
+  for (const std::string& name : fi::goldenScenarioNames()) {
+    const std::vector<std::string> straight = fi::recordScenarioTrace(name);
+    std::uint64_t seed = 0x600d;
+    for (const char c : name) seed = seed * 131 + static_cast<unsigned char>(c);
+    for (const std::int64_t splitUs : seededSplitPoints(seed)) {
+      SCOPED_TRACE(name + " split=" + std::to_string(splitUs) + "us");
+      const std::vector<std::string> resumed = fi::recordScenarioTraceResumed(name, splitUs);
+      const fi::TraceDiff diff = fi::compareTraces(straight, resumed);
+      EXPECT_TRUE(diff.identical)
+          << "first divergence at line " << diff.line << "\n  straight: " << diff.expected
+          << "\n  resumed:  " << diff.actual;
+    }
+  }
+}
+
+BbwSimConfig configFor(const fuzz::ScenarioParams& params) {
+  BbwSimConfig config;
+  config.nodeType = params.nodeType;
+  config.initialSpeedMps = params.initialSpeedMps;
+  config.pedal = params.pedal;
+  config.restartTime = util::Duration::microseconds(params.restartTimeUs);
+  return config;
+}
+
+void applyEvents(BbwSystemSim& sim, const std::vector<fuzz::ScheduleEvent>& events) {
+  for (const fuzz::ScheduleEvent& event : events) {
+    const util::SimTime at = util::SimTime::fromUs(event.atUs);
+    switch (event.kind) {
+      case fuzz::EventKind::ComputationFault: sim.injectComputationFault(event.node, at); break;
+      case fuzz::EventKind::DetectedError: sim.injectDetectedError(event.node, at); break;
+      case fuzz::EventKind::KernelError: sim.injectKernelError(event.node, at); break;
+      case fuzz::EventKind::OmissionFailure: sim.injectOmissionFailure(event.node, at); break;
+      case fuzz::EventKind::ValueFailure: sim.injectValueFailure(event.node, at); break;
+      case fuzz::EventKind::BusCorruption:
+        sim.injectBusCorruption(event.node, at, event.flipBits);
+        break;
+    }
+  }
+}
+
+TEST(SnapshotDifferential, EveryCorpusCaseIsSplitInvariant) {
+  const std::vector<fuzz::CorpusEntry> corpus = fuzz::loadCorpusDir(NLFT_FUZZ_CORPUS_DIR);
+  ASSERT_GE(corpus.size(), 6u);
+  for (const fuzz::CorpusEntry& entry : corpus) {
+    const BbwSimConfig config = configFor(entry.scenario.params);
+
+    obs::Registry straightMetrics;
+    BbwSystemSim straight{config};
+    straight.setMetricsRegistry(&straightMetrics);
+    applyEvents(straight, entry.scenario.events);
+    const bbw::BbwSimResult straightResult = straight.run();
+    const std::string straightFingerprint = straightMetrics.goldenFingerprint();
+    const std::uint64_t straightState = straight.stateFingerprint();
+
+    for (const std::int64_t splitUs : seededSplitPoints(entry.key)) {
+      SCOPED_TRACE(entry.signature + " split=" + std::to_string(splitUs) + "us");
+      BbwSystemSim producer{config};
+      applyEvents(producer, entry.scenario.events);
+      producer.runUntil(util::SimTime::fromUs(splitUs));
+      const std::vector<std::uint8_t> checkpoint = producer.saveState();
+
+      // Metrics attach BEFORE restore, so the replayed prefix streams the
+      // same live samples (e2e latency histogram) as the straight run.
+      obs::Registry resumedMetrics;
+      BbwSystemSim resumed{config};
+      resumed.setMetricsRegistry(&resumedMetrics);
+      resumed.restoreState(checkpoint);
+      const bbw::BbwSimResult resumedResult = resumed.run();
+
+      EXPECT_EQ(straightFingerprint, resumedMetrics.goldenFingerprint());
+      EXPECT_EQ(straightState, resumed.stateFingerprint());
+      EXPECT_EQ(straightResult.stopped, resumedResult.stopped);
+      EXPECT_EQ(straightResult.stoppingDistanceM, resumedResult.stoppingDistanceM);
+      EXPECT_EQ(straightResult.commandFramesDelivered, resumedResult.commandFramesDelivered);
+      EXPECT_EQ(straightResult.errorsMaskedByTem, resumedResult.errorsMaskedByTem);
+      EXPECT_EQ(straightResult.busFramesDropped, resumedResult.busFramesDropped);
+    }
+  }
+}
+
+bool sameMechanisms(const fi::DetectionMechanismCounts& a, const fi::DetectionMechanismCounts& b) {
+  return a.illegalInstruction == b.illegalInstruction && a.addressError == b.addressError &&
+         a.busError == b.busError && a.divideByZero == b.divideByZero &&
+         a.mmuViolation == b.mmuViolation && a.stackOverflow == b.stackOverflow &&
+         a.executionTimeMonitor == b.executionTimeMonitor &&
+         a.outputUnreadable == b.outputUnreadable && a.temComparison == b.temComparison &&
+         a.eccCorrected == b.eccCorrected && a.endToEndCheck == b.endToEndCheck;
+}
+
+/// Outcome statistics only — the snap counters legitimately differ between
+/// execution modes (that difference IS the speedup).
+bool sameTemOutcomes(const fi::TemCampaignStats& a, const fi::TemCampaignStats& b) {
+  return sameMechanisms(a.mechanisms, b.mechanisms) && a.experiments == b.experiments &&
+         a.notActivated == b.notActivated && a.maskedByEcc == b.maskedByEcc &&
+         a.maskedByVote == b.maskedByVote && a.maskedByRestart == b.maskedByRestart &&
+         a.omissionVoteFailed == b.omissionVoteFailed && a.omissionNoBudget == b.omissionNoBudget &&
+         a.undetected == b.undetected;
+}
+
+bool sameFsOutcomes(const fi::FsCampaignStats& a, const fi::FsCampaignStats& b) {
+  return a.experiments == b.experiments && a.notActivated == b.notActivated &&
+         a.maskedByEcc == b.maskedByEcc && a.failSilent == b.failSilent &&
+         a.detectedByEndToEnd == b.detectedByEndToEnd && a.undetected == b.undetected;
+}
+
+bool sameSnapCounters(const fi::SnapCounters& a, const fi::SnapCounters& b) {
+  return a.simulatedCycles == b.simulatedCycles && a.snapshotHits == b.snapshotHits &&
+         a.snapshotMisses == b.snapshotMisses && a.snapshotBytes == b.snapshotBytes &&
+         a.resumePoints == b.resumePoints && a.replayedCopies == b.replayedCopies &&
+         a.executedCopies == b.executedCopies && a.straightFallbacks == b.straightFallbacks;
+}
+
+TEST(SnapshotDifferential, CampaignStatisticsMatchAcrossModesAndThreads) {
+  for (const bbw::GuestProgram& program : bbw::guestPrograms()) {
+    SCOPED_TRACE(program.name);
+    const fi::TaskImage image = program.makeNominalImage();
+    fi::CampaignConfig config;
+    config.experiments = 600;
+    config.seed = 29;
+    config.parallelism.chunkSize = 75;
+
+    config.mode = fi::ExecutionMode::Straight;
+    const fi::TemCampaignStats temStraight = fi::runTemCampaign(image, config);
+    const fi::FsCampaignStats fsStraight = fi::runFsCampaign(image, config);
+
+    config.mode = fi::ExecutionMode::Snapshot;
+    const fi::TemCampaignStats temSnapshot = fi::runTemCampaign(image, config);
+    const fi::FsCampaignStats fsSnapshot = fi::runFsCampaign(image, config);
+
+    // Straight vs snapshot: identical outcome statistics, fewer simulated
+    // cycles.
+    EXPECT_TRUE(sameTemOutcomes(temStraight, temSnapshot));
+    EXPECT_TRUE(sameFsOutcomes(fsStraight, fsSnapshot));
+    EXPECT_LT(temSnapshot.snap.simulatedCycles, temStraight.snap.simulatedCycles);
+
+    // Snapshot mode across threads {2, 8}: EVERYTHING identical, including
+    // the snap counters (pure sums merged in chunk order).
+    for (const unsigned threads : {2u, 8u}) {
+      SCOPED_TRACE(threads);
+      config.parallelism.threads = threads;
+      const fi::TemCampaignStats temThreaded = fi::runTemCampaign(image, config);
+      const fi::FsCampaignStats fsThreaded = fi::runFsCampaign(image, config);
+      EXPECT_TRUE(sameTemOutcomes(temSnapshot, temThreaded));
+      EXPECT_TRUE(sameSnapCounters(temSnapshot.snap, temThreaded.snap));
+      EXPECT_TRUE(sameFsOutcomes(fsSnapshot, fsThreaded));
+      EXPECT_TRUE(sameSnapCounters(fsSnapshot.snap, fsThreaded.snap));
+    }
+    config.parallelism.threads = 1;
+  }
+}
+
+TEST(SnapshotDifferential, MachineBaselineForkMatchesStraightExecutionEvenOutOfOrder) {
+  const fi::TaskImage image = bbw::guestPrograms().front().makeNominalImage();
+  const std::vector<std::uint8_t> baseline = fi::machineBaselineSnapshot(image);
+
+  hw::Machine start{image.memBytes};
+  start.restoreState(baseline);
+  snap::SnapshotCache cache{1u << 20};
+  fi::MachineBaseline forked{start, 1, 4, cache};
+  hw::Machine scratch{image.memBytes};
+
+  // Deliberately out-of-order fork targets: the rewinds exercise the
+  // snapshot-cache resume path that sorted campaigns never need.
+  for (const std::uint64_t target : {std::uint64_t{12}, std::uint64_t{3}, std::uint64_t{17},
+                                     std::uint64_t{8}, std::uint64_t{0}, std::uint64_t{15}}) {
+    SCOPED_TRACE(target);
+    forked.forkAt(target, scratch);
+
+    hw::Machine straight{image.memBytes};
+    straight.restoreState(baseline);
+    (void)straight.run(target);
+    EXPECT_EQ(straight.saveState(), scratch.saveState());
+  }
+}
+
+TEST(SnapshotDifferential, CorruptedCheckpointRestoreIsAViolationNotACacheEntry) {
+  fuzz::Scenario scenario;
+  scenario.events.push_back(
+      {fuzz::EventKind::ComputationFault, bbw::kWheelNodeBase, 500'000, {}});
+
+  fuzz::OracleConfig corrupting = fuzz::resolveOracleConfig({});
+  corrupting.checkTemMonotone = false;
+  corrupting.corruptReplayCheckpoint = [](std::vector<std::uint8_t>& blob) {
+    blob[blob.size() / 2] ^= 0x20;
+  };
+
+  fuzz::GoldenCache cache;
+  const fuzz::ScenarioVerdict corrupted =
+      fuzz::evaluateScenario(scenario, corrupting, &cache);
+  bool reported = false;
+  for (const fuzz::OracleViolation& violation : corrupted.violations) {
+    if (violation.oracle == "det.replay") reported = true;
+  }
+  EXPECT_TRUE(reported) << "corrupted restore did not raise det.replay";
+
+  // Same cache, corruption off: a clean verdict with no violations — the
+  // corrupted restore cached NOTHING.
+  fuzz::OracleConfig clean = corrupting;
+  clean.corruptReplayCheckpoint = nullptr;
+  const fuzz::ScenarioVerdict verdict = fuzz::evaluateScenario(scenario, clean, &cache);
+  EXPECT_TRUE(verdict.valid);
+  EXPECT_TRUE(verdict.violations.empty());
+}
+
+}  // namespace
+}  // namespace nlft

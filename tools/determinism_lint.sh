@@ -75,6 +75,35 @@ for build in build build-cov build-asan build-tsan; do
   fi
 done
 
+# Snapshot-resume determinism: replaying one checked-in corpus case via a
+# checkpoint/restore split (BbwSystemSim::saveState at 900 ms, restored into
+# a fresh simulation) must reproduce the straight run's metrics fingerprint
+# byte for byte — the docs/SNAPSHOT.md equivalence contract, spot-checked
+# here on top of the full differential suite (ctest -L snapshot). Skipped on
+# a fresh checkout, like the trace check above.
+for build in build build-cov build-asan build-tsan; do
+  exe="$build/tools/nlft-fuzz"
+  if [ -x "$exe" ]; then
+    case=$(ls tests/corpus/case-*.json 2>/dev/null | head -n 1)
+    if [ -n "$case" ]; then
+      straight=$("$exe" --fingerprint "$case" 2>&1)
+      rc_a=$?
+      resumed=$("$exe" --fingerprint "$case" --resume-split 900000 2>&1)
+      rc_b=$?
+      if [ "$rc_a" -eq 0 ] && [ "$rc_b" -eq 0 ] && [ -n "$straight" ] && \
+         [ "$straight" = "$resumed" ]; then
+        echo "determinism lint: snapshot-resume replay byte-identical ($exe)"
+      else
+        echo "determinism lint: snapshot-resume replay diverged from the straight run ($exe, $case)" >&2
+        echo "  straight: $straight" >&2
+        echo "  resumed:  $resumed" >&2
+        status=1
+      fi
+    fi
+    break
+  fi
+done
+
 # Static-verifier determinism: two nlft-verify --json runs over the full
 # configuration registry must produce byte-identical reports (src/verify is
 # pure analysis — any divergence means ambient state leaked in). Skipped on

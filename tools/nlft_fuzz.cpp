@@ -14,16 +14,25 @@
 //   nlft-fuzz --replay case.json --shrink
 //       shrink the replayed case against its first violated oracle and
 //       print the minimized scenario.
+//   nlft-fuzz --fingerprint case.json [--resume-split US]
+//       print the case's metrics fingerprint from one straight run — or,
+//       with --resume-split, from a run checkpointed at US microseconds and
+//       resumed in a fresh simulation via BbwSystemSim::saveState/
+//       restoreState (docs/SNAPSHOT.md). tools/determinism_lint.sh
+//       byte-compares the two outputs.
 //
 // Exit status: 0 clean, 1 oracle violation / replay mismatch, 2 usage.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "bbw/system_sim.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/shrink.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -32,9 +41,58 @@ using namespace nlft;
 int usage() {
   std::fputs(
       "usage: nlft-fuzz [--budget N] [--seed S] [--threads T] [--chunk C] [--out DIR]\n"
-      "       nlft-fuzz --replay case.json [...] [--shrink]\n",
+      "       nlft-fuzz --replay case.json [...] [--shrink]\n"
+      "       nlft-fuzz --fingerprint case.json [--resume-split US]\n",
       stderr);
   return 2;
+}
+
+/// Straight or snapshot-resumed execution of one corpus case, reduced to
+/// its metrics fingerprint. The resumed variant attaches the metrics
+/// registry BEFORE restoreState so the replayed prefix streams the same
+/// live samples as the straight run.
+int fingerprint(const std::string& file, std::int64_t resumeSplitUs) {
+  const fuzz::CorpusEntry entry = fuzz::loadCorpusEntry(file);
+  bbw::BbwSimConfig config;
+  config.nodeType = entry.scenario.params.nodeType;
+  config.initialSpeedMps = entry.scenario.params.initialSpeedMps;
+  config.pedal = entry.scenario.params.pedal;
+  config.restartTime = util::Duration::microseconds(entry.scenario.params.restartTimeUs);
+
+  const auto arm = [&entry](bbw::BbwSystemSim& sim) {
+    for (const fuzz::ScheduleEvent& event : entry.scenario.events) {
+      const util::SimTime at = util::SimTime::fromUs(event.atUs);
+      switch (event.kind) {
+        case fuzz::EventKind::ComputationFault: sim.injectComputationFault(event.node, at); break;
+        case fuzz::EventKind::DetectedError: sim.injectDetectedError(event.node, at); break;
+        case fuzz::EventKind::KernelError: sim.injectKernelError(event.node, at); break;
+        case fuzz::EventKind::OmissionFailure: sim.injectOmissionFailure(event.node, at); break;
+        case fuzz::EventKind::ValueFailure: sim.injectValueFailure(event.node, at); break;
+        case fuzz::EventKind::BusCorruption:
+          sim.injectBusCorruption(event.node, at, event.flipBits);
+          break;
+      }
+    }
+  };
+
+  obs::Registry metrics;
+  if (resumeSplitUs < 0) {
+    bbw::BbwSystemSim sim{config};
+    sim.setMetricsRegistry(&metrics);
+    arm(sim);
+    (void)sim.run();
+  } else {
+    bbw::BbwSystemSim producer{config};
+    arm(producer);
+    producer.runUntil(util::SimTime::fromUs(resumeSplitUs));
+    const std::vector<std::uint8_t> checkpoint = producer.saveState();
+    bbw::BbwSystemSim resumed{config};
+    resumed.setMetricsRegistry(&metrics);
+    resumed.restoreState(checkpoint);
+    (void)resumed.run();
+  }
+  std::fprintf(stdout, "%s\n", metrics.goldenFingerprint().c_str());
+  return 0;
 }
 
 int replay(const std::vector<std::string>& files, bool shrink, const fuzz::FuzzConfig& config) {
@@ -101,6 +159,8 @@ int run(int argc, char** argv) {
   fuzz::FuzzConfig config;
   std::vector<std::string> replayFiles;
   std::string outDir;
+  std::string fingerprintFile;
+  std::int64_t resumeSplitUs = -1;
   bool shrink = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -134,6 +194,14 @@ int run(int argc, char** argv) {
       replayFiles.emplace_back(v);
     } else if (arg == "--shrink") {
       shrink = true;
+    } else if (arg == "--fingerprint") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      fingerprintFile = v;
+    } else if (arg == "--resume-split") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      resumeSplitUs = std::strtoll(v, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else if (!replayFiles.empty()) {
@@ -143,6 +211,7 @@ int run(int argc, char** argv) {
     }
   }
 
+  if (!fingerprintFile.empty()) return fingerprint(fingerprintFile, resumeSplitUs);
   if (!replayFiles.empty()) return replay(replayFiles, shrink, config);
 
   const fuzz::FuzzReport report = fuzz::runFuzzer(config);
