@@ -13,36 +13,44 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "snap/blob.hpp"
+#include "util/state_hash.hpp"
 
 namespace nlft::bbw {
+
+BbwSystemCounters BbwSystemCounters::minus(const BbwSystemCounters& earlier) const {
+  BbwSystemCounters delta;
+  delta.eventsProcessed = eventsProcessed - earlier.eventsProcessed;
+  delta.busCycles = busCycles - earlier.busCycles;
+  delta.busFramesDelivered = busFramesDelivered - earlier.busFramesDelivered;
+  delta.busFramesDropped = busFramesDropped - earlier.busFramesDropped;
+  delta.busCrcRejected = busCrcRejected - earlier.busCrcRejected;
+  delta.busCorruptionsInjected = busCorruptionsInjected - earlier.busCorruptionsInjected;
+  delta.commandFramesDelivered = commandFramesDelivered - earlier.commandFramesDelivered;
+  delta.duplicateCommandsDropped = duplicateCommandsDropped - earlier.duplicateCommandsDropped;
+  delta.commandsOmitted = commandsOmitted - earlier.commandsOmitted;
+  delta.undetectedValueDeliveries = undetectedValueDeliveries - earlier.undetectedValueDeliveries;
+  delta.failSilentEvents = failSilentEvents - earlier.failSilentEvents;
+  delta.kernelErrors = kernelErrors - earlier.kernelErrors;
+  delta.cpuDispatches = cpuDispatches - earlier.cpuDispatches;
+  delta.cpuPreemptions = cpuPreemptions - earlier.cpuPreemptions;
+  delta.controlReleases = controlReleases - earlier.controlReleases;
+  delta.controlDeadlineMisses = controlDeadlineMisses - earlier.controlDeadlineMisses;
+  delta.controlBudgetOverruns = controlBudgetOverruns - earlier.controlBudgetOverruns;
+  delta.cuCompletions = cuCompletions - earlier.cuCompletions;
+  delta.errorsMaskedByTem = errorsMaskedByTem - earlier.errorsMaskedByTem;
+  for (std::size_t w = 0; w < kWheelCount; ++w) {
+    delta.wheelCompletions[w] = wheelCompletions[w] - earlier.wheelCompletions[w];
+    delta.wheelOmissions[w] = wheelOmissions[w] - earlier.wheelOmissions[w];
+  }
+  return delta;
+}
 
 namespace {
 constexpr std::uint32_t kMsgCommand = 0xC0DE0001;
 constexpr std::uint32_t kMsgWheelStatus = 0xC0DE0002;
 constexpr std::uint32_t kMsgEmergency = 0xC0DE0003;
 
-/// FNV-1a over 64-bit lanes with a splitmix finalizer (the same scheme as
-/// fi::behaviorDigest; duplicated because bbw sits below the faults layer).
-struct StateHash {
-  std::uint64_t hash = 1469598103934665603ull;
-
-  void u64(std::uint64_t value) {
-    hash ^= value;
-    hash *= 1099511628211ull;
-  }
-  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
-  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
-  void boolean(bool value) { u64(value ? 1 : 0); }
-  [[nodiscard]] std::uint64_t finish() const {
-    std::uint64_t x = hash;
-    x ^= x >> 30;
-    x *= 0xBF58476D1CE4E5B9ull;
-    x ^= x >> 27;
-    x *= 0x94D049BB133111EBull;
-    x ^= x >> 31;
-    return x;
-  }
-};
+using StateHash = util::StateHash;
 }  // namespace
 
 const BbwDeployment& bbwDeployment() {
@@ -618,6 +626,93 @@ struct BbwSystemSim::Impl {
     return digest.finish();
   }
 
+  /// Snapshot of the monotone counters (see BbwSystemCounters).
+  [[nodiscard]] BbwSystemCounters counterSnapshot() const {
+    BbwSystemCounters c;
+    c.eventsProcessed = simulator.processedEvents();
+    c.busCycles = bus.cyclesCompleted();
+    c.busFramesDelivered = bus.framesDelivered();
+    c.busFramesDropped = bus.framesDropped();
+    c.busCrcRejected = bus.crcRejected();
+    c.busCorruptionsInjected = bus.corruptionsInjected();
+    c.commandFramesDelivered = commandFramesDelivered;
+    for (const auto& arbiter : commandArbiter) {
+      c.duplicateCommandsDropped += arbiter.duplicatesDropped();
+    }
+    c.commandsOmitted = commandsOmitted;
+    c.undetectedValueDeliveries = undetectedValueDeliveries;
+    c.failSilentEvents = failSilentEvents;
+    for (const Node& n : nodes) {
+      c.kernelErrors += n.kernel->kernelErrors();
+      c.cpuDispatches += n.cpu->dispatches();
+      c.cpuPreemptions += n.cpu->preemptions();
+      const rt::TaskStats& stats = n.kernel->stats(n.controlTask);
+      c.controlReleases += stats.releases;
+      c.controlDeadlineMisses += stats.deadlineMisses;
+      c.controlBudgetOverruns += stats.budgetOverruns;
+      if (isWheel(n.id)) {
+        c.wheelCompletions[wheelIndex(n.id)] = stats.completions;
+        c.wheelOmissions[wheelIndex(n.id)] = stats.omissions;
+      } else {
+        c.cuCompletions += stats.completions;
+      }
+      if (n.temExecutor) {
+        const tem::TemStats& temStats = n.temExecutor->stats(n.controlTask);
+        c.errorsMaskedByTem += temStats.maskedByVote + temStats.maskedByReplacement;
+      }
+    }
+    return c;
+  }
+
+  /// Digest of the evolution-relevant state only (see the header docs):
+  /// everything that determines how the simulation behaves from here on,
+  /// NOTHING that merely records how it got here.
+  [[nodiscard]] std::uint64_t behaviorFingerprint() const {
+    StateHash digest;
+    digest.i64(simulator.now().us());
+    digest.u64(simulator.pendingEvents());
+    digest.f64(vehicle.speedMps());
+    digest.f64(vehicle.distanceM());
+    for (std::size_t w = 0; w < kWheelCount; ++w) {
+      digest.f64(vehicle.wheelSpeedRadps(w));
+      digest.f64(vehicle.brakeTorque(w));
+    }
+    digest.boolean(vehicleStopped);
+    digest.f64(stopTimeS);
+    for (const std::uint32_t command : lastCommandQ8) digest.u64(command);
+    for (const std::int32_t limit : wheelLimitQ8) digest.i64(limit);
+    for (const std::uint64_t seq : lastCommandSeq) digest.u64(seq);
+    digest.boolean(emergencyLatched);
+    digest.i64(emergencyPressedAt ? emergencyPressedAt->us() : -1);
+    digest.i64(emergencyAppliedAt ? emergencyAppliedAt->us() : -1);
+    digest.u64(membership.stateDigest());
+    digest.u64(bus.stateDigest());
+    for (const auto& arbiter : commandArbiter) digest.u64(arbiter.stateDigest());
+    for (const Node& n : nodes) {
+      digest.boolean(n.kernel->stopped());
+      digest.boolean(n.corruptSecondCopy);
+      digest.boolean(n.detectedErrorNextCopy);
+      digest.boolean(n.omitNextResult);
+      digest.boolean(n.valueFailureArmed);
+      digest.u64(n.valueFailureJob);
+      digest.u64(n.snapshotJob);
+      digest.u64(n.snapshotSeq);
+      for (const std::uint32_t input : n.jobInput) digest.u64(input);
+    }
+    return digest.finish();
+  }
+
+  /// See BbwSystemSim::injectionQuiescent.
+  [[nodiscard]] bool injectionQuiescent() const {
+    for (const Node& n : nodes) {
+      if (n.corruptSecondCopy || n.detectedErrorNextCopy || n.omitNextResult ||
+          n.valueFailureArmed || n.valueFailureJob != ~0ULL) {
+        return false;
+      }
+    }
+    return !bus.injectionArmed();
+  }
+
   /// Advances the event loop to `until` (the run() loop without result
   /// finalization).
   void advanceTo(SimTime until) {
@@ -781,32 +876,23 @@ BbwSimResult BbwSystemSim::run() {
   result.stopped = impl.vehicleStopped;
   result.stoppingDistanceM = impl.vehicle.distanceM();
   result.stopTimeS = impl.stopTimeS;
-  result.commandFramesDelivered = impl.commandFramesDelivered;
-  for (const auto& arbiter : impl.commandArbiter) {
-    result.duplicateCommandsDropped += arbiter.duplicatesDropped();
-  }
-  result.busFramesDropped = impl.bus.framesDropped();
-  result.failSilentEvents = impl.failSilentEvents;
-  result.commandsOmitted = impl.commandsOmitted;
-  result.undetectedValueDeliveries = impl.undetectedValueDeliveries;
+  const BbwSystemCounters counters = impl.counterSnapshot();
+  result.commandFramesDelivered = counters.commandFramesDelivered;
+  result.duplicateCommandsDropped = counters.duplicateCommandsDropped;
+  result.busFramesDropped = counters.busFramesDropped;
+  result.failSilentEvents = counters.failSilentEvents;
+  result.commandsOmitted = counters.commandsOmitted;
+  result.undetectedValueDeliveries = counters.undetectedValueDeliveries;
+  result.wheelCompletions = counters.wheelCompletions;
+  result.wheelOmissions = counters.wheelOmissions;
+  result.cuCompletions = counters.cuCompletions;
+  result.errorsMaskedByTem = counters.errorsMaskedByTem;
   if (impl.emergencyPressedAt && impl.emergencyAppliedAt) {
     result.emergencyBrakeLatency = *impl.emergencyAppliedAt - *impl.emergencyPressedAt;
   }
-
   for (const auto& n : impl.nodes) {
     if (n.kernel->stopped() || !impl.membership.alive(n.id)) {
       result.nodesDownAtEnd.insert(n.id);
-    }
-    const rt::TaskStats& stats = n.kernel->stats(n.controlTask);
-    if (Impl::isWheel(n.id)) {
-      result.wheelCompletions[Impl::wheelIndex(n.id)] = stats.completions;
-      result.wheelOmissions[Impl::wheelIndex(n.id)] = stats.omissions;
-    } else {
-      result.cuCompletions += stats.completions;
-    }
-    if (n.temExecutor) {
-      const tem::TemStats& temStats = n.temExecutor->stats(n.controlTask);
-      result.errorsMaskedByTem += temStats.maskedByVote + temStats.maskedByReplacement;
     }
   }
   impl.snapshotMetrics();
@@ -820,6 +906,12 @@ void BbwSystemSim::runUntil(SimTime until) {
 }
 
 std::uint64_t BbwSystemSim::stateFingerprint() const { return impl_->fingerprint(); }
+
+BbwSystemCounters BbwSystemSim::counterSnapshot() const { return impl_->counterSnapshot(); }
+
+std::uint64_t BbwSystemSim::behaviorFingerprint() const { return impl_->behaviorFingerprint(); }
+
+bool BbwSystemSim::injectionQuiescent() const { return impl_->injectionQuiescent(); }
 
 std::vector<std::uint8_t> BbwSystemSim::saveState() const {
   const Impl& impl = *impl_;

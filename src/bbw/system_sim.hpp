@@ -109,6 +109,42 @@ struct BbwSimResult {
   Duration emergencyBrakeLatency{};
 };
 
+/// Monotone counters of a live system simulation, observable at any instant
+/// (run() reports the same quantities, finalized). The snapshot campaign
+/// engine (docs/SNAPSHOT.md "system campaigns") compares PER-INTERVAL deltas
+/// of these against a precomputed golden timeline: equal deltas over
+/// consecutive checkpoints mean the faulted run processed the exact same
+/// event stream as the fault-free run over that interval.
+struct BbwSystemCounters {
+  std::uint64_t eventsProcessed = 0;
+  std::uint64_t busCycles = 0;
+  std::uint64_t busFramesDelivered = 0;
+  std::uint64_t busFramesDropped = 0;
+  std::uint64_t busCrcRejected = 0;
+  std::uint64_t busCorruptionsInjected = 0;
+  std::uint64_t commandFramesDelivered = 0;
+  std::uint64_t duplicateCommandsDropped = 0;
+  std::uint64_t commandsOmitted = 0;
+  std::uint64_t undetectedValueDeliveries = 0;
+  std::uint64_t failSilentEvents = 0;
+  std::uint64_t kernelErrors = 0;
+  std::uint64_t cpuDispatches = 0;
+  std::uint64_t cpuPreemptions = 0;
+  std::uint64_t controlReleases = 0;
+  std::uint64_t controlDeadlineMisses = 0;
+  std::uint64_t controlBudgetOverruns = 0;
+  std::uint64_t cuCompletions = 0;
+  std::uint64_t errorsMaskedByTem = 0;
+  std::array<std::uint64_t, kWheelCount> wheelCompletions{};
+  std::array<std::uint64_t, kWheelCount> wheelOmissions{};
+
+  friend bool operator==(const BbwSystemCounters&, const BbwSystemCounters&) = default;
+
+  /// Field-wise difference against an EARLIER snapshot of the same
+  /// simulation (all counters are monotone, so this never underflows).
+  [[nodiscard]] BbwSystemCounters minus(const BbwSystemCounters& earlier) const;
+};
+
 class BbwSystemSim {
  public:
   explicit BbwSystemSim(BbwSimConfig config = {});
@@ -221,6 +257,27 @@ class BbwSystemSim {
   /// task statistics. Equal fingerprints at equal simulated times are the
   /// snapshot layer's definition of state equality.
   [[nodiscard]] std::uint64_t stateFingerprint() const;
+
+  /// Snapshot of the monotone counters at the current instant.
+  [[nodiscard]] BbwSystemCounters counterSnapshot() const;
+
+  /// 64-bit digest of the EVOLUTION-RELEVANT state only: clock, pending
+  /// event count, vehicle kinematics, held commands/limits/sequences,
+  /// emergency latching, per-node kernel liveness and armed one-shot faults,
+  /// plus the membership, bus and duplex-arbiter state digests. Unlike
+  /// stateFingerprint() it EXCLUDES monotone bookkeeping (processed events,
+  /// delivery counters, task statistics), so a faulted simulation whose
+  /// disturbance has fully healed produces the golden digest again — the
+  /// rejoin condition of the snapshot campaign engine. Counter deltas are
+  /// compared separately via counterSnapshot().
+  [[nodiscard]] std::uint64_t behaviorFingerprint() const;
+
+  /// True when no injected one-shot fault is still armed: every
+  /// corrupt/detected-error/omission/value flag has been consumed by a
+  /// control job, no value-failure job is in flight, and the bus holds no
+  /// armed corruption or babbler. Scheduled-but-unfired injection closures
+  /// are invisible here; callers gate on the injection time separately.
+  [[nodiscard]] bool injectionQuiescent() const;
 
   [[nodiscard]] sim::Simulator& simulator();
   [[nodiscard]] const Vehicle& vehicle() const;

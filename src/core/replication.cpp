@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/state_hash.hpp"
+
 namespace nlft::tem {
 
 DuplexArbiter::DuplexArbiter(Policy policy, Duration compareWindow)
@@ -45,6 +47,21 @@ std::optional<std::vector<std::uint32_t>> DuplexArbiter::offer(
   ++mismatches_;
   if (onMismatch_) onMismatch_(sequence);
   return std::nullopt;
+}
+
+std::uint64_t DuplexArbiter::stateDigest() const {
+  util::StateHash digest;
+  digest.u64(static_cast<std::uint64_t>(policy_));
+  digest.i64(window_.us());
+  for (const auto& [sequence, pending] : pending_) {
+    digest.u64(sequence);
+    digest.u64(static_cast<std::uint64_t>(pending.replica));
+    digest.i64(pending.arrivedAt.us());
+    digest.u64(pending.payload.size());
+    for (const std::uint32_t word : pending.payload) digest.u64(word);
+  }
+  for (const auto& entry : settled_) digest.u64(entry.first);
+  return digest.finish();
 }
 
 std::vector<std::vector<std::uint32_t>> DuplexArbiter::poll(SimTime now) {

@@ -56,6 +56,15 @@ class DuplexArbiter {
     onMismatch_ = std::move(handler);
   }
 
+  /// 64-bit digest of the arbitration state: every pending sequence
+  /// (replica, payload, arrival time) and the SET of settled sequences.
+  /// Settle TIMES and the delivery counters are deliberately excluded: they
+  /// never feed back into arbitration decisions, and after a masked fault
+  /// (e.g. a CU omission bridged by the partner replica) a sequence settles
+  /// at a legitimately later instant — pinning the digest to that bookkeeping
+  /// would block the snapshot engine's golden-rejoin check forever.
+  [[nodiscard]] std::uint64_t stateDigest() const;
+
  private:
   struct Pending {
     int replica;

@@ -16,6 +16,9 @@ using util::SimTime;
 struct ScenarioEntry {
   const char* name;
   bbw::NodeType nodeType;
+  /// Earliest injection instant the scenario arms (microseconds): forked
+  /// recordings restore a clean checkpoint strictly before this.
+  std::int64_t earliestUs;
   /// Arms the scenario's injections on a fresh simulation.
   void (*arm)(BbwSystemSim&);
 };
@@ -29,23 +32,23 @@ SimTime at(double seconds) {
 // node down run long enough for the mu_R restart to appear in the trace, so
 // a perturbed restart time is caught by the harness.
 constexpr ScenarioEntry kScenarios[] = {
-    {"nlft-computation-fault", bbw::NodeType::Nlft,
+    {"nlft-computation-fault", bbw::NodeType::Nlft, 500000,
      [](BbwSystemSim& sim) { sim.injectComputationFault(bbw::kWheelNodeBase, at(0.5)); }},
-    {"nlft-omission-value", bbw::NodeType::Nlft,
+    {"nlft-omission-value", bbw::NodeType::Nlft, 400000,
      [](BbwSystemSim& sim) {
        sim.injectOmissionFailure(bbw::kWheelNodeBase + 1, at(0.4));
        sim.injectValueFailure(bbw::kWheelNodeBase + 2, at(0.8));
      }},
-    {"fs-kernel-error-restart", bbw::NodeType::FailSilent,
+    {"fs-kernel-error-restart", bbw::NodeType::FailSilent, 400000,
      [](BbwSystemSim& sim) { sim.injectKernelError(bbw::kWheelNodeBase, at(0.4)); }},
-    {"bus-corruption", bbw::NodeType::Nlft,
+    {"bus-corruption", bbw::NodeType::Nlft, 500000,
      [](BbwSystemSim& sim) {
        sim.injectBusCorruption(bbw::kCuA, at(0.5));
        sim.injectBusCorruption(bbw::kWheelNodeBase + 3, at(0.9), {7, 133, 260});
      }},
-    {"cu-failover", bbw::NodeType::Nlft,
+    {"cu-failover", bbw::NodeType::Nlft, 500000,
      [](BbwSystemSim& sim) { sim.injectKernelError(bbw::kCuA, at(0.5)); }},
-    {"correlated-burst", bbw::NodeType::Nlft,
+    {"correlated-burst", bbw::NodeType::Nlft, 600000,
      [](BbwSystemSim& sim) {
        sim.injectKernelError(bbw::kWheelNodeBase, at(0.6));
        sim.injectKernelError(bbw::kWheelNodeBase + 2, at(0.6));
@@ -82,6 +85,13 @@ std::vector<std::string> goldenScenarioNames() {
   std::vector<std::string> names;
   for (const ScenarioEntry& entry : kScenarios) names.emplace_back(entry.name);
   return names;
+}
+
+std::int64_t goldenScenarioEarliestUs(const std::string& name) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name == entry.name) return entry.earliestUs;
+  }
+  throw std::invalid_argument("unknown golden-trace scenario: " + name);
 }
 
 std::vector<std::string> recordScenarioTrace(const std::string& name,
@@ -125,6 +135,35 @@ std::vector<std::string> recordScenarioTraceResumed(const std::string& name,
     resumed.setTraceSink([&lines](const std::string& line) { lines.push_back(line); });
     resumed.restoreState(checkpoint);
     appendResultSummary(resumed.run(), lines);
+    return lines;
+  }
+  throw std::invalid_argument("unknown golden-trace scenario: " + name);
+}
+
+std::vector<std::string> recordScenarioTraceForked(const std::string& name,
+                                                   std::int64_t forkBeforeUs,
+                                                   const bbw::BbwSimConfig& base) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name != entry.name) continue;
+    BbwSimConfig config = base;
+    config.nodeType = entry.nodeType;
+
+    // The clean producer stands in for a campaign's shared golden baseline:
+    // no injections armed, checkpointed at the fork point.
+    BbwSystemSim clean{config};
+    clean.runUntil(SimTime::fromUs(forkBeforeUs));
+    if (clean.simulator().now().us() >= entry.earliestUs) {
+      throw std::invalid_argument(
+          "recordScenarioTraceForked: fork point not strictly before the first injection");
+    }
+    const std::vector<std::uint8_t> checkpoint = clean.saveState();
+
+    BbwSystemSim forked{config};
+    std::vector<std::string> lines;
+    forked.setTraceSink([&lines](const std::string& line) { lines.push_back(line); });
+    forked.restoreState(checkpoint);
+    entry.arm(forked);
+    appendResultSummary(forked.run(), lines);
     return lines;
   }
   throw std::invalid_argument("unknown golden-trace scenario: " + name);

@@ -23,6 +23,11 @@ namespace nlft::fi {
 /// Names of all catalogued scenarios, in a fixed order.
 [[nodiscard]] std::vector<std::string> goldenScenarioNames();
 
+/// Earliest injection instant (microseconds) a catalogued scenario arms.
+/// Forked recordings (recordScenarioTraceForked) must restore from a clean
+/// checkpoint taken STRICTLY before it. Throws for unknown names.
+[[nodiscard]] std::int64_t goldenScenarioEarliestUs(const std::string& name);
+
 /// Records the event trace of one catalogued scenario (throws
 /// std::invalid_argument for unknown names). The trailing lines summarise
 /// the BbwSimResult so silent counter drift is caught too. `base` carries
@@ -48,6 +53,19 @@ namespace nlft::fi {
 /// recording for every scenario and every split point.
 [[nodiscard]] std::vector<std::string> recordScenarioTraceResumed(
     const std::string& name, std::int64_t splitAtUs, const bbw::BbwSimConfig& base = {});
+
+/// Campaign-forked variant (the system-campaign differential suite,
+/// tests/system_snapshot_differential_test.cpp): a CLEAN producer — no
+/// injections, exactly like a snapshot campaign's shared golden baseline —
+/// is advanced to `forkBeforeUs` and checkpointed; the returned trace comes
+/// from a fresh simulation that attaches its trace sink, restores the clean
+/// checkpoint (the replayed prefix re-emits its lines), arms the scenario
+/// and runs to completion. This is the execution shape of every
+/// snapshot-mode campaign experiment, so the trace must be line-identical
+/// to the straight recording. `forkBeforeUs` must leave the restored clock
+/// strictly before the scenario's earliest injection (throws otherwise).
+[[nodiscard]] std::vector<std::string> recordScenarioTraceForked(
+    const std::string& name, std::int64_t forkBeforeUs, const bbw::BbwSimConfig& base = {});
 
 /// First divergence between an expected and an actual trace.
 struct TraceDiff {

@@ -1,11 +1,16 @@
 #include "faults/system_campaign.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "bbw/guest_programs.hpp"
 #include "exec/chunked_campaign.hpp"
+#include "faults/snapshot_exec.hpp"
+#include "snap/cache.hpp"
 
 namespace nlft::fi {
 
@@ -201,28 +206,11 @@ SystemScenario sampleScenarioImpl(const SystemCampaignConfig& config, util::Rng&
   return scenario;
 }
 
-SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
-                                         const SystemScenario& scenario,
-                                         const BbwSimResult& golden, const GuestContext& ctx,
-                                         obs::Registry* simMetrics = nullptr) {
-  SystemExperiment experiment;
-  experiment.scenario = scenario;
-  if (scenario.targets.empty()) throw std::invalid_argument("system scenario without targets");
-
-  Injection injection = Injection::None;
-  if (scenario.kind == ScenarioKind::MachineTransient) {
-    injection = classifyMachineFault(config, ctx, scenario, experiment.nodeLevel);
-    if (injection == Injection::None) {
-      // The fault never became an error (or ECC absorbed it): the stop is
-      // identical to the golden run, so skip the simulation.
-      experiment.outcome = SystemOutcome::Masked;
-      experiment.sim = golden;
-      return experiment;
-    }
-  }
-
-  BbwSystemSim sim{makeSimConfig(config)};
-  if (simMetrics != nullptr) sim.setMetricsRegistry(simMetrics);
+/// Arms the scenario's injection hooks on a (fresh or restored) simulation.
+/// Legal after a restore STRICTLY before scenario.at: injection events run
+/// at EventPriority::FaultInjection, which no other event uses, so arming
+/// late is ordering-equivalent to arming at t=0.
+void armScenario(BbwSystemSim& sim, const SystemScenario& scenario, Injection injection) {
   const net::NodeId target = scenario.targets.front();
   switch (scenario.kind) {
     case ScenarioKind::MachineTransient:
@@ -244,7 +232,106 @@ SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
       for (const net::NodeId node : scenario.targets) sim.injectKernelError(node, scenario.at);
       break;
   }
-  experiment.sim = sim.run();
+}
+
+/// Per-campaign execution engine: the resolved execution mode plus the
+/// shared golden timeline. Immutable after construction; shared read-only
+/// across worker threads (and across strata in the stratified campaign).
+struct SystemEngine {
+  ExecutionMode mode = ExecutionMode::Straight;  ///< resolved: never Auto
+  bool fellBack = false;  ///< Auto requested snapshots, the probe said no
+  std::shared_ptr<const SystemBaseline> baseline;  ///< snapshot mode only
+  BbwSimResult golden;
+  std::uint64_t goldenEvents = 0;  ///< events of the one golden run
+};
+
+SystemEngine makeSystemEngine(const SystemCampaignConfig& config) {
+  SystemEngine engine;
+  const BbwSimConfig sim = makeSimConfig(config);
+  if (config.mode != ExecutionMode::Straight && systemSnapshotSupported(sim)) {
+    engine.mode = ExecutionMode::Snapshot;
+    engine.baseline = std::make_shared<const SystemBaseline>(sim, config.checkpointStride);
+    engine.golden = engine.baseline->goldenResult();
+    engine.goldenEvents = engine.baseline->sweepEvents();
+    return engine;
+  }
+  if (config.mode == ExecutionMode::Snapshot) {
+    throw std::runtime_error(
+        "system campaign: configuration does not support replay checkpoints "
+        "(ExecutionMode::Snapshot requested)");
+  }
+  engine.fellBack = config.mode == ExecutionMode::Auto;
+  BbwSystemSim goldenSim{sim};
+  engine.golden = goldenSim.run();
+  engine.goldenEvents = goldenSim.counterSnapshot().eventsProcessed;
+  return engine;
+}
+
+SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
+                                         const SystemScenario& scenario,
+                                         const BbwSimResult& golden, const GuestContext& ctx,
+                                         obs::Registry* simMetrics = nullptr,
+                                         const SystemEngine* engine = nullptr,
+                                         snap::SnapshotCache* cache = nullptr,
+                                         SnapCounters* snap = nullptr) {
+  SystemExperiment experiment;
+  experiment.scenario = scenario;
+  if (scenario.targets.empty()) throw std::invalid_argument("system scenario without targets");
+
+  Injection injection = Injection::None;
+  if (scenario.kind == ScenarioKind::MachineTransient) {
+    injection = classifyMachineFault(config, ctx, scenario, experiment.nodeLevel);
+    if (injection == Injection::None) {
+      // The fault never became an error (or ECC absorbed it): the stop is
+      // identical to the golden run, so skip the simulation — in EVERY
+      // execution mode, costing zero simulated events. The caller counts
+      // the skip (stats.skippedMasked / "campaign.skipped_masked") so the
+      // campaign reducers and the per-sim metrics stay reconcilable.
+      experiment.outcome = SystemOutcome::Masked;
+      experiment.sim = golden;
+      experiment.skippedMasked = true;
+      return experiment;
+    }
+  }
+
+  BbwSystemSim sim{makeSimConfig(config)};
+  // The metrics registry attaches BEFORE any restore: a replay checkpoint
+  // re-executes the clean prefix on this fresh sim, streaming exactly the
+  // metrics a straight run would, so per-sim registries stay bit-identical
+  // across execution modes.
+  if (simMetrics != nullptr) sim.setMetricsRegistry(simMetrics);
+
+  const bool snapshotMode =
+      engine != nullptr && engine->mode == ExecutionMode::Snapshot && cache != nullptr;
+  std::optional<std::size_t> restoredAt;
+  if (snapshotMode) {
+    restoredAt = engine->baseline->restoreBefore(sim, scenario.at.us(), *cache);
+    if (restoredAt && snap != nullptr) ++snap->resumePoints;
+  }
+  armScenario(sim, scenario, injection);
+
+  if (snapshotMode && simMetrics == nullptr) {
+    // Splice path: stop simulating once the faulted run provably rejoins
+    // the golden timeline. (With a metrics sink attached the run always
+    // completes — rates and histograms cannot be spliced — so metrics
+    // campaigns pay straight-execution event counts for exact registries.)
+    std::optional<BbwSimResult> spliced =
+        engine->baseline->runToRejoin(sim, scenario.at.us(), restoredAt);
+    if (spliced) {
+      experiment.sim = *spliced;
+      if (snap != nullptr) ++snap->replayedCopies;
+    } else {
+      experiment.sim = sim.run();
+      if (snap != nullptr) ++snap->executedCopies;
+    }
+  } else {
+    experiment.sim = sim.run();
+    if (snap != nullptr) {
+      ++snap->executedCopies;
+      if (engine != nullptr && engine->fellBack) ++snap->straightFallbacks;
+    }
+  }
+  if (snap != nullptr) snap->simulatedCycles += sim.counterSnapshot().eventsProcessed;
   experiment.outcome = classifyOutcome(config, golden, experiment.sim);
   return experiment;
 }
@@ -252,12 +339,24 @@ SystemExperiment runSystemExperimentImpl(const SystemCampaignConfig& config,
 /// Shared by the bbw:: and sys:: parameter overloads (identical fields).
 template <typename Params>
 Params applyMeasuredCoverage(const CoverageEstimate& measured, Params base) {
+  // With zero activated faults (an empty campaign, or one where every
+  // sampled fault was absorbed before becoming an error) there is NO
+  // measurement: every Wilson interval has trials == 0 and a zeroed point
+  // estimate. Feeding that through would stomp the paper-assumed coverage
+  // with 0.0 (and, before the guard below existed, divide by it) — keep the
+  // base parameters untouched instead.
+  if (measured.coverage.trials == 0) return base;
   const double coverage = measured.coverage.proportion;
   base.coverage = coverage;
   if (coverage > 0.0) {
     base.pMask = std::min(1.0, measured.pMask.proportion / coverage);
-    base.pOmission = std::min(1.0, measured.pOmission.proportion / coverage);
+    // The conditional reactions must remain a distribution: cap P_OM at the
+    // mass P_MASK left over, so noisy small-sample point estimates can
+    // never push P_MASK + P_OM past 1 (which would drive P_FS formally
+    // negative and feed garbage transition rates to the Markov models).
+    base.pOmission = std::min(1.0 - base.pMask, measured.pOmission.proportion / coverage);
     base.pFailSilent = std::max(0.0, 1.0 - base.pMask - base.pOmission);
+    assert(base.pMask + base.pOmission <= 1.0 + 1e-12);
   }
   return base;
 }
@@ -322,6 +421,8 @@ void SystemCampaignStats::merge(const SystemCampaignStats& other) {
   nodeLevel.merge(other.nodeLevel);
   stoppingDistanceM.merge(other.stoppingDistanceM);
   stops += other.stops;
+  skippedMasked += other.skippedMasked;
+  snap.merge(other.snap);
 }
 
 CoverageEstimate measuredCoverage(const SystemCampaignStats& stats) {
@@ -376,6 +477,20 @@ void addCampaignCounters(obs::Registry& m, const SystemCampaignStats& stats) {
   m.add("campaign.node.omission", stats.nodeLevel.omission);
   m.add("campaign.node.fail_silent", stats.nodeLevel.failSilent);
   m.add("campaign.node.undetected", stats.nodeLevel.undetected);
+  // Experiments that never ran a simulation (fault not activated / absorbed
+  // by ECC): reconciles the gap between campaign.outcome.masked and the
+  // per-sim registries, which only see the simulated experiments.
+  m.add("campaign.skipped_masked", stats.skippedMasked);
+  // Snapshot-engine counters land under the non-golden "wall." namespace:
+  // they legitimately differ between execution modes, and the golden
+  // fingerprint must not (obs::Registry::goldenFingerprint skips "wall.").
+  m.add("wall.snap.sys.simulated_cycles", stats.snap.simulatedCycles);
+  m.add("wall.snap.sys.snapshot_hits", stats.snap.snapshotHits);
+  m.add("wall.snap.sys.snapshot_misses", stats.snap.snapshotMisses);
+  m.add("wall.snap.sys.resume_points", stats.snap.resumePoints);
+  m.add("wall.snap.sys.replayed_copies", stats.snap.replayedCopies);
+  m.add("wall.snap.sys.executed_copies", stats.snap.executedCopies);
+  m.add("wall.snap.sys.straight_fallbacks", stats.snap.straightFallbacks);
 }
 
 /// Chunk accumulator pairing the campaign statistics with a chunk-local
@@ -396,44 +511,98 @@ struct ObsChunkStats {
 /// One sampled-and-classified experiment, folded into campaign statistics.
 /// `stratum == nullptr` samples crudely; otherwise inside the stratum.
 void runOneScenario(const SystemCampaignConfig& config, const GuestContext& ctx,
-                    const BbwSimResult& golden, const StratumSpec* stratum, util::Rng& rng,
-                    SystemCampaignStats& stats, obs::Registry* simMetrics) {
+                    const SystemEngine& engine, const StratumSpec* stratum, util::Rng& rng,
+                    SystemCampaignStats& stats, obs::Registry* simMetrics,
+                    snap::SnapshotCache* cache) {
   const SystemScenario scenario = sampleScenarioImpl(config, rng, ctx, stratum);
-  const SystemExperiment experiment =
-      runSystemExperimentImpl(config, scenario, golden, ctx, simMetrics);
+  const SystemExperiment experiment = runSystemExperimentImpl(
+      config, scenario, engine.golden, ctx, simMetrics, &engine, cache, &stats.snap);
   ++stats.outcomes[static_cast<std::size_t>(experiment.outcome)];
   ++stats.outcomesByKind[static_cast<std::size_t>(scenario.kind)]
                         [static_cast<std::size_t>(experiment.outcome)];
   stats.nodeLevel.merge(experiment.nodeLevel);
   stats.stoppingDistanceM.add(experiment.sim.stoppingDistanceM);
   if (experiment.sim.stopped) ++stats.stops;
+  if (experiment.skippedMasked) ++stats.skippedMasked;
+}
+
+/// Per-chunk snapshot state: a PRIVATE byte-bounded cache primed from the
+/// shared baseline (empty optional in straight mode). Chunk-private caches
+/// make hit/miss/eviction counters pure functions of the chunk contents,
+/// which the chunk-order merge then keeps bit-identical at every thread
+/// count.
+struct SnapChunkContext {
+  std::optional<snap::SnapshotCache> cache;
+};
+
+/// Builds the per-chunk setup/teardown hooks for `engine`. `snapOf` maps
+/// the chunk's Stats type to its SnapCounters (SystemCampaignStats::snap
+/// directly, or through ObsChunkStats::stats).
+template <typename Stats, typename SnapOf>
+exec::ChunkHooks<Stats, SnapChunkContext> makeSnapHooks(const SystemCampaignConfig& config,
+                                                        const SystemEngine& engine,
+                                                        SnapOf snapOf) {
+  exec::ChunkHooks<Stats, SnapChunkContext> hooks;
+  if (engine.mode != ExecutionMode::Snapshot) return hooks;
+  const std::size_t cacheBytes = config.snapshotCacheBytes;
+  const SystemBaseline* baseline = engine.baseline.get();
+  hooks.setup = [cacheBytes, baseline](std::size_t) {
+    SnapChunkContext ctx;
+    ctx.cache.emplace(cacheBytes);
+    baseline->primeCache(*ctx.cache);
+    return ctx;
+  };
+  // Teardown runs in-worker BEFORE the chunk-order merge, so the folded
+  // counters ride the same determinism guarantee as the statistics.
+  hooks.teardown = [snapOf](SnapChunkContext& ctx, Stats& stats) {
+    SnapCounters& snap = snapOf(stats);
+    snap.snapshotHits += ctx.cache->hits();
+    snap.snapshotMisses += ctx.cache->misses();
+    snap.snapshotBytes += ctx.cache->insertedBytes();
+  };
+  return hooks;
 }
 
 }  // namespace
 
 SystemCampaignStats runSystemCampaign(const SystemCampaignConfig& config) {
   const GuestContext ctx = makeGuestContext();
-  const BbwSimResult golden = goldenStop(config);
+  const SystemEngine engine = makeSystemEngine(config);
 
+  SystemCampaignStats stats;
   if (config.metrics == nullptr) {
-    return exec::runChunkedCampaign<SystemCampaignStats>(
-        config.experiments, config.seed, config.parallelism, "runSystemCampaign",
-        [&](util::Rng& rng, SystemCampaignStats& stats) {
-          runOneScenario(config, ctx, golden, nullptr, rng, stats, nullptr);
-        },
-        config.cancel, config.onProgress);
+    stats = exec::runStoppableChunkedCampaignWithHooks<SystemCampaignStats, SnapChunkContext>(
+                config.experiments, config.seed, config.parallelism, "runSystemCampaign",
+                [&](util::Rng& rng, SystemCampaignStats& chunk, SnapChunkContext& snapCtx) {
+                  runOneScenario(config, ctx, engine, nullptr, rng, chunk, nullptr,
+                                 snapCtx.cache ? &*snapCtx.cache : nullptr);
+                },
+                makeSnapHooks<SystemCampaignStats>(
+                    config, engine, [](SystemCampaignStats& s) -> SnapCounters& { return s.snap; }),
+                {}, config.cancel, config.onProgress)
+                .stats;
+  } else {
+    ObsChunkStats total =
+        exec::runStoppableChunkedCampaignWithHooks<ObsChunkStats, SnapChunkContext>(
+            config.experiments, config.seed, config.parallelism, "runSystemCampaign",
+            [&](util::Rng& rng, ObsChunkStats& chunk, SnapChunkContext& snapCtx) {
+              runOneScenario(config, ctx, engine, nullptr, rng, chunk.stats, &chunk.sims,
+                             snapCtx.cache ? &*snapCtx.cache : nullptr);
+            },
+            makeSnapHooks<ObsChunkStats>(
+                config, engine, [](ObsChunkStats& s) -> SnapCounters& { return s.stats.snap; }),
+            {}, config.cancel, config.onProgress, config.metrics)
+            .stats;
+    total.stats.experiments = total.experiments;
+    config.metrics->merge(total.sims);
+    stats = total.stats;
   }
-
-  ObsChunkStats total = exec::runChunkedCampaign<ObsChunkStats>(
-      config.experiments, config.seed, config.parallelism, "runSystemCampaign",
-      [&](util::Rng& rng, ObsChunkStats& chunk) {
-        runOneScenario(config, ctx, golden, nullptr, rng, chunk.stats, &chunk.sims);
-      },
-      config.cancel, config.onProgress, config.metrics);
-  total.stats.experiments = total.experiments;
-  config.metrics->merge(total.sims);
-  addCampaignCounters(*config.metrics, total.stats);
-  return total.stats;
+  // The one golden run (snapshot sweep or straight reference) charges its
+  // events once per campaign, in every mode — the speedup bench's ratio
+  // compares total simulated work honestly.
+  stats.snap.simulatedCycles += engine.goldenEvents;
+  if (config.metrics != nullptr) addCampaignCounters(*config.metrics, stats);
+  return stats;
 }
 
 util::ProportionEstimate StratumResult::outcomeRate(SystemOutcome outcome) const {
@@ -520,7 +689,10 @@ SystemScenario sampleScenario(const SystemCampaignConfig& config, util::Rng& rng
 StratifiedCampaignResult runStratifiedSystemCampaign(const SystemCampaignConfig& config,
                                                      std::size_t windowBins) {
   const GuestContext ctx = makeGuestContext();
-  const BbwSimResult golden = goldenStop(config);
+  // ONE engine (one golden sweep, one checkpoint timeline) shared by every
+  // stratum: the baseline is a pure function of the sim configuration,
+  // which is identical across strata.
+  const SystemEngine engine = makeSystemEngine(config);
   StratifiedCampaignResult result;
   obs::Registry sims;
 
@@ -535,20 +707,33 @@ StratifiedCampaignResult runStratifiedSystemCampaign(const SystemCampaignConfig&
       const std::uint64_t stratumSeed =
           config.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(h) + 1));
       if (config.metrics == nullptr) {
-        stratumResult.stats = exec::runChunkedCampaign<SystemCampaignStats>(
-            strata[h].experiments, stratumSeed, config.parallelism, "runStratifiedSystemCampaign",
-            [&](util::Rng& rng, SystemCampaignStats& stats) {
-              runOneScenario(config, ctx, golden, &strata[h], rng, stats, nullptr);
-            },
-            config.cancel);
+        stratumResult.stats =
+            exec::runStoppableChunkedCampaignWithHooks<SystemCampaignStats, SnapChunkContext>(
+                strata[h].experiments, stratumSeed, config.parallelism,
+                "runStratifiedSystemCampaign",
+                [&](util::Rng& rng, SystemCampaignStats& stats, SnapChunkContext& snapCtx) {
+                  runOneScenario(config, ctx, engine, &strata[h], rng, stats, nullptr,
+                                 snapCtx.cache ? &*snapCtx.cache : nullptr);
+                },
+                makeSnapHooks<SystemCampaignStats>(
+                    config, engine,
+                    [](SystemCampaignStats& s) -> SnapCounters& { return s.snap; }),
+                {}, config.cancel)
+                .stats;
       } else {
-        ObsChunkStats chunk = exec::runChunkedCampaign<ObsChunkStats>(
-            strata[h].experiments, stratumSeed, config.parallelism, "runStratifiedSystemCampaign",
-            [&](util::Rng& rng, ObsChunkStats& obsChunk) {
-              runOneScenario(config, ctx, golden, &strata[h], rng, obsChunk.stats,
-                             &obsChunk.sims);
-            },
-            config.cancel, {}, config.metrics);
+        ObsChunkStats chunk =
+            exec::runStoppableChunkedCampaignWithHooks<ObsChunkStats, SnapChunkContext>(
+                strata[h].experiments, stratumSeed, config.parallelism,
+                "runStratifiedSystemCampaign",
+                [&](util::Rng& rng, ObsChunkStats& obsChunk, SnapChunkContext& snapCtx) {
+                  runOneScenario(config, ctx, engine, &strata[h], rng, obsChunk.stats,
+                                 &obsChunk.sims, snapCtx.cache ? &*snapCtx.cache : nullptr);
+                },
+                makeSnapHooks<ObsChunkStats>(
+                    config, engine,
+                    [](ObsChunkStats& s) -> SnapCounters& { return s.stats.snap; }),
+                {}, config.cancel, {}, config.metrics)
+                .stats;
         chunk.stats.experiments = chunk.experiments;
         stratumResult.stats = chunk.stats;
         sims.merge(chunk.sims);
@@ -558,6 +743,9 @@ StratifiedCampaignResult runStratifiedSystemCampaign(const SystemCampaignConfig&
     result.strata.push_back(std::move(stratumResult));
   }
   result.experiments = result.total.experiments;
+  // The shared golden run charges its simulated events once per CAMPAIGN
+  // (the merged total), not once per stratum.
+  result.total.snap.simulatedCycles += engine.goldenEvents;
 
   if (config.metrics != nullptr) {
     config.metrics->merge(sims);

@@ -130,6 +130,19 @@ struct SystemCampaignConfig {
   /// Simulation knobs (nodeType is overridden by the field above).
   bbw::BbwSimConfig sim{};
 
+  /// How experiments execute (docs/SNAPSHOT.md "system campaigns"). Auto
+  /// probes replay-checkpoint support once per campaign and falls back to
+  /// straight execution when checkpoints do not round-trip for this
+  /// configuration; Snapshot throws in that case; Straight always runs
+  /// every simulation from t=0. Statistics and metrics fingerprints are
+  /// bit-identical across all three.
+  ExecutionMode mode = ExecutionMode::Auto;
+  /// Byte budget of each chunk's PRIVATE snapshot cache (snapshot modes
+  /// only). Chunk-private caches keep hit/miss counters thread-invariant.
+  std::size_t snapshotCacheBytes = 4u << 20;
+  /// Golden checkpoint stride (0 = one control period).
+  util::Duration checkpointStride{};
+
   exec::Parallelism parallelism{};
   exec::ProgressFn onProgress;
   exec::CancellationToken* cancel = nullptr;
@@ -153,6 +166,16 @@ struct SystemCampaignStats {
   NodeLevelCounts nodeLevel;
   util::RunningStats stoppingDistanceM;
   std::size_t stops = 0;  ///< experiments in which the vehicle stopped
+  /// MachineTransient experiments whose fault never became an error
+  /// (not-activated or ECC-masked): counted as Masked in `outcomes` with the
+  /// golden result copied in, and simulated in NO execution mode — the
+  /// "campaign.skipped_masked" metric reconciles against this.
+  std::size_t skippedMasked = 0;
+  /// Snapshot/copy-on-inject engine counters. Stats-only by design: they
+  /// differ between execution modes, so folding them into the golden
+  /// metrics namespace would break cross-mode fingerprint equality (they
+  /// appear in run reports under "wall.snap.sys.*" instead).
+  SnapCounters snap;
 
   void merge(const SystemCampaignStats& other);
   [[nodiscard]] std::size_t outcome(SystemOutcome o) const {
@@ -197,6 +220,9 @@ struct SystemExperiment {
   SystemOutcome outcome = SystemOutcome::Masked;
   NodeLevelCounts nodeLevel;
   bbw::BbwSimResult sim;
+  /// True when the machine-level fault never became an error and the
+  /// simulation was skipped (sim is a copy of the golden result).
+  bool skippedMasked = false;
 };
 [[nodiscard]] SystemExperiment runSystemExperiment(const SystemCampaignConfig& config,
                                                    const SystemScenario& scenario,

@@ -187,13 +187,16 @@ bbw::BbwSimResult GoldenCache::get(
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
-  // Snapshot-resume validation: run the fault-free producer, checkpoint it,
-  // and take the cached result from a fresh simulation restored from the
-  // checkpoint. restoreState throws on a damaged blob or a diverging replay
-  // BEFORE anything reaches the cache, so a corrupted checkpoint surfaces
-  // as a det.replay violation at the caller rather than a poisoned entry.
+  // Snapshot-resume validation: advance the fault-free producer to mid
+  // horizon, checkpoint it there, and take the cached result from a fresh
+  // simulation restored from the checkpoint (the restore replays the first
+  // half, the replica then finishes the run — 1.5 full runs instead of the
+  // 2.0 a full-horizon producer would cost). restoreState throws on a
+  // damaged blob or a diverging replay BEFORE anything reaches the cache,
+  // so a corrupted checkpoint surfaces as a det.replay violation at the
+  // caller rather than a poisoned entry.
   BbwSystemSim producer{simConfigFor(params, horizonUs)};
-  (void)producer.run();
+  producer.runUntil(util::SimTime::fromUs(horizonUs / 2));
   std::vector<std::uint8_t> checkpoint = producer.saveState();
   if (mutateCheckpoint) mutateCheckpoint(checkpoint);
   BbwSystemSim replica{simConfigFor(params, horizonUs)};

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/crc.hpp"
+#include "util/state_hash.hpp"
 
 namespace nlft::net {
 
@@ -81,6 +82,44 @@ std::vector<std::uint32_t> TdmaBus::takeCorruption(NodeId node) {
 }
 
 void TdmaBus::setBabbling(NodeId node, bool babbling) { babbling_[node] = babbling; }
+
+bool TdmaBus::injectionArmed() const {
+  for (const auto& entry : corruptNext_) {
+    if (!entry.second.empty()) return true;
+  }
+  for (const auto& entry : babbling_) {
+    if (entry.second) return true;
+  }
+  return false;
+}
+
+std::uint64_t TdmaBus::stateDigest() const {
+  util::StateHash digest;
+  for (const auto& [node, payload] : pendingStatic_) {
+    digest.u64(node);
+    digest.u64(payload.size());
+    for (const std::uint32_t word : payload) digest.u64(word);
+  }
+  for (const Frame& frame : pendingDynamic_) {
+    digest.u64(frame.sender);
+    digest.u64(frame.priority);
+    digest.u64(frame.payload.size());
+    for (const std::uint32_t word : frame.payload) digest.u64(word);
+  }
+  for (const auto& [node, silent] : silent_) {
+    if (silent) digest.u64(node);
+  }
+  for (const auto& [node, bits] : corruptNext_) {
+    if (bits.empty()) continue;
+    digest.u64(node);
+    for (const std::uint32_t bit : bits) digest.u64(bit);
+  }
+  for (const auto& [node, active] : babbling_) {
+    if (active) digest.u64(node);
+  }
+  digest.boolean(guardian_);
+  return digest.finish();
+}
 
 void TdmaBus::start() {
   if (started_) throw std::logic_error("TdmaBus: already started");

@@ -127,6 +127,21 @@ class TdmaBus {
 
   [[nodiscard]] const TdmaConfig& config() const { return config_; }
 
+  /// True while any injected disturbance is still armed: a pending
+  /// corruptNextFrame that no transmission has consumed yet, or an active
+  /// babbling idiot. The snapshot campaign engine refuses to splice a
+  /// faulted run back onto the golden timeline until this returns false.
+  [[nodiscard]] bool injectionArmed() const;
+
+  /// 64-bit digest of the EVOLUTION-RELEVANT bus state: queued static
+  /// payloads, pending dynamic frames, silenced nodes, armed corruptions and
+  /// active babblers. Monotone delivery counters are excluded, and so are
+  /// map entries that no longer carry state (a node un-silenced via
+  /// setNodeSilent(node, false) leaves a `false` entry behind that must not
+  /// perturb the digest). Two buses with equal digests queue and deliver the
+  /// same frames from here on.
+  [[nodiscard]] std::uint64_t stateDigest() const;
+
  private:
   struct Attached {
     NodeId node;

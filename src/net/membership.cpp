@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/state_hash.hpp"
+
 namespace nlft::net {
 
 namespace {
@@ -89,6 +91,24 @@ void MembershipService::start() {
     }
   };
   simulator_.scheduleAfter(cycle, Ticker{this, cycle}, sim::EventPriority::Application);
+}
+
+std::uint64_t MembershipService::stateDigest() const {
+  util::StateHash digest;
+  for (const auto& [id, state] : nodes_) {
+    digest.u64(id);
+    digest.boolean(state.alive);
+    digest.u64(state.pendingAppData.size());
+    for (const std::uint32_t word : state.pendingAppData) digest.u64(word);
+    for (const auto& [peerId, peer] : state.peers) {
+      digest.u64(peerId);
+      digest.boolean(peer.member);
+      digest.u64(peer.consecutiveHeard);
+      digest.u64(peer.consecutiveMissed);
+      digest.u64(peer.lastHeardCycle);
+    }
+  }
+  return digest.finish();
 }
 
 void MembershipService::onCycle() {

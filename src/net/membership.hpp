@@ -65,6 +65,12 @@ class MembershipService {
   /// Must be called once after all nodes are added; also starts the bus.
   void start();
 
+  /// 64-bit digest of the full protocol state: per-node liveness, queued
+  /// application data and every peer-view entry (membership, consecutive
+  /// heard/missed streaks, last-heard cycle). Two services with equal
+  /// digests make the same expulsion/re-admission decisions from here on.
+  [[nodiscard]] std::uint64_t stateDigest() const;
+
  private:
   struct PeerState {
     bool member = false;

@@ -45,6 +45,7 @@ class SnapshotCache {
   [[nodiscard]] std::uint64_t insertedBytes() const { return insertedBytes_; }
   [[nodiscard]] std::size_t bytesInUse() const { return bytesInUse_; }
   [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  [[nodiscard]] std::size_t maxBytes() const { return maxBytes_; }
 
  private:
   struct KeyHash {

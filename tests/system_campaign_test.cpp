@@ -40,6 +40,7 @@ void expectIdentical(const SystemCampaignStats& a, const SystemCampaignStats& b)
   EXPECT_EQ(a.nodeLevel.failSilent, b.nodeLevel.failSilent);
   EXPECT_EQ(a.nodeLevel.undetected, b.nodeLevel.undetected);
   EXPECT_EQ(a.stops, b.stops);
+  EXPECT_EQ(a.skippedMasked, b.skippedMasked);
   EXPECT_EQ(a.stoppingDistanceM.count(), b.stoppingDistanceM.count());
   // Chunk-order merge: the accumulated moments are bit-identical, not
   // merely approximately equal.
@@ -188,6 +189,7 @@ TEST(SystemCampaign, WithMeasuredCoverageNormalisesByCoverage) {
   measured.pMask.proportion = 0.90;
   measured.pOmission.proportion = 0.045;
   measured.coverage.proportion = 0.95;
+  measured.coverage.trials = 1000;  // a real measurement, not an empty campaign
 
   const bbw::ReliabilityParameters params = withMeasuredCoverage(measured);
   EXPECT_DOUBLE_EQ(params.coverage, 0.95);
@@ -204,13 +206,97 @@ TEST(SystemCampaign, WithMeasuredCoverageNormalisesByCoverage) {
   EXPECT_LT(r, 1.0);
 }
 
-TEST(SystemCampaign, ZeroCoverageLeavesBaseParameters) {
-  const CoverageEstimate empty{};  // no activated faults measured
+TEST(SystemCampaign, ZeroActivationLeavesBaseParametersUntouched) {
+  // No activated faults = no measurement: every Wilson interval comes back
+  // with trials == 0 and a zeroed point estimate. The feedback must return
+  // the paper-assumed base UNCHANGED — the old behaviour stomped coverage
+  // with 0.0, feeding garbage into the Markov models.
+  const CoverageEstimate empty{};
   const bbw::ReliabilityParameters base = bbw::ReliabilityParameters::paperDefaults();
   const bbw::ReliabilityParameters params = withMeasuredCoverage(empty, base);
   EXPECT_DOUBLE_EQ(params.pMask, base.pMask);
   EXPECT_DOUBLE_EQ(params.pOmission, base.pOmission);
-  EXPECT_DOUBLE_EQ(params.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(params.pFailSilent, base.pFailSilent);
+  EXPECT_DOUBLE_EQ(params.coverage, base.coverage);
+}
+
+TEST(SystemCampaign, ZeroExperimentCampaignFeedsBackCleanly) {
+  // The degenerate end-to-end path: a 0-experiment campaign measures
+  // nothing, and the measured-coverage feedback must hand back finite,
+  // unchanged parameters (wilsonInterval(0, 0) used to reach a division by
+  // the zero coverage proportion).
+  SystemCampaignConfig config = smallConfig();
+  config.experiments = 0;
+  const SystemCampaignStats stats = runSystemCampaign(config);
+  EXPECT_EQ(stats.experiments, 0u);
+  EXPECT_EQ(stats.nodeLevel.activated(), 0u);
+
+  const CoverageEstimate measured = measuredCoverage(stats);
+  EXPECT_EQ(measured.coverage.trials, 0u);
+  const bbw::ReliabilityParameters base = bbw::ReliabilityParameters::paperDefaults();
+  const bbw::ReliabilityParameters params = withMeasuredCoverage(measured, base);
+  EXPECT_TRUE(std::isfinite(params.pMask));
+  EXPECT_TRUE(std::isfinite(params.pOmission));
+  EXPECT_TRUE(std::isfinite(params.pFailSilent));
+  EXPECT_DOUBLE_EQ(params.coverage, base.coverage);
+}
+
+TEST(SystemCampaign, AllNotActivatedCampaignFeedsBackCleanly) {
+  // A campaign whose every machine-level fault failed to activate: injected
+  // counts grow but activated() stays 0, which is the same "no measurement"
+  // case as an empty campaign.
+  SystemCampaignStats stats;
+  stats.experiments = 40;
+  stats.nodeLevel.injected = 40;
+  stats.nodeLevel.notActivated = 30;
+  stats.nodeLevel.maskedByEcc = 10;
+  ASSERT_EQ(stats.nodeLevel.activated(), 0u);
+
+  const CoverageEstimate measured = measuredCoverage(stats);
+  const bbw::ReliabilityParameters base = bbw::ReliabilityParameters::paperDefaults();
+  const bbw::ReliabilityParameters params = withMeasuredCoverage(measured, base);
+  EXPECT_TRUE(std::isfinite(params.pMask));
+  EXPECT_DOUBLE_EQ(params.pMask, base.pMask);
+  EXPECT_DOUBLE_EQ(params.coverage, base.coverage);
+}
+
+TEST(SystemCampaign, MeasuredReactionsNeverExceedUnitMass) {
+  // Noisy small-sample point estimates can satisfy pMask + pOmission >
+  // coverage; after conditioning, the reaction masses must still form a
+  // distribution (P_OM is capped at the mass P_T leaves over).
+  CoverageEstimate measured;
+  measured.pMask.proportion = 0.80;
+  measured.pMask.trials = 10;
+  measured.pOmission.proportion = 0.50;
+  measured.pOmission.trials = 10;
+  measured.coverage.proportion = 0.90;
+  measured.coverage.trials = 10;
+
+  const bbw::ReliabilityParameters params = withMeasuredCoverage(measured);
+  EXPECT_LE(params.pMask + params.pOmission, 1.0 + 1e-12);
+  EXPECT_GE(params.pFailSilent, 0.0);
+  EXPECT_NEAR(params.pMask + params.pOmission + params.pFailSilent, 1.0, 1e-12);
+}
+
+TEST(SystemCampaign, MaskedSkipsCountedConsistently) {
+  // Experiments whose fault never became an error skip the simulation in
+  // every execution mode. The campaign must still reconcile: the skip
+  // count equals the not-activated + ECC-masked node outcomes, lands in
+  // the Masked outcome bucket, and is mirrored by the
+  // "campaign.skipped_masked" metric so registry consumers can explain the
+  // gap between campaign.* reducers and the per-sim metrics.
+  obs::Registry metrics;
+  SystemCampaignConfig config = smallConfig();
+  config.experiments = 64;
+  config.metrics = &metrics;
+  const SystemCampaignStats stats = runSystemCampaign(config);
+
+  ASSERT_GT(stats.skippedMasked, 0u) << "seed produced no skipped experiments; adjust seed";
+  EXPECT_EQ(stats.skippedMasked, stats.nodeLevel.notActivated + stats.nodeLevel.maskedByEcc);
+  EXPECT_GE(stats.outcome(SystemOutcome::Masked), stats.skippedMasked);
+  EXPECT_EQ(metrics.count("campaign.skipped_masked"), stats.skippedMasked);
+  // Per-sim registries only see the experiments that ran a simulation.
+  EXPECT_EQ(metrics.count("campaign.experiments"), stats.experiments);
 }
 
 }  // namespace

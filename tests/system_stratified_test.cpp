@@ -141,5 +141,46 @@ TEST(StratifiedCampaign, RejectsDegenerateConfigs) {
   EXPECT_THROW((void)stratifySystemCampaign(config, 3), std::invalid_argument);
 }
 
+TEST(StratifiedCampaign, RejectsEmptyInjectionWindow) {
+  // An empty (or inverted) injection window would make every windowBin a
+  // zero-length interval and the in-stratum time draw degenerate.
+  SystemCampaignConfig config = smallConfig(10, 1);
+  config.injectEarliestS = config.injectLatestS;
+  EXPECT_THROW((void)stratifySystemCampaign(config, 3), std::invalid_argument);
+  config.injectEarliestS = config.injectLatestS + 0.5;
+  EXPECT_THROW((void)stratifySystemCampaign(config, 3), std::invalid_argument);
+}
+
+TEST(StratifiedCampaign, TinyBudgetAllocatesDeterministically) {
+  // Budget far below the stratum count: every quota is fractional, so the
+  // largest-remainder pass hands out exactly `experiments` single trials.
+  // The allocation must be exhaustive (sums to the budget), 0/1-valued,
+  // and identical on every call — remainder ties break on the fixed
+  // stratum order, never on map/hash iteration luck.
+  const SystemCampaignConfig config = smallConfig(20, 10);
+  const std::vector<StratumSpec> first = stratifySystemCampaign(config, 3);
+  const std::vector<StratumSpec> second = stratifySystemCampaign(config, 3);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GT(first.size(), config.experiments);
+
+  std::size_t allocated = 0;
+  std::size_t occupied = 0;
+  for (std::size_t h = 0; h < first.size(); ++h) {
+    EXPECT_EQ(first[h].experiments, second[h].experiments) << "stratum " << h;
+    EXPECT_LE(first[h].experiments, 1u) << "stratum " << h;
+    allocated += first[h].experiments;
+    if (first[h].experiments > 0) ++occupied;
+  }
+  EXPECT_EQ(allocated, config.experiments);
+  EXPECT_EQ(occupied, config.experiments);
+
+  // The campaign must respect the tiny allocation exactly.
+  const StratifiedCampaignResult result = runStratifiedSystemCampaign(config, 3);
+  EXPECT_EQ(result.experiments, config.experiments);
+  for (const StratumResult& stratum : result.strata) {
+    EXPECT_EQ(stratum.stats.experiments, stratum.spec.experiments);
+  }
+}
+
 }  // namespace
 }  // namespace nlft::fi
